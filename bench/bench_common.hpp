@@ -1,0 +1,62 @@
+#pragma once
+// Shared helpers for the experiment harness: every binary regenerates one
+// experiment of DESIGN.md §4 and prints a paper-style summary table after
+// the google-benchmark rows.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace dcl::bench {
+
+/// Collects (series, n, rounds) samples across benchmark runs so the main
+/// can print log-log slope estimates per series.
+class slope_store {
+ public:
+  void add(const std::string& series, double n, double rounds) {
+    data_[series].first.push_back(n);
+    data_[series].second.push_back(rounds);
+  }
+
+  void print_summary(const char* what) const {
+    dcl::table t({"series", "points", "loglog slope of rounds vs n"});
+    for (const auto& [name, xy] : data_) {
+      if (xy.first.size() < 2) continue;
+      t.row()
+          .cell(name)
+          .cell(std::int64_t(xy.first.size()))
+          .cell(dcl::loglog_slope(xy.first, xy.second), 3);
+    }
+    std::cout << "\n=== " << what << " ===\n";
+    t.print(std::cout);
+  }
+
+  static slope_store& instance() {
+    static slope_store s;
+    return s;
+  }
+
+ private:
+  std::map<std::string, std::pair<std::vector<double>, std::vector<double>>>
+      data_;
+};
+
+}  // namespace dcl::bench
+
+#define DCL_BENCH_MAIN(summary_label)                       \
+  int main(int argc, char** argv) {                         \
+    benchmark::Initialize(&argc, argv);                     \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) \
+      return 1;                                             \
+    benchmark::RunSpecifiedBenchmarks();                    \
+    benchmark::Shutdown();                                  \
+    dcl::bench::slope_store::instance().print_summary(      \
+        summary_label);                                     \
+    return 0;                                               \
+  }

@@ -1,0 +1,60 @@
+// E6 (Theorem 5 substitute): expander decomposition quality — remainder
+// fraction vs the ε budget, certified conductance vs the φ target, cluster
+// counts, recursion depth, and the separately-charged CS20 model rounds.
+
+#include "bench_common.hpp"
+
+#include "expander/decomposition.hpp"
+#include "graph/generators.hpp"
+
+namespace dcl {
+namespace {
+
+graph make_graph(int family, vertex n) {
+  switch (family) {
+    case 0:
+      return gen::gnp(n, 12.0 / double(n), 5);
+    case 1:
+      return gen::power_law(n, 2.4, 10.0, 5);
+    case 2:
+      return gen::planted_partition(vertex(n / 50), 50, 0.4, 0.01, 5);
+    default:
+      return gen::ring_of_cliques(vertex(n / 16), 16);
+  }
+}
+const char* family_name(int f) {
+  return f == 0 ? "gnp" : f == 1 ? "powerlaw" : f == 2 ? "planted" : "ring";
+}
+
+void BM_Decomposition(benchmark::State& state) {
+  const auto family = int(state.range(0));
+  const auto inv_eps = int(state.range(1));
+  const auto g = make_graph(family, 600);
+  expander_decomposition d;
+  for (auto _ : state) {
+    decomposition_options opt;
+    opt.epsilon = 1.0 / double(inv_eps);
+    d = decompose(g, opt);
+  }
+  double min_phi = 1.0;
+  for (const auto& c : d.clusters)
+    min_phi = std::min(min_phi, c.certified_phi);
+  state.counters["remainder_frac"] = d.remainder_fraction(g);
+  state.counters["clusters"] = double(d.clusters.size());
+  state.counters["min_phi_cert"] = d.clusters.empty() ? 0.0 : min_phi;
+  state.counters["phi_used"] = d.phi_used;
+  state.counters["cut_depth"] = double(d.max_cut_depth);
+  state.counters["model_rounds"] = double(d.model_rounds);
+  state.SetLabel(std::string(family_name(family)) + "/eps=1/" +
+                 std::to_string(inv_eps));
+}
+
+}  // namespace
+}  // namespace dcl
+
+BENCHMARK(dcl::BM_Decomposition)
+    ->ArgsProduct({{0, 1, 2, 3}, {6, 12, 18}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+DCL_BENCH_MAIN("E6: expander decomposition (remainder <= eps*m holds)")

@@ -1,0 +1,133 @@
+// E4 + E5 (Theorems 16 and 26): partition-tree construction — simulated
+// round costs and the Def 14 / Def 22 balance-constraint slack (observed /
+// bound; must stay <= 1).
+
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include <numeric>
+
+#include "congest/cluster_comm.hpp"
+#include "core/listing/kp_cluster.hpp"
+#include "core/ptree/build_k3.hpp"
+#include "core/ptree/build_split.hpp"
+#include "graph/generators.hpp"
+
+namespace dcl {
+namespace {
+
+void BM_K3Tree(benchmark::State& state) {
+  const auto k = vertex(state.range(0));
+  const auto g = gen::gnp(k, std::min(0.9, 16.0 / double(k)), 13);
+  // Ensure connectivity by overlaying a cycle.
+  auto edges = g.edges();
+  for (vertex v = 0; v < k; ++v)
+    edges.push_back(make_edge(v, vertex((v + 1) % k)));
+  const auto gg = graph::from_unsorted(k, std::move(edges));
+  cost_ledger ledger;
+  network net(gg, ledger);
+  std::vector<vertex> all(static_cast<std::size_t>(k));
+  std::iota(all.begin(), all.end(), 0);
+  cluster_comm cc(net, all, g.edges(), "c");
+  std::vector<std::int64_t> deg;
+  for (vertex v = 0; v < k; ++v) deg.push_back(g.degree(v));
+  k3_tree_build tb;
+  for (auto _ : state) tb = build_k3_tree(cc, all, deg, "t16");
+  const auto rep = validate_def14(tb.tree, tb.h, 3);
+  state.counters["rounds"] = double(ledger.rounds());
+  state.counters["x"] = double(tb.x);
+  state.counters["max_parts"] = double(rep.max_parts);
+  state.counters["deg_slack"] = rep.max_deg_ratio;
+  state.counters["updeg_slack"] = rep.max_updeg_ratio;
+  state.counters["size_slack"] = rep.max_size_ratio;
+  state.counters["valid"] = rep.ok ? 1.0 : 0.0;
+  bench::slope_store::instance().add("k3-tree", double(k),
+                                     double(ledger.rounds()));
+}
+
+void BM_SplitTree(benchmark::State& state) {
+  const auto n = vertex(state.range(0));
+  const int p = 4, p_prime = int(state.range(1));
+  // A dense core (V−) plus a sparse periphery (V2).
+  const auto base = gen::gnp(n, std::min(0.9, 3.0 * std::sqrt(double(n)) /
+                                                  double(n)),
+                             19);
+  // Guarantee cluster connectivity with a cycle overlay.
+  auto all_edges = base.edges();
+  for (vertex v = 0; v < n; ++v)
+    all_edges.push_back(make_edge(v, vertex((v + 1) % n)));
+  const auto g = graph::from_unsorted(n, std::move(all_edges));
+  cost_ledger ledger;
+  network net(g, ledger);
+  // Use the densest third as the pool.
+  std::vector<vertex> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](vertex a, vertex b) {
+    if (g.degree(a) != g.degree(b)) return g.degree(a) > g.degree(b);
+    return a < b;
+  });
+  std::vector<vertex> vminus(order.begin(), order.begin() + n / 3);
+  std::sort(vminus.begin(), vminus.end());
+  std::vector<vertex> all(static_cast<std::size_t>(n));
+  std::iota(all.begin(), all.end(), 0);
+  // Guarantee cluster connectivity with a cycle overlay.
+  auto edges = g.edges();
+  for (vertex v = 0; v < n; ++v)
+    edges.push_back(make_edge(v, vertex((v + 1) % n)));
+  const auto gg = graph::from_unsorted(n, std::move(edges));
+  cluster_comm cc(net, all, g.edges(), "c");
+
+  // Position spaces and inputs.
+  std::vector<vertex> v1_of(size_t(n), -1), v2_of(size_t(n), -1);
+  for (std::size_t i = 0; i < vminus.size(); ++i)
+    v1_of[size_t(vminus[i])] = vertex(i);
+  vertex next2 = 0;
+  for (vertex v = 0; v < n; ++v)
+    if (v1_of[size_t(v)] == -1) v2_of[size_t(v)] = next2++;
+  split_inputs in;
+  in.n = n;
+  in.n2 = next2;
+  for (const auto& e : g.edges()) {
+    const auto a = v1_of[size_t(e.u)], b = v1_of[size_t(e.v)];
+    if (a >= 0 && b >= 0) in.e1.push_back(make_edge(a, b));
+    else if (a >= 0) in.e12.push_back({a, v2_of[size_t(e.v)]});
+    else if (b >= 0) in.e12.push_back({b, v2_of[size_t(e.u)]});
+    else {
+      in.e2.push_back(make_edge(v2_of[size_t(e.u)], v2_of[size_t(e.v)]));
+      in.e2_holder.push_back(vertex(in.e2.size() % vminus.size()));
+    }
+  }
+  std::vector<vertex> pool;
+  std::vector<std::int64_t> deg;
+  for (vertex v : vminus) {
+    pool.push_back(cc.to_local(v));
+    deg.push_back(g.degree(v));
+  }
+  split_tree_build tb;
+  for (auto _ : state)
+    tb = build_split_tree(cc, pool, deg, in, p, p_prime, "t26");
+  split_graph_view sg{std::int64_t(vminus.size()), in.n2, in.n,
+                      in.e1, in.e2, in.e12};
+  const auto rep = validate_def22(tb.tree, sg, p, p_prime, tb.a, tb.b);
+  state.counters["rounds"] = double(ledger.rounds());
+  state.counters["a"] = double(tb.a);
+  state.counters["deg_slack"] = rep.max_deg_ratio;
+  state.counters["updeg_slack"] = rep.max_updeg_ratio;
+  state.counters["valid"] = rep.ok ? 1.0 : 0.0;
+  state.SetLabel("p'=" + std::to_string(p_prime));
+}
+
+}  // namespace
+}  // namespace dcl
+
+BENCHMARK(dcl::BM_K3Tree)
+    ->ArgsProduct({{64, 128, 256, 512}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(dcl::BM_SplitTree)
+    ->ArgsProduct({{192, 384}, {2, 3, 4}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+DCL_BENCH_MAIN("E4/E5: partition tree construction (slack must be <= 1)")

@@ -1,0 +1,70 @@
+// E7 (Theorem 6 substitute): measured store-and-forward routing rounds on
+// φ-clusters as the per-vertex load L grows, against tree depth,
+// conductance, and the CS20 closed-form model.
+
+#include "bench_common.hpp"
+
+#include <numeric>
+
+#include "congest/router.hpp"
+#include "expander/cost_model.hpp"
+#include "graph/generators.hpp"
+#include "graph/spectral.hpp"
+#include "support/prng.hpp"
+
+namespace dcl {
+namespace {
+
+graph make_cluster(int kind) {
+  switch (kind) {
+    case 0:
+      return gen::hypercube(8);                       // 256, phi ~ 1/8
+    case 1:
+      return gen::circulant(256, {1, 3, 9, 27, 81});  // constant degree
+    default:
+      return gen::gnp(256, 16.0 / 256.0, 3);          // random expander
+  }
+}
+const char* kind_name(int k) {
+  return k == 0 ? "hypercube" : k == 1 ? "circulant" : "gnp";
+}
+
+void BM_Routing(benchmark::State& state) {
+  const auto kind = int(state.range(0));
+  const auto load = std::int64_t(state.range(1));
+  const auto g = make_cluster(kind);
+  cluster_router router(g, 8);
+  prng rng(17);
+  std::vector<message> msgs;
+  for (vertex v = 0; v < g.num_vertices(); ++v)
+    for (std::int64_t l = 0; l < load; ++l)
+      msgs.push_back({v,
+                      vertex(rng.next_below(std::uint64_t(
+                          g.num_vertices()))),
+                      0, std::uint64_t(l), 0});
+  route_stats stats;
+  for (auto _ : state) {
+    std::vector<message> out;
+    stats = router.route(msgs, &out);
+  }
+  const auto spec = second_eigen(g);
+  state.counters["rounds"] = double(stats.rounds);
+  state.counters["max_edge_load"] = double(stats.max_edge_load);
+  state.counters["tree_depth"] = double(router.tree_depth());
+  state.counters["phi_cert"] = spec.phi_lower;
+  state.counters["cs20_model"] = double(
+      cs20_routing_rounds(load, spec.phi_lower, g.num_vertices()));
+  state.SetLabel(kind_name(kind));
+  bench::slope_store::instance().add(kind_name(kind), double(load),
+                                     double(stats.rounds));
+}
+
+}  // namespace
+}  // namespace dcl
+
+BENCHMARK(dcl::BM_Routing)
+    ->ArgsProduct({{0, 1, 2}, {1, 4, 16, 64}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+DCL_BENCH_MAIN("E7: expander routing — rounds vs per-vertex load L")

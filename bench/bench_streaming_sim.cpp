@@ -1,0 +1,97 @@
+// E3 (Theorem 11): cost of simulating partial-pass streaming algorithms in
+// a cluster. The λ sweep interpolates between the paper's two extreme
+// approaches — λ = 1 is "leader with queries" (one simulator learns all
+// main tokens), λ = k is "state passing" (the state visits every vertex) —
+// with the minimum in between, and B_aux adds the GET-AUX roundtrips.
+
+#include "bench_common.hpp"
+
+#include <numeric>
+
+#include "congest/cluster_comm.hpp"
+#include "core/streaming/pp_simulate.hpp"
+#include "graph/generators.hpp"
+#include "support/prng.hpp"
+
+namespace dcl {
+namespace {
+
+/// Thresholded drill machine: requests aux on every threshold crossing.
+class drill final : public pp_algorithm {
+ public:
+  explicit drill(std::uint64_t threshold) : threshold_(threshold) {}
+  pp_limits limits() const override {
+    return {.n_out = 1 << 20, .b_aux = 1 << 20, .b_write = 1 << 20};
+  }
+  std::int64_t state_words() const override { return 2; }
+  void reset() override { acc_ = 0; }
+  void on_main(const pp_token& t, pp_context& ctx) override {
+    const auto before = acc_ / threshold_;
+    acc_ += t.at(0);
+    if (acc_ / threshold_ != before) ctx.request_aux();
+  }
+  void on_aux(const pp_token& t, pp_context& ctx) override {
+    ctx.write(pp_token{t.at(0)});
+  }
+
+ private:
+  std::uint64_t threshold_;
+  std::uint64_t acc_ = 0;
+};
+
+void BM_Thm11Simulation(benchmark::State& state) {
+  const auto lambda = std::int64_t(state.range(0));
+  const bool with_aux = state.range(1) != 0;
+  const auto g = gen::hypercube(8);  // 256-vertex cluster
+  const vertex k = g.num_vertices();
+
+  pp_stream stream;
+  for (int i = 0; i < 4096; ++i) {
+    pp_main_entry e;
+    std::uint64_t sum = 0;
+    for (int a = 0; a < 3; ++a) {
+      const auto val = splitmix64(std::uint64_t(i * 3 + a)) % 40;
+      e.aux.push_back(pp_token{val});
+      sum += val;
+    }
+    e.main = pp_token{sum};
+    stream.push_back(e);
+  }
+  // with_aux=false uses an enormous threshold (no GET-AUX ever fires).
+  drill alg(with_aux ? 500 : std::uint64_t(1) << 60);
+
+  cost_ledger ledger;
+  network net(g, ledger);
+  std::vector<vertex> all(static_cast<std::size_t>(k));
+  std::iota(all.begin(), all.end(), 0);
+  cluster_comm cc(net, all, g.edges(), "c");
+
+  pp_sim_report rep;
+  for (auto _ : state) {
+    pp_instance inst;
+    inst.alg = &alg;
+    inst.segment = [&stream, k](vertex i) {
+      const std::int64_t n = std::int64_t(stream.size());
+      return pp_stream(stream.begin() + n * i / k,
+                       stream.begin() + n * (i + 1) / k);
+    };
+    rep = pp_simulate(cc, all, std::span(&inst, 1), lambda, "sim");
+  }
+  state.counters["rounds"] = double(ledger.rounds());
+  state.counters["phase1_rounds"] = double(rep.phase1_rounds);
+  state.counters["phase2_rounds"] = double(rep.phase2_rounds);
+  state.counters["hop_batches"] = double(rep.hop_batches);
+  state.counters["aux_requests"] =
+      double(rep.outputs[0].stats.aux_requests);
+  state.SetLabel(with_aux ? "with GET-AUX" : "no aux");
+}
+
+}  // namespace
+}  // namespace dcl
+
+BENCHMARK(dcl::BM_Thm11Simulation)
+    ->ArgsProduct({{1, 4, 16, 64, 256}, {0, 1}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+DCL_BENCH_MAIN("E3: Theorem 11 — lambda sweep (1 = leader, k = state passing)")

@@ -1,0 +1,50 @@
+// Quickstart: list all triangles and K4s of a random graph in the simulated
+// CONGEST model, verify against sequential ground truth, and inspect the
+// round/message ledger.
+//
+//   ./examples/quickstart [n] [avg_degree]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "baselines/sequential.hpp"
+#include "core/api/list_cliques.hpp"
+#include "graph/generators.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dcl;
+  const vertex n = argc > 1 ? vertex(std::atoi(argv[1])) : 400;
+  const double avg_deg = argc > 2 ? std::atof(argv[2]) : 14.0;
+  const auto g = gen::gnp(n, avg_deg / double(n), /*seed=*/42);
+  std::cout << "G(n=" << n << ", m=" << g.num_edges() << ")\n\n";
+
+  table t({"p", "cliques", "rounds", "messages", "decomp model rounds",
+           "levels", "dup factor"});
+  for (int p = 3; p <= 4; ++p) {
+    listing_options opt;
+    opt.p = p;
+    const auto res = list_cliques(g, opt);
+    const auto truth = baseline::sequential_listing(g, p);
+    if (!(res.cliques == truth.cliques)) {
+      std::cerr << "MISMATCH against sequential ground truth!\n";
+      return 1;
+    }
+    const double dup =
+        res.report.emitted > 0
+            ? double(res.report.emitted) /
+                  double(res.report.emitted - res.report.duplicates)
+            : 1.0;
+    t.row()
+        .cell(std::int64_t(p))
+        .cell(res.cliques.size())
+        .cell(res.report.ledger.rounds())
+        .cell(res.report.ledger.messages())
+        .cell(res.report.model_decomposition_rounds)
+        .cell(std::int64_t(res.report.levels.size()))
+        .cell(dup, 2);
+  }
+  t.print(std::cout);
+  std::cout << "\nAll outputs verified against sequential enumeration.\n";
+  return 0;
+}

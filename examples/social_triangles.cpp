@@ -1,0 +1,53 @@
+// Scenario: triangle census of a synthetic social network (planted
+// communities plus weak inter-community ties) — the "classifying
+// connections" motivation of the paper's introduction. Shows how the
+// expander decomposition isolates communities as clusters and how the
+// per-phase ledger splits the round budget.
+
+#include <iostream>
+
+#include "core/api/list_cliques.hpp"
+#include "expander/anatomy.hpp"
+#include "expander/decomposition.hpp"
+#include "graph/generators.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace dcl;
+  // 8 communities of 40 members; dense inside, sparse across.
+  const auto g = gen::planted_partition(8, 40, 0.35, 0.01, 7);
+  std::cout << "social graph: n=" << g.num_vertices()
+            << " m=" << g.num_edges() << "\n\n";
+
+  // What does the decomposition see?
+  const auto d = decompose(g);
+  const auto anatomy = build_anatomy(g, d, {.p = 3});
+  table ct({"cluster", "|V_C|", "|V-_C|", "|V*_C|", "|E-|", "phi cert"});
+  for (std::size_t i = 0; i < anatomy.size(); ++i) {
+    const auto& a = anatomy[i];
+    ct.row()
+        .cell(std::int64_t(i))
+        .cell(std::int64_t(a.v_cluster.size()))
+        .cell(std::int64_t(a.v_minus.size()))
+        .cell(std::int64_t(a.v_star.size()))
+        .cell(std::int64_t(a.e_minus.size()))
+        .cell(a.certified_phi, 3);
+  }
+  std::cout << "cluster anatomy (Figure 1 designations):\n";
+  ct.print(std::cout);
+
+  listing_options opt;
+  const auto res = list_cliques(g, opt);
+  std::cout << "\ntriangles: " << res.cliques.size()
+            << "  rounds: " << res.report.ledger.rounds()
+            << "  (decomposition model: "
+            << res.report.model_decomposition_rounds << ")\n\n";
+  std::cout << "per-phase ledger (top-level entries):\n";
+  int shown = 0;
+  for (const auto& [label, cost] : res.report.ledger.phases()) {
+    if (shown++ > 14) break;
+    std::cout << "  " << label << ": rounds=" << cost.rounds
+              << " messages=" << cost.messages << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+#pragma once
+// [DLP12] "Tri, tri again": deterministic K_p listing in the CONGESTED
+// CLIQUE in O(n^{1-2/p}) rounds (the /log n bit-packing factor is not
+// modeled). Vertices are split into x = ceil(n^{1/p}) id-range groups;
+// each vertex is responsible for one of the ~x^p = n ordered group
+// p-tuples and learns all edges between (and inside) its tuple's groups.
+// The substrate baseline of §1.3.
+
+#include "congest/cost.hpp"
+#include "graph/clique_enum.hpp"
+
+namespace dcl::baseline {
+
+struct dlp12_result {
+  clique_set cliques;
+  cost_ledger ledger;
+  std::int64_t tuples = 0;
+  std::int64_t max_edges_per_vertex = 0;
+};
+
+dlp12_result dlp12_list_cliques(const graph& g, int p);
+
+}  // namespace dcl::baseline

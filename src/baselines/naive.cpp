@@ -1,0 +1,16 @@
+#include "baselines/naive.hpp"
+
+#include "congest/network.hpp"
+
+namespace dcl::baseline {
+
+naive_result naive_central_listing(const graph& g, int p) {
+  naive_result res{clique_set(p), {}};
+  if (g.num_edges() == 0) return res;
+  network net(g, res.ledger);
+  net.charge_gather_all_edges("naive/gather");
+  res.cliques = collect_cliques(g, p);
+  return res;
+}
+
+}  // namespace dcl::baseline

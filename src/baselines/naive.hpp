@@ -1,0 +1,18 @@
+#pragma once
+// Naive CONGEST baseline: gather the whole graph at a leader over a BFS
+// forest (exact congestion accounting) and list centrally. Linear-in-m
+// rounds — the floor any nontrivial distributed algorithm must beat.
+
+#include "congest/cost.hpp"
+#include "graph/clique_enum.hpp"
+
+namespace dcl::baseline {
+
+struct naive_result {
+  clique_set cliques;
+  cost_ledger ledger;
+};
+
+naive_result naive_central_listing(const graph& g, int p);
+
+}  // namespace dcl::baseline

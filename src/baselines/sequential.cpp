@@ -1,0 +1,14 @@
+#include "baselines/sequential.hpp"
+
+namespace dcl::baseline {
+
+sequential_result sequential_listing(const graph& g, int p) {
+  const auto start = std::chrono::steady_clock::now();
+  sequential_result res{collect_cliques(g, p), 0.0};
+  res.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return res;
+}
+
+}  // namespace dcl::baseline

@@ -1,0 +1,18 @@
+#pragma once
+// Sequential exact enumeration with wall-clock timing — the ground truth
+// and the zero-communication reference point.
+
+#include <chrono>
+
+#include "graph/clique_enum.hpp"
+
+namespace dcl::baseline {
+
+struct sequential_result {
+  clique_set cliques;
+  double seconds = 0.0;
+};
+
+sequential_result sequential_listing(const graph& g, int p);
+
+}  // namespace dcl::baseline

@@ -1,0 +1,36 @@
+#include "congest/congested_clique.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace dcl {
+
+congested_clique::congested_clique(vertex n, cost_ledger& ledger)
+    : n_(n), ledger_(&ledger) {
+  DCL_EXPECTS(n >= 2, "congested clique needs at least two vertices");
+}
+
+std::vector<message> congested_clique::exchange(std::vector<message> msgs,
+                                                std::string_view phase) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(msgs.size());
+  for (const auto& m : msgs) {
+    DCL_EXPECTS(m.src >= 0 && m.src < n_ && m.dst >= 0 && m.dst < n_ &&
+                    m.src != m.dst,
+                "invalid clique message endpoints");
+    keys.push_back((std::uint64_t(std::uint32_t(m.src)) << 32) |
+                   std::uint32_t(m.dst));
+  }
+  std::sort(keys.begin(), keys.end());
+  std::int64_t rounds = 0, run = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    run = (i > 0 && keys[i] == keys[i - 1]) ? run + 1 : 1;
+    rounds = std::max(rounds, run);
+  }
+  ledger_->charge(phase, rounds, std::int64_t(msgs.size()));
+  std::sort(msgs.begin(), msgs.end(), message_order);
+  return msgs;
+}
+
+}  // namespace dcl

@@ -1,0 +1,33 @@
+#pragma once
+// CONGESTED CLIQUE model: n vertices, all-to-all communication, one
+// O(log n)-bit message per ordered pair per round. Substrate for the
+// [DLP12] deterministic K_p listing baseline (§1.3).
+
+#include <vector>
+
+#include "congest/cost.hpp"
+#include "congest/message.hpp"
+#include "graph/graph.hpp"
+
+namespace dcl {
+
+class congested_clique {
+ public:
+  congested_clique(vertex n, cost_ledger& ledger);
+
+  vertex size() const { return n_; }
+  cost_ledger& ledger() { return *ledger_; }
+
+  /// Delivers an arbitrary point-to-point batch. In one round every ordered
+  /// pair can carry one message, so a batch is feasible in r rounds iff each
+  /// ordered pair carries at most r messages; r = max pair multiplicity
+  /// (exact, by scheduling each pair's messages in successive rounds).
+  std::vector<message> exchange(std::vector<message> msgs,
+                                std::string_view phase);
+
+ private:
+  vertex n_;
+  cost_ledger* ledger_;
+};
+
+}  // namespace dcl

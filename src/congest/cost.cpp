@@ -1,0 +1,50 @@
+#include "congest/cost.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace dcl {
+
+void cost_ledger::charge(std::string_view phase, std::int64_t rounds,
+                         std::int64_t messages) {
+  DCL_EXPECTS(rounds >= 0 && messages >= 0, "negative cost");
+  total_.rounds += rounds;
+  total_.messages += messages;
+  auto it = phases_.find(phase);
+  if (it == phases_.end())
+    it = phases_.emplace(std::string(phase), phase_cost{}).first;
+  it->second.rounds += rounds;
+  it->second.messages += messages;
+}
+
+void cost_ledger::merge_sequential(const cost_ledger& other) {
+  total_.rounds += other.total_.rounds;
+  total_.messages += other.total_.messages;
+  for (const auto& [label, cost] : other.phases_) {
+    auto& mine = phases_[label];
+    mine.rounds += cost.rounds;
+    mine.messages += cost.messages;
+  }
+}
+
+void cost_ledger::merge_parallel(const cost_ledger& other) {
+  total_.rounds = std::max(total_.rounds, other.total_.rounds);
+  total_.messages += other.total_.messages;
+  for (const auto& [label, cost] : other.phases_) {
+    auto& mine = phases_[label];
+    mine.rounds = std::max(mine.rounds, cost.rounds);
+    mine.messages += cost.messages;
+  }
+}
+
+void cost_ledger::print(std::ostream& os) const {
+  os << "total: rounds=" << total_.rounds << " messages=" << total_.messages
+     << '\n';
+  for (const auto& [label, cost] : phases_) {
+    os << "  " << label << ": rounds=" << cost.rounds
+       << " messages=" << cost.messages << '\n';
+  }
+}
+
+}  // namespace dcl

@@ -1,0 +1,49 @@
+#pragma once
+// Round/message accounting. Every communication primitive charges into a
+// cost_ledger; benchmarks read per-phase breakdowns from here. Rounds are
+// the CONGEST model's figure of merit: one O(log n)-bit message per directed
+// edge per round.
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace dcl {
+
+struct phase_cost {
+  std::int64_t rounds = 0;
+  std::int64_t messages = 0;
+};
+
+class cost_ledger {
+ public:
+  /// Adds `rounds`/`messages` under the given phase label (sequential
+  /// composition: totals accumulate).
+  void charge(std::string_view phase, std::int64_t rounds,
+              std::int64_t messages);
+
+  /// Sequential merge: component-wise addition of totals and phases.
+  void merge_sequential(const cost_ledger& other);
+
+  /// Parallel merge: rounds take the max (the slower branch gates the
+  /// algorithm), messages add. Phase breakdowns also take max/add.
+  void merge_parallel(const cost_ledger& other);
+
+  std::int64_t rounds() const { return total_.rounds; }
+  std::int64_t messages() const { return total_.messages; }
+
+  /// Deterministically ordered (by label) per-phase breakdown.
+  const std::map<std::string, phase_cost, std::less<>>& phases() const {
+    return phases_;
+  }
+
+  void print(std::ostream& os) const;
+
+ private:
+  phase_cost total_;
+  std::map<std::string, phase_cost, std::less<>> phases_;
+};
+
+}  // namespace dcl

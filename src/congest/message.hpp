@@ -1,0 +1,32 @@
+#pragma once
+// One CONGEST message: O(log n) bits. The payload holds a small tag plus two
+// words — enough for an edge (two vertex ids) or a (key, value) pair, which
+// is exactly what the paper's algorithms ship per message.
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace dcl {
+
+struct message {
+  vertex src = -1;
+  vertex dst = -1;
+  std::uint32_t tag = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+
+  friend bool operator==(const message&, const message&) = default;
+};
+
+/// Deterministic receiver-side ordering: by destination, then source, then
+/// payload, so vertex-local processing never depends on container order.
+inline bool message_order(const message& x, const message& y) {
+  if (x.dst != y.dst) return x.dst < y.dst;
+  if (x.src != y.src) return x.src < y.src;
+  if (x.tag != y.tag) return x.tag < y.tag;
+  if (x.a != y.a) return x.a < y.a;
+  return x.b < y.b;
+}
+
+}  // namespace dcl

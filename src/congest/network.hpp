@@ -1,0 +1,46 @@
+#pragma once
+// Single-hop CONGEST exchange on the edges of a graph, with exact round
+// accounting: a batch of point-to-point messages over existing edges needs
+// exactly max_{directed edge e} (#messages on e) rounds.
+
+#include <vector>
+
+#include "congest/cost.hpp"
+#include "congest/message.hpp"
+#include "graph/graph.hpp"
+
+namespace dcl {
+
+class network {
+ public:
+  /// The network aliases `g` and `ledger`; both must outlive it.
+  network(const graph& g, cost_ledger& ledger);
+
+  const graph& topology() const { return *g_; }
+  cost_ledger& ledger() { return *ledger_; }
+
+  /// Delivers a batch of one-hop messages. Every (src, dst) must be an edge.
+  /// Charges rounds = max per-directed-edge multiplicity. The returned batch
+  /// is in deterministic receiver order.
+  std::vector<message> exchange(std::vector<message> msgs,
+                                std::string_view phase);
+
+  /// Analytic charge for costs known in closed form (tree pipelining etc.).
+  void charge(std::string_view phase, std::int64_t rounds,
+              std::int64_t messages);
+
+  /// Cost of gathering one message per edge to a per-component leader along
+  /// BFS trees (exact tree congestion: max over tree edges of the number of
+  /// messages crossing it, plus pipelining depth). Used by the base-case
+  /// fallback that collects a small residual graph centrally.
+  std::int64_t charge_gather_all_edges(std::string_view phase);
+
+ private:
+  const graph* g_;
+  cost_ledger* ledger_;
+};
+
+/// Computes the exact round cost of a one-hop batch (exposed for tests).
+std::int64_t one_hop_rounds(const std::vector<message>& msgs);
+
+}  // namespace dcl

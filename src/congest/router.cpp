@@ -1,0 +1,219 @@
+#include "congest/router.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "graph/algorithms.hpp"
+#include "support/check.hpp"
+#include "support/prng.hpp"
+
+namespace dcl {
+
+namespace {
+
+/// Directed edge id of (u -> v): position of v within u's adjacency list,
+/// offset by the CSR prefix. Requires the edge to exist.
+std::int64_t directed_edge_id(const graph& g, vertex u, vertex v,
+                              const std::vector<std::int64_t>& offsets) {
+  const auto nb = g.neighbors(u);
+  const auto it = std::lower_bound(nb.begin(), nb.end(), v);
+  DCL_ENSURE(it != nb.end() && *it == v, "routing across a non-edge");
+  return offsets[size_t(u)] + (it - nb.begin());
+}
+
+}  // namespace
+
+cluster_router::cluster_router(const graph& cluster, int num_trees)
+    : g_(&cluster) {
+  DCL_EXPECTS(num_trees >= 1, "need at least one tree");
+  DCL_EXPECTS(cluster.num_vertices() >= 1, "empty cluster");
+  const vertex n = cluster.num_vertices();
+  if (n == 1) return;  // no routing possible or needed
+  DCL_EXPECTS(connected_components(cluster).count == 1,
+              "cluster_router requires a connected cluster");
+
+  // Root selection: first root is the max-degree vertex (ties: min id);
+  // each subsequent root maximizes distance to the previous roots (a
+  // deterministic farthest-point spread), tie-broken by degree then id.
+  std::vector<vertex> roots;
+  {
+    vertex best = 0;
+    for (vertex v = 1; v < n; ++v)
+      if (cluster.degree(v) > cluster.degree(best)) best = v;
+    roots.push_back(best);
+  }
+  std::vector<std::int32_t> min_dist(size_t(n),
+                                     std::numeric_limits<std::int32_t>::max());
+  const int want = std::min<int>(num_trees, int(n));
+  while (int(roots.size()) < want) {
+    const auto t = bfs_from(cluster, roots.back());
+    for (vertex v = 0; v < n; ++v)
+      min_dist[size_t(v)] = std::min(min_dist[size_t(v)], t.dist[size_t(v)]);
+    vertex best = -1;
+    for (vertex v = 0; v < n; ++v) {
+      if (std::find(roots.begin(), roots.end(), v) != roots.end()) continue;
+      if (best == -1 || min_dist[size_t(v)] > min_dist[size_t(best)] ||
+          (min_dist[size_t(v)] == min_dist[size_t(best)] &&
+           cluster.degree(v) > cluster.degree(best)))
+        best = v;
+    }
+    if (best == -1) break;
+    roots.push_back(best);
+  }
+  for (vertex r : roots) {
+    const auto t = bfs_from(cluster, r);
+    parents_.push_back(t.parent);
+    depths_.push_back(t.dist);
+    max_depth_ = std::max(max_depth_, t.depth);
+  }
+}
+
+std::vector<vertex> cluster_router::tree_path(int t, vertex src,
+                                              vertex dst) const {
+  const auto& parent = parents_[size_t(t)];
+  const auto& depth = depths_[size_t(t)];
+  std::vector<vertex> up, down;
+  vertex a = src, b = dst;
+  while (depth[size_t(a)] > depth[size_t(b)]) {
+    up.push_back(a);
+    a = parent[size_t(a)];
+  }
+  while (depth[size_t(b)] > depth[size_t(a)]) {
+    down.push_back(b);
+    b = parent[size_t(b)];
+  }
+  while (a != b) {
+    up.push_back(a);
+    a = parent[size_t(a)];
+    down.push_back(b);
+    b = parent[size_t(b)];
+  }
+  up.push_back(a);  // the LCA
+  up.insert(up.end(), down.rbegin(), down.rend());
+  return up;
+}
+
+route_stats cluster_router::route(std::span<const message> msgs,
+                                  std::vector<message>* delivered) {
+  route_stats stats;
+  const graph& g = *g_;
+  const vertex n = g.num_vertices();
+  std::vector<message> done;
+
+  // CSR offsets for directed edge ids.
+  std::vector<std::int64_t> offsets(size_t(n) + 1, 0);
+  for (vertex v = 0; v < n; ++v)
+    offsets[size_t(v) + 1] = offsets[size_t(v)] + g.degree(v);
+  const std::int64_t num_dir_edges = offsets[size_t(n)];
+
+  // Assign each message a tree and materialize its edge-id path.
+  struct in_flight {
+    std::vector<std::int64_t> path;  // directed edge ids
+    std::size_t next = 0;
+    message msg;
+  };
+  std::vector<in_flight> flights;
+  flights.reserve(msgs.size());
+  std::vector<std::int64_t> edge_load(size_t(num_dir_edges), 0);
+  std::vector<std::int64_t> tree_load(parents_.size(), 0);
+  for (const auto& m : msgs) {
+    DCL_EXPECTS(m.src >= 0 && m.src < n && m.dst >= 0 && m.dst < n,
+                "route endpoint out of local range");
+    if (m.src == m.dst) {
+      done.push_back(m);  // local delivery, free
+      continue;
+    }
+    // Candidate trees: shortest path length, within slack 2 of the best.
+    int best_len = std::numeric_limits<int>::max();
+    std::vector<int> lens(parents_.size());
+    for (int t = 0; t < int(parents_.size()); ++t) {
+      const auto& depth = depths_[size_t(t)];
+      // Path length upper bound via depths (exact requires LCA; use the
+      // cheap bound for candidate filtering, exact path computed after).
+      lens[size_t(t)] =
+          depth[size_t(m.src)] + depth[size_t(m.dst)];
+      best_len = std::min(best_len, lens[size_t(t)]);
+    }
+    std::vector<int> candidates;
+    for (int t = 0; t < int(parents_.size()); ++t)
+      if (lens[size_t(t)] <= best_len + 2) candidates.push_back(t);
+    // Least-loaded candidate tree; deterministic hash tie-break spreads
+    // equal-load choices.
+    int chosen = candidates[0];
+    for (int t : candidates) {
+      if (tree_load[size_t(t)] < tree_load[size_t(chosen)] ||
+          (tree_load[size_t(t)] == tree_load[size_t(chosen)] &&
+           (hash_pair(std::uint64_t(std::uint32_t(m.src)) + std::uint64_t(t),
+                      std::uint64_t(std::uint32_t(m.dst))) &
+            1) != 0))
+        chosen = t;
+    }
+    in_flight f;
+    f.msg = m;
+    const auto path = tree_path(chosen, m.src, m.dst);
+    f.path.reserve(path.size() - 1);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const auto eid = directed_edge_id(g, path[i], path[i + 1], offsets);
+      f.path.push_back(eid);
+      ++edge_load[size_t(eid)];
+    }
+    stats.messages += std::int64_t(f.path.size());
+    stats.max_path = std::max(stats.max_path, std::int64_t(f.path.size()));
+    tree_load[size_t(chosen)] += std::int64_t(f.path.size());
+    flights.push_back(std::move(f));
+  }
+  for (std::int64_t l : edge_load)
+    stats.max_edge_load = std::max(stats.max_edge_load, l);
+
+  // Synchronous store-and-forward: per round each directed edge forwards the
+  // front of its FIFO queue. Arrivals are buffered so a message moves at
+  // most one hop per round.
+  std::vector<std::deque<std::int32_t>> queue(static_cast<std::size_t>(num_dir_edges));
+  std::vector<std::int64_t> active;  // edges with non-empty queues
+  auto enqueue = [&](std::int64_t eid, std::int32_t flight_idx) {
+    if (queue[size_t(eid)].empty()) active.push_back(eid);
+    queue[size_t(eid)].push_back(flight_idx);
+  };
+  for (std::int32_t i = 0; i < std::int32_t(flights.size()); ++i)
+    enqueue(flights[size_t(i)].path[0], i);
+
+  std::int64_t remaining = std::int64_t(flights.size());
+  while (remaining > 0) {
+    ++stats.rounds;
+    std::vector<std::pair<std::int64_t, std::int32_t>> arrivals;
+    std::vector<std::int64_t> still_active;
+    std::sort(active.begin(), active.end());  // deterministic edge order
+    active.erase(std::unique(active.begin(), active.end()), active.end());
+    for (std::int64_t eid : active) {
+      auto& q = queue[size_t(eid)];
+      if (q.empty()) continue;
+      const std::int32_t fi = q.front();
+      q.pop_front();
+      auto& f = flights[size_t(fi)];
+      ++f.next;
+      if (f.next == f.path.size()) {
+        done.push_back(f.msg);
+        --remaining;
+      } else {
+        arrivals.emplace_back(f.path[f.next], fi);
+      }
+      if (!q.empty()) still_active.push_back(eid);
+    }
+    for (const auto& [eid, fi] : arrivals) {
+      if (queue[size_t(eid)].empty()) still_active.push_back(eid);
+      queue[size_t(eid)].push_back(fi);
+    }
+    active = std::move(still_active);
+    DCL_ENSURE(!active.empty() || remaining == 0,
+               "router stalled with undelivered messages");
+  }
+
+  if (delivered != nullptr) {
+    std::sort(done.begin(), done.end(), message_order);
+    delivered->insert(delivered->end(), done.begin(), done.end());
+  }
+  return stats;
+}
+
+}  // namespace dcl

@@ -1,0 +1,50 @@
+#pragma once
+// Multi-hop routing inside a high-conductance cluster — the implemented
+// stand-in for the deterministic expander routing of [CS20, Thm 6] (see
+// DESIGN.md §2). Messages travel along a small set of BFS trees; delivery is
+// simulated synchronously, one message per directed edge per round, so the
+// returned round count is a *measured* CONGEST cost, not a model.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "congest/message.hpp"
+#include "graph/graph.hpp"
+
+namespace dcl {
+
+struct route_stats {
+  std::int64_t rounds = 0;        ///< simulated synchronous rounds
+  std::int64_t messages = 0;      ///< total hop-messages (sum of path lengths)
+  std::int64_t max_path = 0;      ///< longest path among routed messages
+  std::int64_t max_edge_load = 0; ///< max messages assigned to one directed edge
+};
+
+class cluster_router {
+ public:
+  /// `cluster` must be connected; vertices are the cluster's local ids.
+  /// `num_trees` BFS trees are rooted at deterministically chosen,
+  /// well-spread, high-degree vertices.
+  explicit cluster_router(const graph& cluster, int num_trees = 8);
+
+  /// Routes a batch of point-to-point messages (local ids). Appends the
+  /// delivered messages to `delivered` in deterministic receiver order and
+  /// returns the measured cost of the batch.
+  route_stats route(std::span<const message> msgs,
+                    std::vector<message>* delivered);
+
+  std::int32_t tree_depth() const { return max_depth_; }
+  int num_trees() const { return int(parents_.size()); }
+
+ private:
+  /// Full tree path src -> ... -> dst through the LCA in tree t.
+  std::vector<vertex> tree_path(int t, vertex src, vertex dst) const;
+
+  const graph* g_;
+  std::vector<std::vector<vertex>> parents_;       // per tree
+  std::vector<std::vector<std::int32_t>> depths_;  // per tree
+  std::int32_t max_depth_ = 0;
+};
+
+}  // namespace dcl

@@ -1,0 +1,19 @@
+#include "core/api/list_cliques.hpp"
+
+#include "support/check.hpp"
+
+namespace dcl {
+
+clique_listing_result list_cliques(const graph& g,
+                                   const listing_options& opt) {
+  DCL_EXPECTS(opt.p >= 3 && opt.p <= 6, "supported clique sizes: 3..6");
+  clique_listing_result res{clique_set(opt.p), {}};
+  if (opt.p == 3) {
+    res.cliques = list_triangles_congest(g, opt, &res.report);
+  } else {
+    res.cliques = list_kp_congest(g, opt, &res.report);
+  }
+  return res;
+}
+
+}  // namespace dcl

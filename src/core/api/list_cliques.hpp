@@ -1,0 +1,30 @@
+#pragma once
+// Public facade of the library: deterministic near-optimal distributed
+// clique listing (Censor-Hillel, Leitersdorf, Vulakh — PODC 2022).
+//
+//   #include "core/api/list_cliques.hpp"
+//   dcl::listing_options opt;
+//   opt.p = 3;                             // clique size (3..6)
+//   auto res = dcl::list_cliques(graph, opt);
+//   res.cliques    — every K_p, exactly once, as sorted tuples
+//   res.report     — simulated CONGEST rounds/messages, per-phase ledger,
+//                    per-level recursion stats, CS20-model charges
+//
+// The options select the load-balancing engine (the paper's deterministic
+// partition trees, the randomized baseline, or the unbalanced id-range
+// baseline) — see core/listing/driver.hpp.
+
+#include "core/listing/driver.hpp"
+
+namespace dcl {
+
+struct clique_listing_result {
+  clique_set cliques;
+  listing_report report;
+};
+
+/// Lists all K_p of g in the simulated CONGEST model. p in [3, 6].
+clique_listing_result list_cliques(const graph& g,
+                                   const listing_options& opt);
+
+}  // namespace dcl

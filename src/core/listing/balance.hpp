@@ -1,0 +1,41 @@
+#pragma once
+// In-cluster load-balancing primitives of §4.1:
+//
+//  * amplified_allgather — Lemma 19: O(k^{2/3}) numbered items, each known
+//    to one pool vertex, become known to all pool vertices via amplifier
+//    chains (two routed phases, each item first fanned out to its chain,
+//    then fanned from chain members to their assigned vertices).
+//
+//  * degree_balanced_assignment — Lemma 20: M numbered items are assigned
+//    to pool vertices so that every receiver v gets O(deg_C(v)/μ) items and
+//    only vertices of at least half-average communication degree (V*_C)
+//    receive any. Internally runs Algorithm 1 through the Theorem 11
+//    simulation, then routes the interval tokens, the item requests and the
+//    item replies.
+//
+// Both charge their measured communication into the cluster ledger.
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "congest/cluster_comm.hpp"
+
+namespace dcl {
+
+/// Lemma 19. `holder[i]` is the pool index initially knowing item i.
+/// After the call every pool vertex knows every item (data visibility is
+/// the caller's bookkeeping; this simulates and charges the traffic).
+void amplified_allgather(cluster_comm& cc, std::span<const vertex> pool,
+                         std::span<const vertex> holder,
+                         std::string_view phase);
+
+/// Lemma 20. `comm_deg[i]` is deg_C of pool vertex i; `holder[j]` the pool
+/// index initially knowing item j. Returns the pool index assigned to each
+/// item. Every item is assigned; receivers satisfy the V*_C degree test.
+std::vector<vertex> degree_balanced_assignment(
+    cluster_comm& cc, std::span<const vertex> pool,
+    std::span<const std::int64_t> comm_deg, std::span<const vertex> holder,
+    std::string_view phase);
+
+}  // namespace dcl

@@ -1,0 +1,2 @@
+// clique_collector is header-only; this unit anchors the target.
+#include "core/listing/collector.hpp"

@@ -1,0 +1,41 @@
+#pragma once
+// Clique collection with duplication accounting. The paper's listing
+// semantics require every clique to be output by at least one vertex;
+// several listers may emit the same clique, so the collector normalizes at
+// the end and reports the duplication factor as a quality metric.
+
+#include <cstdint>
+
+#include "graph/clique_enum.hpp"
+
+namespace dcl {
+
+class clique_collector {
+ public:
+  explicit clique_collector(int p) : set_(p) {}
+
+  int arity() const { return set_.arity(); }
+
+  void emit(std::span<const vertex> clique) {
+    set_.add(clique);
+    ++emitted_;
+  }
+
+  std::int64_t emitted() const { return emitted_; }
+
+  /// Deduplicates; afterwards duplicates() reports how many emissions were
+  /// redundant.
+  clique_set finalize() {
+    duplicates_ = set_.normalize();
+    return set_;
+  }
+
+  std::int64_t duplicates() const { return duplicates_; }
+
+ private:
+  clique_set set_;
+  std::int64_t emitted_ = 0;
+  std::int64_t duplicates_ = 0;
+};
+
+}  // namespace dcl

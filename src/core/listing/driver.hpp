@@ -1,0 +1,66 @@
+#pragma once
+// Top-level recursion drivers:
+//   Lemma 33 / Theorem 32 — deterministic triangle listing, n^{1/3+o(1)};
+//   Lemma 38 / Theorem 36 — deterministic K_p listing (p >= 4), n^{1-2/p+o(1)}.
+//
+// Per level: expander-decompose the residual graph, derive cluster anatomy,
+// list within clusters (in parallel — cluster ledgers merge with max-rounds
+// semantics), retire the fully-processed E− edges, recurse on the rest.
+// Lemma 8 bounds the residual to a constant fraction, giving logarithmic
+// depth; a gather-to-leader fallback guarantees unconditional progress on
+// degenerate inputs (DESIGN.md §2.6 — it never fires on benchmark families,
+// and the report records if it did).
+
+#include <vector>
+
+#include "congest/cost.hpp"
+#include "core/listing/k3_cluster.hpp"
+#include "graph/clique_enum.hpp"
+
+namespace dcl {
+
+struct listing_options {
+  int p = 3;
+  lb_engine engine = lb_engine::deterministic;
+  std::uint64_t seed = 0;      ///< used only by the randomized engine
+  double epsilon = 0.0;        ///< 0 → 1/18 (p != 4) or 1/12 (p = 4)
+  double beta = 2.0;           ///< V−_C degree threshold factor (p >= 4)
+  double gamma = 12.0;         ///< overloaded-cluster threshold (p >= 4)
+  int max_levels = 64;
+  std::int64_t base_case_edges = 64;  ///< gather centrally below this
+};
+
+struct level_stats {
+  std::int64_t edges_before = 0;
+  std::int64_t edges_removed = 0;
+  std::int64_t clusters = 0;
+  std::int64_t clusters_listed = 0;
+  std::int64_t deferred_clusters = 0;  ///< overloaded (p >= 4 only)
+  std::int64_t bad_vertices = 0;       ///< Σ |S_C| (p >= 4 only)
+  std::int64_t low_degree_targets = 0;
+};
+
+struct listing_report {
+  cost_ledger ledger;  ///< simulated rounds/messages (levels sequential,
+                       ///< clusters within a level parallel)
+  std::int64_t model_decomposition_rounds = 0;  ///< CS20-formula charge,
+                                                ///< reported separately
+  std::vector<level_stats> levels;
+  std::int64_t emitted = 0;
+  std::int64_t duplicates = 0;
+  bool used_fallback = false;
+  /// max over clusters of the Thm 6 per-vertex load L (see
+  /// cluster_listing_stats::max_normalized_load).
+  double max_normalized_load = 0.0;
+};
+
+/// Theorem 32. Lists all triangles of g; output equals the sequential
+/// ground truth exactly (tested property).
+clique_set list_triangles_congest(const graph& g, const listing_options& opt,
+                                  listing_report* report = nullptr);
+
+/// Theorem 36 (unified driver for p >= 4; see DESIGN.md §2.4 on K4).
+clique_set list_kp_congest(const graph& g, const listing_options& opt,
+                           listing_report* report = nullptr);
+
+}  // namespace dcl

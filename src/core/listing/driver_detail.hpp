@@ -1,0 +1,19 @@
+#pragma once
+// Internal helpers shared by the K3 and K_p recursion drivers.
+
+#include "congest/cost.hpp"
+#include "core/listing/collector.hpp"
+#include "graph/graph.hpp"
+
+namespace dcl::detail {
+
+/// Gathers the residual graph at a per-component leader (exact tree-
+/// congestion charge) and lists centrally. The unconditional-correctness
+/// fallback of DESIGN.md §2.6.
+void central_fallback(const graph& cur, int p, clique_collector& out,
+                      cost_ledger& ledger);
+
+/// The graph minus a sorted, deduplicated list of removed edges.
+graph remove_edges(const graph& cur, const edge_list& removed);
+
+}  // namespace dcl::detail

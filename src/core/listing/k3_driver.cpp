@@ -1,0 +1,126 @@
+#include <algorithm>
+
+#include "core/listing/driver.hpp"
+#include "core/listing/driver_detail.hpp"
+#include "congest/network.hpp"
+#include "expander/cost_model.hpp"
+#include "expander/decomposition.hpp"
+#include "support/check.hpp"
+#include "support/prng.hpp"
+
+namespace dcl {
+
+namespace detail {
+
+/// Shared base-case fallback: gather the residual graph at a per-component
+/// leader (cost charged exactly) and list centrally.
+void central_fallback(const graph& cur, int p, clique_collector& out,
+                      cost_ledger& ledger) {
+  network net(cur, ledger);
+  net.charge_gather_all_edges("fallback/gather");
+  for_each_clique(cur, p,
+                  [&](std::span<const vertex> c) { out.emit(c); });
+}
+
+graph remove_edges(const graph& cur, const edge_list& removed) {
+  edge_list next;
+  next.reserve(cur.edges().size() - removed.size());
+  std::size_t ri = 0;
+  for (const auto& e : cur.edges()) {
+    while (ri < removed.size() && removed[ri] < e) ++ri;
+    if (ri < removed.size() && removed[ri] == e) continue;
+    next.push_back(e);
+  }
+  return graph(cur.num_vertices(), next);
+}
+
+}  // namespace detail
+
+clique_set list_triangles_congest(const graph& g, const listing_options& opt,
+                                  listing_report* report) {
+  DCL_EXPECTS(opt.p == 3, "use list_kp_congest for p >= 4");
+  DCL_EXPECTS(opt.epsilon < 1.0,
+              "epsilon must be below 1 (0 selects the default)");
+  listing_report local_report;
+  listing_report& rep = report != nullptr ? *report : local_report;
+  rep = listing_report{};
+
+  clique_collector out(3);
+  const double epsilon = opt.epsilon > 0 ? opt.epsilon : 1.0 / 18.0;
+  graph cur = g;
+  bool done = false;
+
+  for (int level = 0; level < opt.max_levels && !done; ++level) {
+    if (cur.num_edges() == 0) {
+      done = true;
+      break;
+    }
+    level_stats ls;
+    ls.edges_before = cur.num_edges();
+
+    if (cur.num_edges() <= opt.base_case_edges) {
+      detail::central_fallback(cur, 3, out, rep.ledger);
+      rep.levels.push_back(ls);
+      done = true;
+      break;
+    }
+
+    decomposition_options dopt;
+    dopt.epsilon = epsilon;
+    const auto d = decompose(cur, dopt);
+    rep.model_decomposition_rounds +=
+        cs20_decomposition_rounds(cur.num_vertices(), epsilon);
+    const auto anatomy = build_anatomy(cur, d, {.p = 3});
+    ls.clusters = std::int64_t(anatomy.size());
+
+    cost_ledger level_ledger;
+    edge_list removed;
+    for (std::size_t ci = 0; ci < anatomy.size(); ++ci) {
+      const auto& a = anatomy[ci];
+      if (a.e_minus.empty()) continue;
+      cost_ledger cluster_ledger;
+      network net_c(cur, cluster_ledger);
+      const auto cstats =
+          list_k3_in_cluster(net_c, cur, a, opt.engine,
+                             splitmix64(opt.seed + ci), out,
+                             "cluster" + std::to_string(ci));
+      rep.max_normalized_load =
+          std::max(rep.max_normalized_load, cstats.max_normalized_load);
+      level_ledger.merge_parallel(cluster_ledger);
+      removed.insert(removed.end(), a.e_minus.begin(), a.e_minus.end());
+      ++ls.clusters_listed;
+      ls.low_degree_targets +=
+          std::int64_t(a.v_cluster.size() - a.v_minus.size());
+    }
+    rep.ledger.merge_sequential(level_ledger);
+
+    std::sort(removed.begin(), removed.end());
+    removed.erase(std::unique(removed.begin(), removed.end()),
+                  removed.end());
+    ls.edges_removed = std::int64_t(removed.size());
+    rep.levels.push_back(ls);
+
+    if (removed.empty()) {
+      // No progress possible through the decomposition (degenerate input);
+      // fall back to central listing of the residual graph.
+      detail::central_fallback(cur, 3, out, rep.ledger);
+      rep.used_fallback = true;
+      done = true;
+      break;
+    }
+    cur = detail::remove_edges(cur, removed);
+    if (cur.num_edges() == 0) done = true;
+  }
+  if (!done && cur.num_edges() > 0) {
+    // Level budget exhausted: unconditional correctness via the fallback.
+    detail::central_fallback(cur, 3, out, rep.ledger);
+    rep.used_fallback = true;
+  }
+
+  auto result = out.finalize();
+  rep.emitted = out.emitted();
+  rep.duplicates = out.duplicates();
+  return result;
+}
+
+}  // namespace dcl

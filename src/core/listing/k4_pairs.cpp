@@ -1,0 +1,141 @@
+#include "core/listing/k4_pairs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "support/check.hpp"
+#include "support/math_util.hpp"
+
+namespace dcl {
+
+decomposition_cover build_cover(const graph& g, double epsilon, double beta,
+                                int max_iterations) {
+  DCL_EXPECTS(epsilon > 0.0 && epsilon < 1.0, "epsilon in (0,1)");
+  decomposition_cover cover;
+  graph cur = g;
+  for (int it = 0; it < max_iterations; ++it) {
+    if (cur.num_edges() == 0) break;
+    decomposition_options dopt;
+    dopt.epsilon = epsilon;
+    const auto d = decompose(cur, dopt);
+    auto anatomy = build_anatomy(cur, d, {.p = 4, .beta = beta});
+
+    // The next iteration recurses on edges outside every E(V∘, V∘)
+    // (E_rem of §6.2).
+    edge_list retired;
+    for (const auto& a : anatomy) {
+      retired.insert(retired.end(), a.e_minus.begin(), a.e_minus.end());
+      cover.clusters.push_back(a);
+      cover.iteration.push_back(it);
+    }
+    cover.iterations = it + 1;
+    std::sort(retired.begin(), retired.end());
+    retired.erase(std::unique(retired.begin(), retired.end()),
+                  retired.end());
+    if (retired.empty()) break;  // no progress: cover is complete enough
+    edge_list next;
+    std::size_t ri = 0;
+    for (const auto& e : cur.edges()) {
+      while (ri < retired.size() && retired[ri] < e) ++ri;
+      if (ri < retired.size() && retired[ri] == e) continue;
+      next.push_back(e);
+    }
+    cur = graph(cur.num_vertices(), next);
+  }
+
+  // Lemma 46 quantities.
+  std::map<edge, std::int64_t> edge_count;
+  std::vector<std::int64_t> vminus_count(size_t(g.num_vertices()), 0);
+  for (const auto& a : cover.clusters) {
+    for (const auto& e : a.e_cluster) ++edge_count[e];
+    for (vertex v : a.v_minus) ++vminus_count[size_t(v)];
+  }
+  for (const auto& [e, c] : edge_count)
+    cover.max_clusters_per_edge = std::max(cover.max_clusters_per_edge, c);
+  for (auto c : vminus_count)
+    cover.max_vminus_per_vertex = std::max(cover.max_vminus_per_vertex, c);
+  return cover;
+}
+
+pair_classification classify_pair(const graph& g, const cluster_anatomy& c,
+                                  const cluster_anatomy& c_star) {
+  pair_classification out;
+  const auto sqrt_n = std::int64_t(std::ceil(
+      std::sqrt(double(g.num_vertices()))));
+  std::vector<bool> in_vm_c(size_t(g.num_vertices()), false);
+  std::vector<bool> in_vm_cs(size_t(g.num_vertices()), false);
+  for (vertex v : c.v_minus) in_vm_c[size_t(v)] = true;
+  for (vertex v : c_star.v_minus) in_vm_cs[size_t(v)] = true;
+
+  for (vertex u : c_star.v_minus) {
+    std::int64_t into_c = 0, into_cs = 0;
+    for (vertex w : g.neighbors(u)) {
+      if (in_vm_c[size_t(w)]) ++into_c;
+      if (in_vm_cs[size_t(w)]) ++into_cs;
+    }
+    if (into_c >= 1 && into_c * sqrt_n < into_cs)
+      out.s_star.push_back(u);
+  }
+  std::vector<bool> in_sstar(size_t(g.num_vertices()), false);
+  for (vertex u : out.s_star) in_sstar[size_t(u)] = true;
+  for (vertex v : c.v_minus) {
+    std::int64_t cnt = 0;
+    for (vertex w : g.neighbors(v))
+      if (in_sstar[size_t(w)]) ++cnt;
+    if (cnt > sqrt_n) out.s_bad.push_back(v);
+  }
+  return out;
+}
+
+pair_stats analyze_pairs(const graph& g, const decomposition_cover& cover) {
+  pair_stats stats;
+  // Σ over C of deg_{S_{C→C*}}(v), per (C*, v).
+  std::map<std::pair<std::size_t, vertex>, std::int64_t> lemma48_sum;
+
+  for (std::size_t cs = 0; cs < cover.clusters.size(); ++cs) {
+    const auto& c_star = cover.clusters[cs];
+    if (c_star.v_minus.empty()) continue;
+    std::int64_t max_s_bad_here = 0;
+    for (std::size_t ci = 0; ci < cover.clusters.size(); ++ci) {
+      if (ci == cs || cover.iteration[ci] != 0) continue;  // C ranges over
+      const auto& c = cover.clusters[ci];                  // the top level
+      if (c.v_minus.empty()) continue;
+      const auto cls = classify_pair(g, c, c_star);
+      ++stats.pairs_checked;
+      stats.max_s_star = std::max(stats.max_s_star,
+                                  std::int64_t(cls.s_star.size()));
+      stats.max_s_bad = std::max(stats.max_s_bad,
+                                 std::int64_t(cls.s_bad.size()));
+      max_s_bad_here = std::max(max_s_bad_here,
+                                std::int64_t(cls.s_bad.size()));
+      if (!cls.s_bad.empty()) {
+        std::vector<bool> bad(size_t(g.num_vertices()), false);
+        for (vertex v : cls.s_bad) bad[size_t(v)] = true;
+        for (vertex u : c_star.v_minus) {
+          std::int64_t into_bad = 0;
+          for (vertex w : g.neighbors(u))
+            if (bad[size_t(w)]) ++into_bad;
+          lemma48_sum[{cs, u}] += into_bad;
+        }
+      }
+    }
+    // Lemma 50: avg degree of C* at least max_C |S_{C→C*}|.
+    std::int64_t vol = 0;
+    for (vertex v : c_star.v_minus) vol += c_star.comm_degree_of(v);
+    const double avg = double(vol) / double(c_star.v_minus.size());
+    if (avg > 0)
+      stats.max_lemma50_ratio = std::max(
+          stats.max_lemma50_ratio, double(max_s_bad_here) / avg);
+  }
+  for (const auto& [key, sum] : lemma48_sum) {
+    const auto& c_star = cover.clusters[key.first];
+    const auto deg = c_star.comm_degree_of(key.second);
+    if (deg > 0)
+      stats.max_lemma48_ratio =
+          std::max(stats.max_lemma48_ratio, double(sum) / double(deg));
+  }
+  return stats;
+}
+
+}  // namespace dcl

@@ -1,0 +1,68 @@
+#pragma once
+// §6.2 machinery for K4: the recursive decomposition *cover* C* and the
+// pairwise classification sets that Parts 1–3 of the K4 algorithm route
+// edges with.
+//
+// The unified driver (DESIGN.md §2.4) defers bad-bad K4 edges to the
+// recursion instead of running Parts 1–3; this module provides the §6.2
+// structures and the quantities its Lemmas 46/48/49/50 bound, so that
+// (a) the cluster-anatomy experiment can measure how rarely the pair
+// machinery would be needed, and (b) the lemma inequalities themselves are
+// checked empirically by the test suite:
+//   Lemma 46 — every edge lies in O(log n) clusters of C*, every vertex in
+//              O(log n) V−_C sets;
+//   Lemma 48 — Σ_{C} deg_{S_{C→C*}}(v) = O(deg_{C*}(v)) for v ∈ V−_{C*};
+//   Lemma 50 — the average degree of C* is at least max_C |S_{C→C*}|.
+
+#include <vector>
+
+#include "expander/anatomy.hpp"
+#include "expander/decomposition.hpp"
+#include "graph/graph.hpp"
+
+namespace dcl {
+
+/// The recursive cover: decompose G, then recursively decompose the graph
+/// induced by the edges outside every E−_i, collecting all clusters.
+struct decomposition_cover {
+  /// Anatomy of all clusters across all recursion iterations; entry i also
+  /// records which iteration produced it.
+  std::vector<cluster_anatomy> clusters;
+  std::vector<int> iteration;
+  int iterations = 0;
+
+  std::int64_t max_clusters_per_edge = 0;   ///< Lemma 46 (edge sharing)
+  std::int64_t max_vminus_per_vertex = 0;   ///< Lemma 46 (V− sharing)
+};
+
+/// Builds C* for K4 (p = 4 anatomy at every iteration). Deterministic.
+decomposition_cover build_cover(const graph& g, double epsilon, double beta,
+                                int max_iterations = 40);
+
+/// The §6.2 pair sets for an ordered cluster pair (C, C*):
+///   S*_{C*→C} = { u ∈ V−_{C*} : 1 <= deg_{V−_C}(u) <
+///                               deg_{V−_{C*}}(u) / sqrt(n) }
+///   S_{C→C*}  = { v ∈ V−_C  : deg_{S*_{C*→C}}(v) > sqrt(n) }.
+struct pair_classification {
+  std::vector<vertex> s_star;  ///< S*_{C*→C}, sorted
+  std::vector<vertex> s_bad;   ///< S_{C→C*}, sorted
+};
+
+pair_classification classify_pair(const graph& g, const cluster_anatomy& c,
+                                  const cluster_anatomy& c_star);
+
+/// Aggregate §6.2 statistics over all pairs (C ∈ first iteration,
+/// C* ∈ cover) — the quantities Lemmas 48 and 50 bound.
+struct pair_stats {
+  std::int64_t pairs_checked = 0;
+  std::int64_t max_s_star = 0;
+  std::int64_t max_s_bad = 0;
+  /// max over v in any V−_{C*} of Σ_C deg_{S_{C→C*}}(v) / deg_{C*}(v)
+  double max_lemma48_ratio = 0.0;
+  /// max over C* of max_C |S_{C→C*}| / avg_degree(C*)  (Lemma 50: <= 1)
+  double max_lemma50_ratio = 0.0;
+};
+
+pair_stats analyze_pairs(const graph& g, const decomposition_cover& cover);
+
+}  // namespace dcl

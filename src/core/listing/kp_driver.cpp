@@ -1,0 +1,273 @@
+#include <algorithm>
+#include <set>
+
+#include "congest/network.hpp"
+#include "core/listing/driver.hpp"
+#include "core/listing/driver_detail.hpp"
+#include "core/listing/kp_cluster.hpp"
+#include "core/listing/two_hop.hpp"
+#include "expander/cost_model.hpp"
+#include "expander/decomposition.hpp"
+#include "support/check.hpp"
+#include "support/math_util.hpp"
+#include "support/prng.hpp"
+
+namespace dcl {
+
+namespace {
+
+/// Lemma 43 delivery of E′ into one cluster, plus the S*/S classification
+/// (§6.1, with the graph-edge communication degrees of DESIGN.md §2.5).
+/// Returns the delivered edges and charges the measured exchange loads.
+struct delivery_result {
+  delivered_edges eprime;
+  std::vector<vertex> s_bad;  ///< S_C (current-level graph ids)
+  std::int64_t rounds = 0;
+};
+
+delivery_result deliver_eprime(network& net_c, const graph& g,
+                               const cluster_anatomy& a,
+                               std::int64_t n_budget,
+                               std::string_view phase) {
+  delivery_result res;
+  const std::int64_t k = std::int64_t(a.v_minus.size());
+  std::vector<vertex> v1_index(size_t(g.num_vertices()), -1);
+  for (std::int64_t i = 0; i < k; ++i)
+    v1_index[size_t(a.v_minus[size_t(i)])] = vertex(i);
+
+  // deg into V− and outside degree for every outside vertex adjacent to V−.
+  // S*_C = outside u with 1 <= deg_{V−}(u) and
+  //        deg_{V−}(u) * n^{1-2/p} < deg_{V\V−}(u).
+  std::vector<vertex> adjacent_outside;
+  std::vector<bool> in_sstar(size_t(g.num_vertices()), false);
+  std::vector<bool> seen(size_t(g.num_vertices()), false);
+  for (vertex v : a.v_minus)
+    for (vertex u : g.neighbors(v)) {
+      if (v1_index[size_t(u)] >= 0 || seen[size_t(u)]) continue;
+      seen[size_t(u)] = true;
+      adjacent_outside.push_back(u);
+    }
+  for (vertex u : adjacent_outside) {
+    std::int64_t into_vm = 0;
+    for (vertex w : g.neighbors(u))
+      if (v1_index[size_t(w)] >= 0) ++into_vm;
+    const std::int64_t outside_deg = g.degree(u) - into_vm;
+    if (into_vm >= 1 && into_vm * n_budget < outside_deg)
+      in_sstar[size_t(u)] = true;
+  }
+  // S_C: V− vertices with too many S* neighbors.
+  std::vector<bool> is_bad(size_t(g.num_vertices()), false);
+  for (vertex v : a.v_minus) {
+    std::int64_t cnt = 0;
+    for (vertex u : g.neighbors(v))
+      if (in_sstar[size_t(u)]) ++cnt;
+    if (cnt > n_budget) {
+      res.s_bad.push_back(v);
+      is_bad[size_t(v)] = true;
+    }
+  }
+
+  std::set<std::pair<edge, vertex>> delivered;  // (edge, holder index)
+  std::int64_t rounds_i = 0, rounds_ii = 0, messages = 0;
+
+  // Case (i): each good v ∈ V−\S learns the induced edges among its S*
+  // neighbors. Per-edge loads: |N(v) ∩ S*| out, intersection sizes back.
+  for (std::int64_t i = 0; i < k; ++i) {
+    const vertex v = a.v_minus[size_t(i)];
+    if (is_bad[size_t(v)]) continue;
+    std::vector<vertex> star_nbrs;
+    for (vertex u : g.neighbors(v))
+      if (in_sstar[size_t(u)]) star_nbrs.push_back(u);
+    if (star_nbrs.size() < 2) continue;
+    rounds_i = std::max(rounds_i, std::int64_t(star_nbrs.size()));
+    for (vertex u : star_nbrs) {
+      const auto common = sorted_intersection(g.neighbors(u), star_nbrs);
+      messages += std::int64_t(star_nbrs.size()) + std::int64_t(common.size());
+      rounds_i = std::max(rounds_i, std::int64_t(common.size()));
+      for (vertex w : common)
+        if (w > u) delivered.insert({edge{u, w}, vertex(i)});
+    }
+  }
+  // Case (ii): outside u ∉ S* with deg_{V−}(u) >= 1 partitions its outside
+  // edges into chunks shipped to its V− neighbors.
+  for (vertex u : adjacent_outside) {
+    if (in_sstar[size_t(u)]) continue;
+    std::vector<vertex> vm_nbrs, out_nbrs;
+    for (vertex w : g.neighbors(u)) {
+      if (v1_index[size_t(w)] >= 0)
+        vm_nbrs.push_back(w);
+      else
+        out_nbrs.push_back(w);
+    }
+    if (vm_nbrs.empty() || out_nbrs.empty()) continue;
+    const std::int64_t chunk =
+        ceil_div(std::int64_t(out_nbrs.size()), std::int64_t(vm_nbrs.size()));
+    rounds_ii = std::max(rounds_ii, chunk);
+    for (std::size_t t = 0; t < out_nbrs.size(); ++t) {
+      const vertex recv = vm_nbrs[t / size_t(chunk)];
+      delivered.insert(
+          {make_edge(u, out_nbrs[t]), v1_index[size_t(recv)]});
+      ++messages;
+    }
+  }
+  res.rounds = rounds_i + rounds_ii;
+  net_c.charge(phase, res.rounds, messages);
+
+  // Deduplicate per edge (keep the lowest holder) so |E′| is well-defined.
+  edge last{-1, -1};
+  for (const auto& [e, h] : delivered) {
+    if (e == last) continue;
+    last = e;
+    res.eprime.edges.push_back(e);
+    res.eprime.holder.push_back(h);
+  }
+  return res;
+}
+
+}  // namespace
+
+clique_set list_kp_congest(const graph& g, const listing_options& opt,
+                           listing_report* report) {
+  DCL_EXPECTS(opt.p >= 4 && opt.p <= 6, "list_kp_congest supports 4 <= p <= 6");
+  DCL_EXPECTS(opt.epsilon < 1.0,
+              "epsilon must be below 1 (0 selects the default)");
+  listing_report local_report;
+  listing_report& rep = report != nullptr ? *report : local_report;
+  rep = listing_report{};
+
+  clique_collector out(opt.p);
+  const double epsilon =
+      opt.epsilon > 0 ? opt.epsilon : (opt.p == 4 ? 1.0 / 12.0 : 1.0 / 18.0);
+  const std::int64_t n_budget =
+      budget_n_1_minus_2_over_p(g.num_vertices(), opt.p);
+  graph cur = g;
+  bool done = false;
+
+  for (int level = 0; level < opt.max_levels && !done; ++level) {
+    if (cur.num_edges() == 0) {
+      done = true;
+      break;
+    }
+    level_stats ls;
+    ls.edges_before = cur.num_edges();
+    if (cur.num_edges() <= opt.base_case_edges) {
+      detail::central_fallback(cur, opt.p, out, rep.ledger);
+      rep.levels.push_back(ls);
+      done = true;
+      break;
+    }
+
+    decomposition_options dopt;
+    dopt.epsilon = epsilon;
+    const auto d = decompose(cur, dopt);
+    rep.model_decomposition_rounds +=
+        cs20_decomposition_rounds(cur.num_vertices(), epsilon);
+    const auto anatomy =
+        build_anatomy(cur, d, {.p = opt.p, .beta = opt.beta});
+    ls.clusters = std::int64_t(anatomy.size());
+
+    cost_ledger level_ledger;
+    edge_list removed;
+
+    // Lemma 41: exhaustive search around the low-degree open vertices.
+    {
+      cost_ledger exh_ledger;
+      network exh_net(cur, exh_ledger);
+      std::vector<vertex> targets;
+      std::int64_t alpha = 0;
+      std::vector<bool> is_low(size_t(cur.num_vertices()), false);
+      for (const auto& a : anatomy) {
+        for (vertex v : a.v_open)
+          if (!a.in_v_minus(v)) {
+            targets.push_back(v);
+            is_low[size_t(v)] = true;
+            alpha = std::max<std::int64_t>(alpha, cur.degree(v));
+          }
+        ls.low_degree_targets +=
+            std::int64_t(a.v_open.size() - a.v_minus.size());
+      }
+      std::sort(targets.begin(), targets.end());
+      if (!targets.empty()) {
+        clique_collector exh_out(opt.p);
+        two_hop_listing(exh_net, cur, targets, alpha, opt.p, exh_out,
+                        "exhaustive");
+        const auto found = exh_out.finalize();
+        for (std::int64_t t = 0; t < found.size(); ++t) out.emit(found[t]);
+        level_ledger.merge_parallel(exh_ledger);
+      }
+      // E− edges with a low-degree open endpoint are fully covered.
+      for (const auto& a : anatomy)
+        for (const auto& e : a.e_minus)
+          if (is_low[size_t(e.u)] || is_low[size_t(e.v)])
+            removed.push_back(e);
+    }
+
+    // Per cluster: delivery, overload test, split-tree listing.
+    for (std::size_t ci = 0; ci < anatomy.size(); ++ci) {
+      const auto& a = anatomy[ci];
+      if (a.v_minus.size() < 2) continue;
+      cost_ledger cluster_ledger;
+      network net_c(cur, cluster_ledger);
+      const std::string cl = "cluster" + std::to_string(ci);
+
+      const auto del =
+          deliver_eprime(net_c, cur, a, n_budget, cl + "/deliver");
+      ls.bad_vertices += std::int64_t(del.s_bad.size());
+
+      // Lemma 44 overload test: defer clusters whose communication volume
+      // cannot absorb their E′ share.
+      std::int64_t e_vm_vc = 0;
+      for (vertex v : a.v_minus) e_vm_vc += a.comm_degree_of(v);
+      const bool overloaded =
+          double(e_vm_vc) / double(a.v_minus.size()) <=
+          double(del.eprime.edges.size()) /
+              (opt.gamma * double(cur.num_vertices()));
+      if (overloaded) {
+        ++ls.deferred_clusters;
+        continue;
+      }
+
+      list_kp_in_cluster(net_c, cur, a, del.eprime, opt.p, opt.engine,
+                         splitmix64(opt.seed + ci), out, cl);
+      level_ledger.merge_parallel(cluster_ledger);
+      ++ls.clusters_listed;
+
+      // Removal rule (DESIGN.md §2.4/2.5): E− edges inside V− with a good
+      // endpoint are fully covered by this cluster's listing.
+      std::vector<bool> is_bad(size_t(cur.num_vertices()), false);
+      for (vertex v : del.s_bad) is_bad[size_t(v)] = true;
+      for (const auto& e : a.e_minus) {
+        if (!a.in_v_minus(e.u) || !a.in_v_minus(e.v)) continue;
+        if (is_bad[size_t(e.u)] && is_bad[size_t(e.v)]) continue;
+        removed.push_back(e);
+      }
+    }
+    rep.ledger.merge_sequential(level_ledger);
+
+    std::sort(removed.begin(), removed.end());
+    removed.erase(std::unique(removed.begin(), removed.end()),
+                  removed.end());
+    ls.edges_removed = std::int64_t(removed.size());
+    rep.levels.push_back(ls);
+
+    if (removed.empty()) {
+      detail::central_fallback(cur, opt.p, out, rep.ledger);
+      rep.used_fallback = true;
+      done = true;
+      break;
+    }
+    cur = detail::remove_edges(cur, removed);
+    if (cur.num_edges() == 0) done = true;
+  }
+  if (!done && cur.num_edges() > 0) {
+    detail::central_fallback(cur, opt.p, out, rep.ledger);
+    rep.used_fallback = true;
+  }
+
+  auto result = out.finalize();
+  rep.emitted = out.emitted();
+  rep.duplicates = out.duplicates();
+  return result;
+}
+
+}  // namespace dcl

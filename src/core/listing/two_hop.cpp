@@ -1,0 +1,82 @@
+#include "core/listing/two_hop.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "support/check.hpp"
+
+namespace dcl {
+
+two_hop_stats two_hop_listing(network& net, const graph& g,
+                              std::span<const vertex> targets,
+                              std::int64_t alpha, int p,
+                              clique_collector& out, std::string_view phase,
+                              std::span<const vertex> id_map) {
+  DCL_EXPECTS(p >= 3, "clique arity must be at least 3");
+  DCL_EXPECTS(id_map.empty() || vertex(id_map.size()) == g.num_vertices(),
+              "id_map must cover all vertices");
+  two_hop_stats stats;
+  if (targets.empty()) return stats;
+
+  std::vector<bool> is_target(size_t(g.num_vertices()), false);
+  for (vertex v : targets) {
+    DCL_EXPECTS(g.degree(v) <= alpha,
+                "two-hop target exceeds the degree cap alpha");
+    is_target[size_t(v)] = true;
+    stats.max_degree_seen = std::max<std::int64_t>(stats.max_degree_seen,
+                                                   g.degree(v));
+  }
+
+  // Exchange A: each target v ships N(v) along each incident edge — the
+  // load of directed edge (v -> u) is deg(v). Exchange B: u replies with
+  // N(u) ∩ N(v) — the load of (u -> v) is the intersection size. Loads are
+  // exact per edge; the round cost of each exchange is its max load.
+  std::int64_t rounds_a = 0, rounds_b = 0;
+  for (vertex v : targets) {
+    rounds_a = std::max<std::int64_t>(rounds_a, g.degree(v));
+    stats.messages += std::int64_t(g.degree(v)) * g.degree(v);
+    for (vertex u : g.neighbors(v)) {
+      const auto common =
+          sorted_intersection_size(g.neighbors(u), g.neighbors(v));
+      rounds_b = std::max(rounds_b, common);
+      stats.messages += common;
+    }
+  }
+  // A target may also receive replies over one edge from several phases of
+  // its own requests; per-edge both directions are independent in CONGEST.
+  stats.rounds = rounds_a + rounds_b;
+  net.charge(phase, stats.rounds, stats.messages);
+
+  // Local listing at each target: p-cliques inside its learned 2-hop set.
+  // To avoid emitting the same clique once per contained target, a clique
+  // is emitted only by its minimum-id target member.
+  std::vector<vertex> scratch;
+  for (vertex v : targets) {
+    const auto nv = g.neighbors(v);
+    edge_list learned;
+    for (vertex u : nv) {
+      for (vertex w : sorted_intersection(g.neighbors(u), nv)) {
+        if (w > u) learned.push_back({u, w});
+      }
+    }
+    const auto sub_cliques = cliques_in_edge_set(learned, p - 1);
+    for (std::int64_t i = 0; i < sub_cliques.size(); ++i) {
+      const auto c = sub_cliques[i];
+      bool v_is_min_target = true;
+      for (vertex u : c)
+        if (is_target[size_t(u)] && u < v) {
+          v_is_min_target = false;
+          break;
+        }
+      if (!v_is_min_target) continue;
+      scratch.assign(c.begin(), c.end());
+      scratch.push_back(v);
+      if (!id_map.empty())
+        for (auto& z : scratch) z = id_map[size_t(z)];
+      out.emit(scratch);
+    }
+  }
+  return stats;
+}
+
+}  // namespace dcl

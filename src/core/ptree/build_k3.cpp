@@ -1,0 +1,168 @@
+#include "core/ptree/build_k3.hpp"
+
+#include <algorithm>
+
+#include "core/listing/balance.hpp"
+#include "core/ptree/layer_algorithm.hpp"
+#include "core/streaming/pp_simulate.hpp"
+#include "support/check.hpp"
+#include "support/math_util.hpp"
+
+namespace dcl {
+
+namespace {
+
+/// A tree node awaiting its partition: its ancestor part chain.
+struct pending_node {
+  std::vector<part_ref> chain;  // anc of the parent part (empty for root)
+};
+
+std::vector<pending_node> pending_at_depth(const partition_tree& tree,
+                                           int depth) {
+  std::vector<pending_node> nodes;
+  if (depth == 0) {
+    nodes.push_back({});
+    return nodes;
+  }
+  for (std::int64_t node = 0; node < tree.num_nodes(depth - 1); ++node) {
+    const auto& part = tree.partition_at(depth - 1, node);
+    for (int j = 0; j < part.num_parts(); ++j)
+      nodes.push_back({tree.anc(depth - 1, node, j)});
+  }
+  return nodes;
+}
+
+}  // namespace
+
+k3_tree_build build_k3_tree(cluster_comm& cc, std::span<const vertex> pool,
+                            std::span<const std::int64_t> comm_deg,
+                            std::string_view phase) {
+  const std::int64_t k = std::int64_t(pool.size());
+  DCL_EXPECTS(k >= 1, "empty V- pool");
+  DCL_EXPECTS(std::int64_t(comm_deg.size()) == k, "comm_deg size mismatch");
+  DCL_EXPECTS(std::is_sorted(pool.begin(), pool.end()),
+              "pool must be sorted (contiguous numbering)");
+
+  k3_tree_build out;
+
+  // Position-space graph H = C[V−_C].
+  {
+    std::vector<vertex> pos_of(size_t(cc.size()), -1);
+    for (std::int64_t i = 0; i < k; ++i)
+      pos_of[size_t(pool[size_t(i)])] = vertex(i);
+    edge_list hedges;
+    for (std::int64_t i = 0; i < k; ++i) {
+      for (vertex nb : cc.local_graph().neighbors(pool[size_t(i)])) {
+        const vertex j = pos_of[size_t(nb)];
+        if (j > vertex(i)) hedges.push_back({vertex(i), j});
+      }
+    }
+    std::sort(hedges.begin(), hedges.end());
+    out.h = graph(vertex(k), hedges);
+  }
+  const graph& h = out.h;
+  const std::int64_t m = h.num_edges();
+  out.x = std::max<std::int64_t>(1, ceil_root(k, 3));
+  const std::int64_t x = out.x;
+  const std::int64_t m_tilde = std::max(m, k * x);
+  constexpr double c1 = 9.0, c2 = 36.0, c3 = 4.0;
+
+  // Cluster-wide stats (k, m) via one convergecast + broadcast.
+  cc.charge_convergecast(2, std::string(phase) + "/stats");
+  cc.charge_broadcast_from_leader(2, std::string(phase) + "/stats");
+
+  const std::int64_t lambda = std::max<std::int64_t>(1, x);
+  const std::int64_t deg_max = std::int64_t(c1 * double(m_tilde) / double(x));
+  const std::int64_t size_max =
+      std::max<std::int64_t>(1, std::int64_t(c3 * double(k) / double(x)));
+
+  for (int depth = 0; depth < 3; ++depth) {
+    const auto pending = pending_at_depth(out.tree, depth);
+    const std::int64_t updeg_max =
+        std::int64_t(c2 * double(depth) * double(m_tilde) / double(x * x) +
+                     c3 * 3.0 * double(k) / double(x));
+
+    // One Lemma 17 machine per pending node; all simulated in parallel
+    // (Lemma 18). Value fields: 0 = deg_{V'}, 1 = size, 2.. = anc degrees.
+    std::vector<greedy_layer_algorithm> algs;
+    algs.reserve(pending.size());
+    for (std::size_t nidx = 0; nidx < pending.size(); ++nidx) {
+      std::vector<greedy_layer_algorithm::counter_spec> spec;
+      spec.push_back({{0}, deg_max});
+      spec.push_back({{1}, size_max});
+      if (depth > 0) {
+        std::vector<int> anc_fields;
+        for (int t = 0; t < depth; ++t) anc_fields.push_back(2 + t);
+        spec.push_back({std::move(anc_fields), updeg_max});
+      }
+      algs.emplace_back(std::move(spec), k, x + 4);
+    }
+    std::vector<pp_instance> insts;
+    insts.reserve(pending.size());
+    for (std::size_t nidx = 0; nidx < pending.size(); ++nidx) {
+      pp_instance inst;
+      inst.alg = &algs[nidx];
+      const auto& chain = pending[nidx].chain;
+      // Each pool vertex holds exactly its own singleton token, computed
+      // from its local edges plus the globally known upper layers.
+      std::vector<std::pair<std::int64_t, std::int64_t>> anc_bounds;
+      for (const auto& w : chain) anc_bounds.push_back(out.tree.part_bounds(w));
+      inst.segment = [&h, anc_bounds](vertex i) {
+        pp_stream s;
+        pp_main_entry e;
+        e.main.push(std::uint64_t(std::uint32_t(i)));
+        e.main.push(std::uint64_t(std::uint32_t(i)));
+        e.main.push(std::uint64_t(h.degree(i)));
+        e.main.push(1);
+        for (const auto& [lo, hi] : anc_bounds) {
+          const auto nb = h.neighbors(i);
+          const auto cnt =
+              std::lower_bound(nb.begin(), nb.end(), vertex(hi)) -
+              std::lower_bound(nb.begin(), nb.end(), vertex(lo));
+          e.main.push(std::uint64_t(cnt));
+        }
+        s.push_back(e);
+        return s;
+      };
+      insts.push_back(std::move(inst));
+    }
+    const std::string layer_phase =
+        std::string(phase) + "/layer" + std::to_string(depth);
+    const auto rep = pp_simulate(cc, pool, insts, lambda, layer_phase);
+
+    // Assemble the layer's partitions; collect (item, holder) pairs for the
+    // spreading step.
+    std::vector<interval_partition> partitions;
+    std::vector<vertex> holders;
+    std::vector<part_ref> flat_parts;
+    partitions.reserve(pending.size());
+    for (std::size_t nidx = 0; nidx < pending.size(); ++nidx) {
+      const auto& o = rep.outputs[nidx];
+      std::vector<std::pair<std::int64_t, std::int64_t>> intervals;
+      for (std::size_t t = 0; t < o.output.size(); ++t) {
+        intervals.emplace_back(std::int64_t(o.output[t].at(0)),
+                               std::int64_t(o.output[t].at(1)));
+        holders.push_back(o.holder[t]);
+        flat_parts.push_back(
+            {depth, std::int64_t(nidx), int(intervals.size()) - 1});
+      }
+      partitions.push_back(interval_partition::from_intervals(intervals, k));
+    }
+    out.tree.push_layer(std::move(partitions), k);
+
+    if (depth < 2) {
+      // Lemma 19: the root and middle layers become known to all of V−_C.
+      amplified_allgather(cc, pool, holders,
+                          std::string(phase) + "/spread" +
+                              std::to_string(depth));
+    } else {
+      // Lemma 20: leaf parts are assigned to V*_C, degree-proportionally.
+      out.leaf_parts = std::move(flat_parts);
+      out.leaf_assignment = degree_balanced_assignment(
+          cc, pool, comm_deg, holders, std::string(phase) + "/leafassign");
+    }
+  }
+  return out;
+}
+
+}  // namespace dcl

@@ -1,0 +1,33 @@
+#pragma once
+// Theorem 16: constructing a K3-partition tree of C[V−_C] inside a
+// K3-compatible cluster, in k^{1/3}·n^{o(1)} simulated rounds:
+//   layer build  — Lemma 18 (Lemma 17 machines through the Thm 11 sim),
+//   layer spread — Lemma 19 (amplifier chains) for root and middle,
+//   leaf spread  — Lemma 20 (degree-balanced assignment to V*_C).
+
+#include <span>
+#include <string_view>
+
+#include "congest/cluster_comm.hpp"
+#include "core/ptree/partition.hpp"
+
+namespace dcl {
+
+struct k3_tree_build {
+  partition_tree tree;  ///< 3 layers over pool positions [0, k)
+  std::int64_t x = 0;   ///< fanout parameter ceil(k^{1/3})
+  graph h;              ///< position-space graph C[V−_C] (for validation)
+  /// Leaf parts in global numbering order and their assigned listers
+  /// (pool indices; only V*_C members receive assignments).
+  std::vector<part_ref> leaf_parts;
+  std::vector<vertex> leaf_assignment;
+};
+
+/// `pool` lists V−_C as sorted cluster-local ids (the paper's contiguous
+/// numbering); `comm_deg[i]` is deg_C of pool[i]. Charges all construction
+/// traffic to cc's ledger under `phase`.
+k3_tree_build build_k3_tree(cluster_comm& cc, std::span<const vertex> pool,
+                            std::span<const std::int64_t> comm_deg,
+                            std::string_view phase);
+
+}  // namespace dcl

@@ -1,0 +1,43 @@
+#pragma once
+// Theorems 26/28/31: constructing a (p′,p)-split K_p-partition tree inside
+// a K_p-compatible cluster.
+//   Thm 31 — reorganize the delivered input: deg* values spread via the
+//            Lemma 27 allgather, the vertex chain E computed locally, and
+//            every Ē/E′ edge routed to the chain owner of its tail;
+//   Lemma 29/30 — per-layer Algorithm 2 machines through the Thm 11
+//            simulation (λ = 1, group main tokens + per-vertex aux);
+//   Lemma 27 — each completed layer becomes known to all of V−_C.
+
+#include <span>
+#include <string_view>
+
+#include "congest/cluster_comm.hpp"
+#include "core/ptree/partition.hpp"
+#include "core/ptree/validate.hpp"
+
+namespace dcl {
+
+/// Inputs in position space: V1 positions [0, k) are the pool (V−_C) in
+/// order; V2 positions [0, n2) are the outside vertices in id order.
+struct split_inputs {
+  std::int64_t n = 0;   ///< |V| of the ambient current-level graph
+  edge_list e1;         ///< E(V−,V−) as V1-position pairs, u < v
+  edge_list e12;        ///< Ē as (V1 pos, V2 pos) pairs
+  edge_list e2;         ///< E′ as V2-position pairs, u < v
+  std::vector<vertex> e2_holder;  ///< pool index initially holding e2[j]
+  std::int64_t n2 = 0;  ///< |V2|
+};
+
+struct split_tree_build {
+  partition_tree tree;  ///< p layers; first p-p′ over V2, rest over V1
+  std::int64_t a = 0, b = 0;
+  std::vector<vertex> v2_owner;  ///< chain E: V2 position -> pool index
+};
+
+split_tree_build build_split_tree(cluster_comm& cc,
+                                  std::span<const vertex> pool,
+                                  std::span<const std::int64_t> comm_deg,
+                                  const split_inputs& in, int p, int p_prime,
+                                  std::string_view phase);
+
+}  // namespace dcl

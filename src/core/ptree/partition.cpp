@@ -1,0 +1,134 @@
+#include "core/ptree/partition.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace dcl {
+
+interval_partition::interval_partition(std::vector<std::int64_t> breaks)
+    : breaks_(std::move(breaks)) {
+  DCL_EXPECTS(breaks_.size() >= 2, "partition needs at least one part");
+  DCL_EXPECTS(breaks_.front() == 0, "breakpoints must start at 0");
+  for (std::size_t i = 1; i < breaks_.size(); ++i)
+    DCL_EXPECTS(breaks_[i] > breaks_[i - 1],
+                "breakpoints must be strictly ascending");
+}
+
+interval_partition interval_partition::from_intervals(
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& intervals,
+    std::int64_t domain_size) {
+  DCL_EXPECTS(!intervals.empty(), "no intervals given");
+  std::vector<std::int64_t> breaks;
+  breaks.push_back(0);
+  for (const auto& [lo, hi] : intervals) {
+    DCL_EXPECTS(lo == breaks.back(), "intervals must tile contiguously");
+    DCL_EXPECTS(hi >= lo, "empty interval");
+    breaks.push_back(hi + 1);
+  }
+  DCL_EXPECTS(breaks.back() == domain_size,
+              "intervals must cover the whole domain");
+  return interval_partition(std::move(breaks));
+}
+
+std::pair<std::int64_t, std::int64_t> interval_partition::part(int j) const {
+  DCL_EXPECTS(j >= 0 && j < num_parts(), "part index out of range");
+  return {breaks_[size_t(j)], breaks_[size_t(j) + 1]};
+}
+
+std::int64_t interval_partition::part_size(int j) const {
+  const auto [lo, hi] = part(j);
+  return hi - lo;
+}
+
+int interval_partition::part_of(std::int64_t v) const {
+  DCL_EXPECTS(v >= 0 && v < domain_size(), "position out of domain");
+  const auto it = std::upper_bound(breaks_.begin(), breaks_.end(), v);
+  return int(it - breaks_.begin()) - 1;
+}
+
+void partition_tree::push_layer(std::vector<interval_partition> partitions,
+                                std::int64_t domain_size) {
+  if (layer_.empty()) {
+    DCL_EXPECTS(partitions.size() == 1, "root layer must have one node");
+    parent_.push_back({{-1, -1}});
+  } else {
+    const int d = int(layer_.size()) - 1;
+    // Nodes of the new layer = (node, part) pairs of the previous layer.
+    std::vector<std::int64_t> offsets;
+    std::int64_t next = 0;
+    std::vector<std::pair<std::int64_t, int>> parents;
+    for (std::int64_t node = 0; node < num_nodes(d); ++node) {
+      offsets.push_back(next);
+      for (int j = 0; j < layer_[size_t(d)][size_t(node)].num_parts(); ++j) {
+        parents.emplace_back(node, j);
+        ++next;
+      }
+    }
+    DCL_EXPECTS(std::int64_t(partitions.size()) == next,
+                "layer width must equal parts of previous layer");
+    child_offset_.push_back(std::move(offsets));
+    parent_.push_back(std::move(parents));
+  }
+  for (const auto& p : partitions)
+    DCL_EXPECTS(p.domain_size() == domain_size,
+                "all partitions of a layer share the domain");
+  layer_.push_back(std::move(partitions));
+  domain_size_.push_back(domain_size);
+}
+
+std::int64_t partition_tree::num_nodes(int depth) const {
+  DCL_EXPECTS(depth >= 0 && depth < layers(), "depth out of range");
+  return std::int64_t(layer_[size_t(depth)].size());
+}
+
+const interval_partition& partition_tree::partition_at(
+    int depth, std::int64_t node) const {
+  DCL_EXPECTS(depth >= 0 && depth < layers(), "depth out of range");
+  DCL_EXPECTS(node >= 0 && node < num_nodes(depth), "node out of range");
+  return layer_[size_t(depth)][size_t(node)];
+}
+
+std::int64_t partition_tree::child(int depth, std::int64_t node,
+                                   int j) const {
+  DCL_EXPECTS(depth + 1 < layers(), "no layer below");
+  DCL_EXPECTS(j >= 0 && j < partition_at(depth, node).num_parts(),
+              "part index out of range");
+  return child_offset_[size_t(depth)][size_t(node)] + j;
+}
+
+std::vector<part_ref> partition_tree::anc(int depth, std::int64_t node,
+                                          int j) const {
+  std::vector<part_ref> chain;
+  chain.push_back({depth, node, j});
+  int d = depth;
+  std::int64_t cur = node;
+  while (d > 0) {
+    const auto& [pnode, ppart] = parent_[size_t(d)][size_t(cur)];
+    chain.push_back({d - 1, pnode, ppart});
+    cur = pnode;
+    --d;
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+part_ref partition_tree::leaf_for_tuple(
+    std::span<const std::int64_t> tuple) const {
+  DCL_EXPECTS(int(tuple.size()) == layers(),
+              "tuple arity must equal the number of layers");
+  std::int64_t node = 0;
+  int part = -1;
+  for (int d = 0; d < layers(); ++d) {
+    part = partition_at(d, node).part_of(tuple[size_t(d)]);
+    if (d + 1 < layers()) node = child(d, node, part);
+  }
+  return {layers() - 1, node, part};
+}
+
+std::pair<std::int64_t, std::int64_t> partition_tree::part_bounds(
+    const part_ref& r) const {
+  return partition_at(r.depth, r.node).part(r.part);
+}
+
+}  // namespace dcl

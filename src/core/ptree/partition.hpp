@@ -1,0 +1,97 @@
+#pragma once
+// Interval partitions and the p-partition tree structure (Def 12).
+//
+// The streaming constructions of §4 emit partitions as interval endpoints
+// over contiguously renumbered vertices, so a partition is represented by
+// its breakpoints: part j = [breaks[j], breaks[j+1]) over domain [0, k).
+//
+// A p-partition tree associates a partition with *every node*; the part
+// chain anc(U_S,j) follows Def 12: the part the path selects at each
+// ancestor node, plus part j of the node itself. Theorem 13/23 coverage
+// walks are implemented here and checked by the test suite.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dcl {
+
+class interval_partition {
+ public:
+  interval_partition() = default;
+
+  /// breaks must be ascending, start at 0, end at the domain size.
+  explicit interval_partition(std::vector<std::int64_t> breaks);
+
+  /// Builds from inclusive [lo, hi] interval endpoints tiling [0, k).
+  static interval_partition from_intervals(
+      const std::vector<std::pair<std::int64_t, std::int64_t>>& intervals,
+      std::int64_t domain_size);
+
+  int num_parts() const { return int(breaks_.size()) - 1; }
+  std::int64_t domain_size() const { return breaks_.back(); }
+
+  /// Half-open [lo, hi) bounds of part j.
+  std::pair<std::int64_t, std::int64_t> part(int j) const;
+  std::int64_t part_size(int j) const;
+
+  /// Index of the part containing position v.
+  int part_of(std::int64_t v) const;
+
+  friend bool operator==(const interval_partition&,
+                         const interval_partition&) = default;
+
+ private:
+  std::vector<std::int64_t> breaks_ = {0};
+};
+
+/// Reference to one part of one node's partition.
+struct part_ref {
+  int depth = 0;
+  std::int64_t node = 0;
+  int part = 0;
+
+  friend bool operator==(const part_ref&, const part_ref&) = default;
+};
+
+class partition_tree {
+ public:
+  /// Layers are appended root-first. Layer d holds one partition per node
+  /// at depth d, ordered by node index; nodes at depth d+1 are the (node,
+  /// part) pairs of depth d in lexicographic order.
+  void push_layer(std::vector<interval_partition> partitions,
+                  std::int64_t domain_size);
+
+  int layers() const { return int(layer_.size()); }
+  std::int64_t num_nodes(int depth) const;
+  std::int64_t domain_size(int depth) const {
+    return domain_size_[size_t(depth)];
+  }
+  const interval_partition& partition_at(int depth, std::int64_t node) const;
+
+  /// Child node index at depth+1 of part j of (depth, node).
+  std::int64_t child(int depth, std::int64_t node, int j) const;
+
+  /// The part chain anc(U_{S,j}) of Def 12 for part j of (depth, node):
+  /// one part per layer 0..depth along the path, ending with (depth,node,j).
+  std::vector<part_ref> anc(int depth, std::int64_t node, int j) const;
+
+  /// Theorem 13/23 walk: given the tuple (v_0 .. v_{p-1}) with v_i a
+  /// position in layer i's domain, returns the leaf part whose anc chain
+  /// contains v_i in its depth-i part for every i.
+  part_ref leaf_for_tuple(std::span<const std::int64_t> tuple) const;
+
+  /// [lo, hi) bounds of a part.
+  std::pair<std::int64_t, std::int64_t> part_bounds(const part_ref& r) const;
+
+ private:
+  std::vector<std::vector<interval_partition>> layer_;
+  std::vector<std::int64_t> domain_size_;
+  /// child_offset_[d][node] = index at depth d+1 of (node, part 0).
+  std::vector<std::vector<std::int64_t>> child_offset_;
+  /// parent_[d][node] = (parent node at depth d-1, part index there).
+  std::vector<std::vector<std::pair<std::int64_t, int>>> parent_;
+};
+
+}  // namespace dcl

@@ -1,0 +1,183 @@
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/ptree/validate.hpp"
+#include "support/check.hpp"
+#include "support/math_util.hpp"
+
+namespace dcl {
+
+namespace {
+
+/// Position-indexed adjacency for counting edges into interval ranges.
+class range_counter {
+ public:
+  range_counter(std::int64_t domain, const edge_list& edges, bool bipartite) {
+    adj_.resize(size_t(domain));
+    for (const auto& e : edges) {
+      adj_[size_t(e.u)].push_back(e.v);
+      if (!bipartite) adj_[size_t(e.v)].push_back(e.u);
+    }
+    for (auto& a : adj_) std::sort(a.begin(), a.end());
+  }
+
+  /// Number of (pos, w) edges with w in [lo, hi).
+  std::int64_t count_into(std::int64_t pos, std::int64_t lo,
+                          std::int64_t hi) const {
+    const auto& a = adj_[size_t(pos)];
+    return std::lower_bound(a.begin(), a.end(), vertex(hi)) -
+           std::lower_bound(a.begin(), a.end(), vertex(lo));
+  }
+
+  std::int64_t degree(std::int64_t pos) const {
+    return std::int64_t(adj_[size_t(pos)].size());
+  }
+
+ private:
+  std::vector<std::vector<vertex>> adj_;
+};
+
+void record(validate_report& rep, double observed, double bound,
+            double& ratio_slot, const char* what, int depth,
+            std::int64_t node, int part) {
+  if (bound <= 0) bound = 1;
+  ratio_slot = std::max(ratio_slot, observed / bound);
+  if (observed > bound && rep.ok) {
+    rep.ok = false;
+    std::ostringstream os;
+    os << what << " violated at depth " << depth << " node " << node
+       << " part " << part << ": " << observed << " > " << bound;
+    rep.first_violation = os.str();
+  }
+}
+
+}  // namespace
+
+validate_report validate_def14(const partition_tree& tree, const graph& h,
+                               int p, double c1, double c2, double c3) {
+  const std::int64_t k = h.num_vertices();
+  const std::int64_t m = h.num_edges();
+  const std::int64_t x = ceil_root(k, p);
+  const double m_tilde = double(std::max(m, k * x));
+  validate_report rep;
+  range_counter rc(k, h.edges(), false);
+
+  for (int d = 0; d < tree.layers(); ++d) {
+    for (std::int64_t node = 0; node < tree.num_nodes(d); ++node) {
+      const auto& part = tree.partition_at(d, node);
+      rep.max_parts = std::max(rep.max_parts, part.num_parts());
+      for (int j = 0; j < part.num_parts(); ++j) {
+        const auto [lo, hi] = part.part(j);
+        // SIZE
+        record(rep, double(hi - lo), c3 * double(k) / double(x),
+               rep.max_size_ratio, "SIZE", d, node, j);
+        // DEG
+        std::int64_t deg_total = 0;
+        for (std::int64_t v = lo; v < hi; ++v) deg_total += rc.degree(v);
+        record(rep, double(deg_total), c1 * m_tilde / double(x),
+               rep.max_deg_ratio, "DEG", d, node, j);
+        // UP_DEG (d_i = d for K_p)
+        if (d > 0) {
+          const auto chain = tree.anc(d, node, j);
+          std::int64_t updeg = 0;
+          for (const auto& w : chain) {
+            if (w.depth == d) continue;  // exclude self
+            const auto [wlo, whi] = tree.part_bounds(w);
+            for (std::int64_t v = lo; v < hi; ++v)
+              updeg += rc.count_into(v, wlo, whi);
+          }
+          const double bound = c2 * double(d) * m_tilde / double(x * x) +
+                               c3 * double(p) * double(k) / double(x);
+          record(rep, double(updeg), bound, rep.max_updeg_ratio, "UP_DEG",
+                 d, node, j);
+        }
+      }
+    }
+  }
+  return rep;
+}
+
+validate_report validate_def22(const partition_tree& tree,
+                               const split_graph_view& sg, int p, int p_prime,
+                               std::int64_t a, std::int64_t b, double c1,
+                               double c2) {
+  DCL_EXPECTS(p_prime >= 2 && p_prime <= p, "need 2 <= p' <= p");
+  DCL_EXPECTS(tree.layers() == p, "tree must have p layers");
+  const int pi = p - p_prime;
+  const std::int64_t m1 = std::int64_t(sg.e1.size());
+  const std::int64_t m2 = std::int64_t(sg.e2.size());
+  const std::int64_t m12 = std::int64_t(sg.e12.size());
+  const double mt1 = double(std::max(m1, sg.k * a));
+  const double mt2 = double(std::max(m2, sg.n * b));
+  const double mt12 = double(std::max(m12, sg.n * a));
+
+  range_counter r1(sg.k, sg.e1, false);        // V1 -> V1
+  range_counter r2(sg.n2, sg.e2, false);       // V2 -> V2
+  // Directed views of E12 in both directions.
+  range_counter r12(sg.k, sg.e12, true);       // V1 pos -> V2 ranges
+  edge_list e21;
+  e21.reserve(sg.e12.size());
+  for (const auto& e : sg.e12) e21.push_back({e.v, e.u});
+  range_counter r21(sg.n2, e21, true);         // V2 pos -> V1 ranges
+
+  validate_report rep;
+  for (int d = 0; d < tree.layers(); ++d) {
+    const bool v2_layer = d < pi;
+    for (std::int64_t node = 0; node < tree.num_nodes(d); ++node) {
+      const auto& part = tree.partition_at(d, node);
+      rep.max_parts = std::max(rep.max_parts, part.num_parts());
+      for (int j = 0; j < part.num_parts(); ++j) {
+        const auto [lo, hi] = part.part(j);
+        const auto chain = tree.anc(d, node, j);
+        if (v2_layer) {
+          std::int64_t deg2 = 0, deg1 = 0;
+          for (std::int64_t v = lo; v < hi; ++v) {
+            deg2 += r2.degree(v);
+            deg1 += r21.degree(v);
+          }
+          record(rep, double(deg2), c1 * double(m2) / double(b) + double(sg.n),
+                 rep.max_deg_ratio, "DEG_2to2", d, node, j);
+          record(rep, double(deg1),
+                 c1 * double(m12) / double(b) + double(sg.n),
+                 rep.max_deg_ratio, "DEG_2to1", d, node, j);
+          std::int64_t updeg = 0;
+          for (const auto& w : chain) {
+            if (w.depth == d) continue;
+            const auto [wlo, whi] = tree.part_bounds(w);
+            for (std::int64_t v = lo; v < hi; ++v)
+              updeg += r2.count_into(v, wlo, whi);
+          }
+          record(rep, double(updeg),
+                 c2 * double(d) * mt2 / double(b * b) + double(sg.n),
+                 rep.max_updeg_ratio, "UP_DEG_2to2", d, node, j);
+        } else {
+          std::int64_t deg1 = 0;
+          for (std::int64_t v = lo; v < hi; ++v) deg1 += r1.degree(v);
+          record(rep, double(deg1), c1 * double(m1) / double(a) + double(sg.k),
+                 rep.max_deg_ratio, "DEG_1to1", d, node, j);
+          std::int64_t up11 = 0, up12 = 0;
+          for (const auto& w : chain) {
+            if (w.depth == d) continue;
+            const auto [wlo, whi] = tree.part_bounds(w);
+            for (std::int64_t v = lo; v < hi; ++v) {
+              if (w.depth >= pi)
+                up11 += r1.count_into(v, wlo, whi);
+              else
+                up12 += r12.count_into(v, wlo, whi);
+            }
+          }
+          record(rep, double(up11),
+                 c2 * double(d - pi) * mt1 / double(a * a) + double(sg.k),
+                 rep.max_updeg_ratio, "UP_DEG_1to1", d, node, j);
+          record(rep, double(up12),
+                 c2 * double(pi) * mt12 / double(a * b) + double(sg.n),
+                 rep.max_updeg_ratio, "UP_DEG_1to2", d, node, j);
+        }
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace dcl

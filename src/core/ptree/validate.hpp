@@ -1,0 +1,47 @@
+#pragma once
+// Constraint validators for partition trees: Def 14 (H-partition trees,
+// used for K3) and Def 22 ((p′,p)-split K_p trees). Used by the test suite
+// and the ptree benchmark to verify that the streaming builders emit
+// partitions within the paper's balance bounds (c1, c2, c3 slack reported).
+
+#include <string>
+
+#include "core/ptree/partition.hpp"
+#include "graph/graph.hpp"
+
+namespace dcl {
+
+struct validate_report {
+  bool ok = true;
+  std::string first_violation;
+  double max_deg_ratio = 0.0;    ///< observed / bound over DEG-type checks
+  double max_updeg_ratio = 0.0;  ///< over UP_DEG-type checks
+  double max_size_ratio = 0.0;   ///< over SIZE checks (Def 14 only)
+  int max_parts = 0;             ///< widest partition in the tree
+};
+
+/// Def 14 with H = K_p (so d_i = i): tree over the graph `h` whose vertices
+/// are the positions 0..k-1 of the tree's domain.
+validate_report validate_def14(const partition_tree& tree, const graph& h,
+                               int p, double c1 = 9.0, double c2 = 36.0,
+                               double c3 = 4.0);
+
+/// Split graph for Def 22 in position space: V1 positions [0, k),
+/// V2 positions [0, n2). Edges are position pairs.
+struct split_graph_view {
+  std::int64_t k = 0;    ///< |V1|
+  std::int64_t n2 = 0;   ///< |V2|
+  std::int64_t n = 0;    ///< |V| of the ambient graph (for the +n slack)
+  edge_list e1;          ///< within V1
+  edge_list e2;          ///< within V2
+  edge_list e12;         ///< (V1 pos, V2 pos) pairs, u = V1 pos, v = V2 pos
+};
+
+/// Def 22: first p - p' layers partition V2, the bottom p' partition V1;
+/// `a` and `b` are the fanout parameters.
+validate_report validate_def22(const partition_tree& tree,
+                               const split_graph_view& sg, int p, int p_prime,
+                               std::int64_t a, std::int64_t b,
+                               double c1 = 8.0, double c2 = 36.0);
+
+}  // namespace dcl

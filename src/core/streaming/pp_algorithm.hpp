@@ -1,0 +1,71 @@
+#pragma once
+// Partial-pass streaming algorithms (§3) as explicit small-state machines.
+// The paper requires state polynomial in the token length L; making the
+// state an explicit object whose word size is charged whenever it moves
+// between simulator vertices turns that requirement into a structural
+// property of the code (DESIGN.md §5).
+//
+// Protocol per main entry: the framework calls on_main(token). If the
+// implementation calls ctx.request_aux(), the framework feeds every
+// auxiliary token of that entry through on_aux() before the next on_main()
+// — this mirrors GET-AUX, after which the simulating vertex runs the
+// algorithm "until READ is performed on the next main token" (Thm 11).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/streaming/pp_stream.hpp"
+
+namespace dcl {
+
+/// Declared operation bounds (the parameters L, N_in, N_out, B_aux, B_write
+/// of §3); the runners enforce them at run time.
+struct pp_limits {
+  std::int64_t n_out = 0;    ///< max output tokens
+  std::int64_t b_aux = 0;    ///< max GET-AUX operations
+  std::int64_t b_write = 0;  ///< max WRITEs between consecutive main READs
+};
+
+class pp_context {
+ public:
+  /// WRITE: appends a token to the output stream.
+  void write(pp_token t) { out_.push_back(std::move(t)); }
+
+  /// GET-AUX on the entry whose main token is being processed. Only
+  /// meaningful from on_main().
+  void request_aux() { aux_requested_ = true; }
+
+  // Runner-side access.
+  bool take_aux_request() {
+    const bool r = aux_requested_;
+    aux_requested_ = false;
+    return r;
+  }
+  std::vector<pp_token>& drain() { return out_; }
+
+ private:
+  std::vector<pp_token> out_;
+  bool aux_requested_ = false;
+};
+
+class pp_algorithm {
+ public:
+  virtual ~pp_algorithm() = default;
+
+  virtual pp_limits limits() const = 0;
+
+  /// Serialized size of the current state in words; charged when the state
+  /// is shipped between simulator vertices.
+  virtual std::int64_t state_words() const = 0;
+
+  /// Resets to the initial state (runners call this before a pass).
+  virtual void reset() = 0;
+
+  virtual void on_main(const pp_token& t, pp_context& ctx) = 0;
+  virtual void on_aux(const pp_token& t, pp_context& ctx) = 0;
+
+  /// Called once after the last token.
+  virtual void finish(pp_context& ctx) { (void)ctx; }
+};
+
+}  // namespace dcl

@@ -1,0 +1,55 @@
+#include "core/streaming/pp_local_run.hpp"
+
+#include "support/check.hpp"
+
+namespace dcl {
+
+pp_run_result pp_run_local(pp_algorithm& alg, const pp_stream& stream) {
+  const pp_limits limits = alg.limits();
+  pp_run_result result;
+  pp_context ctx;
+  alg.reset();
+
+  std::int64_t writes_since_main = 0;
+  auto drain = [&] {
+    auto& out = ctx.drain();
+    result.stats.writes += std::int64_t(out.size());
+    writes_since_main += std::int64_t(out.size());
+    result.output.insert(result.output.end(), out.begin(), out.end());
+    out.clear();
+  };
+
+  for (const auto& entry : stream) {
+    result.stats.max_writes_between_main_reads =
+        std::max(result.stats.max_writes_between_main_reads,
+                 writes_since_main);
+    DCL_ENSURE(writes_since_main <= limits.b_write,
+               "B_write exceeded between consecutive main reads");
+    writes_since_main = 0;
+    ++result.stats.main_reads;
+    alg.on_main(entry.main, ctx);
+    const bool want_aux = ctx.take_aux_request();
+    drain();
+    if (want_aux) {
+      ++result.stats.aux_requests;
+      DCL_ENSURE(result.stats.aux_requests <= limits.b_aux,
+                 "B_aux exceeded");
+      for (const auto& a : entry.aux) {
+        ++result.stats.aux_reads;
+        alg.on_aux(a, ctx);
+        DCL_ENSURE(!ctx.take_aux_request(),
+                   "GET-AUX is only valid while reading a main token");
+        drain();
+      }
+    }
+  }
+  alg.finish(ctx);
+  drain();
+  result.stats.max_writes_between_main_reads =
+      std::max(result.stats.max_writes_between_main_reads, writes_since_main);
+  DCL_ENSURE(std::int64_t(result.output.size()) <= limits.n_out,
+             "N_out exceeded");
+  return result;
+}
+
+}  // namespace dcl

@@ -1,0 +1,26 @@
+#pragma once
+// Reference (centralized) execution of a partial-pass streaming algorithm.
+// The Theorem 11 simulation must produce exactly this output — a property
+// the test suite checks — while distributing the work across a cluster.
+
+#include "core/streaming/pp_algorithm.hpp"
+
+namespace dcl {
+
+struct pp_run_stats {
+  std::int64_t main_reads = 0;
+  std::int64_t aux_reads = 0;
+  std::int64_t aux_requests = 0;  ///< GET-AUX count (must be <= B_aux)
+  std::int64_t writes = 0;
+  std::int64_t max_writes_between_main_reads = 0;  ///< must be <= B_write
+};
+
+struct pp_run_result {
+  std::vector<pp_token> output;
+  pp_run_stats stats;
+};
+
+/// Runs `alg` over `stream`, enforcing the declared pp_limits.
+pp_run_result pp_run_local(pp_algorithm& alg, const pp_stream& stream);
+
+}  // namespace dcl

@@ -1,0 +1,64 @@
+#pragma once
+// Theorem 11: simulating partial-pass streaming algorithms in a cluster.
+//
+// ζ algorithm instances run in parallel over a pool of k working vertices
+// (the cluster's V−_C, in contiguous-numbering order). Each instance's input
+// stream is split into per-vertex segments (Def 9 input contiguity: pool
+// vertex i holds the i-th contiguous run of main tokens plus their auxiliary
+// tokens). The simulation follows the paper's three phases:
+//
+//   Phase 0 — simulator chains X_j of λ vertices are assigned locally and
+//             disjointly (zero rounds);
+//   Phase 1 — main tokens are routed to their chain vertices (simulated);
+//   Phase 2 — chains execute; the algorithm state hops (a) chain vertex to
+//             chain vertex as the stream cursor crosses segment boundaries
+//             and (b) to/from the original holder whenever GET-AUX is
+//             invoked. Hops that can proceed concurrently are batched into
+//             one routed exchange — the code-level realization of the
+//             paper's step-synchronized schedule that prevents GET-AUX
+//             delays from accumulating.
+//
+// The output of each instance is identical to its pp_run_local reference
+// run; outputs remain distributed (holder recorded per token), matching the
+// output-distribution guarantees the downstream lemmas rely on.
+
+#include <functional>
+#include <string_view>
+
+#include "congest/cluster_comm.hpp"
+#include "core/streaming/pp_local_run.hpp"
+
+namespace dcl {
+
+struct pp_instance {
+  pp_algorithm* alg = nullptr;  ///< non-owning; reset() is called
+  /// segment(i) returns the main entries held by pool vertex i (0..k-1).
+  /// Called lazily; must be deterministic. Entries model data the vertex
+  /// already holds locally, so generating them costs no communication.
+  std::function<pp_stream(vertex)> segment;
+};
+
+struct pp_sim_output {
+  std::vector<pp_token> output;        ///< in stream order
+  std::vector<vertex> holder;          ///< pool index holding each token
+  pp_run_stats stats;
+};
+
+struct pp_sim_report {
+  std::vector<pp_sim_output> outputs;  ///< one per instance
+  std::int64_t hop_batches = 0;        ///< sequential routed batches
+  std::int64_t phase1_rounds = 0;
+  std::int64_t phase2_rounds = 0;
+};
+
+/// Simulates all instances in parallel on the pool `pool` (local cluster
+/// ids of cc, in chain-numbering order). `lambda` is the chain length
+/// (Thm 11's λ); `lambda * instances.size() <= pool.size()` gives disjoint
+/// chains as in the paper — smaller pools fall back to wrapped assignment
+/// (costs stay honestly accounted; only the disjointness optimization is
+/// lost). Costs are charged to cc's ledger under `phase`.
+pp_sim_report pp_simulate(cluster_comm& cc, std::span<const vertex> pool,
+                          std::span<pp_instance> instances,
+                          std::int64_t lambda, std::string_view phase);
+
+}  // namespace dcl

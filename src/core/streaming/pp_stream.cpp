@@ -1,0 +1,12 @@
+#include "core/streaming/pp_stream.hpp"
+
+namespace dcl {
+
+pp_stream concat_segments(const std::vector<pp_stream>& segments) {
+  pp_stream out;
+  for (const auto& seg : segments)
+    out.insert(out.end(), seg.begin(), seg.end());
+  return out;
+}
+
+}  // namespace dcl

@@ -1,0 +1,46 @@
+#pragma once
+// Tokens of partial-pass streams (§3). A token is a short sequence of words
+// — O(p·log n) = O(log n) bits for constant p — e.g. a vertex id plus a few
+// degree counters. Shipping a token through the cluster costs
+// ceil(len/2) CONGEST messages (each message carries two words, message.a/b).
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+
+#include "support/check.hpp"
+
+namespace dcl {
+
+class pp_token {
+ public:
+  static constexpr int capacity = 8;
+
+  pp_token() = default;
+  pp_token(std::initializer_list<std::uint64_t> words) {
+    for (auto w : words) push(w);
+  }
+
+  void push(std::uint64_t w) {
+    DCL_EXPECTS(len_ < capacity, "token word capacity exceeded");
+    w_[size_t(len_++)] = w;
+  }
+
+  std::uint64_t at(int i) const {
+    DCL_EXPECTS(i >= 0 && i < len_, "token word index out of range");
+    return w_[size_t(i)];
+  }
+
+  int size() const { return len_; }
+
+  /// CONGEST messages needed to ship this token (2 words per message).
+  std::int64_t message_cost() const { return (len_ + 1) / 2; }
+
+  friend bool operator==(const pp_token&, const pp_token&) = default;
+
+ private:
+  std::array<std::uint64_t, capacity> w_{};
+  int len_ = 0;
+};
+
+}  // namespace dcl

@@ -1,0 +1,124 @@
+#include "expander/anatomy.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/math_util.hpp"
+
+namespace dcl {
+
+std::int32_t cluster_anatomy::comm_degree_of(vertex v) const {
+  const auto it = std::lower_bound(v_cluster.begin(), v_cluster.end(), v);
+  DCL_EXPECTS(it != v_cluster.end() && *it == v, "vertex not in cluster");
+  return comm_degree[size_t(it - v_cluster.begin())];
+}
+
+bool cluster_anatomy::in_v_minus(vertex v) const {
+  return std::binary_search(v_minus.begin(), v_minus.end(), v);
+}
+
+std::vector<cluster_anatomy> build_anatomy(const graph& g,
+                                           const expander_decomposition& d,
+                                           const anatomy_options& opt) {
+  DCL_EXPECTS(opt.p >= 3, "clique size must be at least 3");
+  std::vector<cluster_anatomy> out;
+  out.reserve(d.clusters.size());
+
+  // deg_{E_i}(v) for each vertex of each cluster; clusters are
+  // vertex-disjoint so one global array suffices.
+  std::vector<std::int32_t> deg_in(size_t(g.num_vertices()), 0);
+
+  for (const auto& cl : d.clusters) {
+    cluster_anatomy a;
+    a.certified_phi = cl.certified_phi;
+
+    for (const auto& e : cl.edges) {
+      ++deg_in[size_t(e.u)];
+      ++deg_in[size_t(e.v)];
+    }
+    // V∘: majority of incident edges are inside E_i.
+    std::vector<bool> open(size_t(g.num_vertices()), false);
+    for (vertex v : cl.vertices)
+      if (2 * deg_in[size_t(v)] >= g.degree(v)) {
+        a.v_open.push_back(v);
+        open[size_t(v)] = true;
+      }
+
+    // E−: E_i edges inside V∘ × V∘.
+    for (const auto& e : cl.edges)
+      if (open[size_t(e.u)] && open[size_t(e.v)]) a.e_minus.push_back(e);
+
+    // E+ = E_i ∪ E(V∘, V)  (p = 3)   or   E_i ∪ E(V∘, V∘)  (p > 3).
+    a.e_cluster = cl.edges;
+    for (vertex v : a.v_open) {
+      for (vertex w : g.neighbors(v)) {
+        if (opt.p == 3) {
+          a.e_cluster.push_back(make_edge(v, w));
+        } else if (open[size_t(w)]) {
+          if (v < w) a.e_cluster.push_back({v, w});
+        }
+      }
+    }
+    std::sort(a.e_cluster.begin(), a.e_cluster.end());
+    a.e_cluster.erase(std::unique(a.e_cluster.begin(), a.e_cluster.end()),
+                      a.e_cluster.end());
+
+    // V_C = endpoints of E_C (plus any isolated original cluster vertices,
+    // which cannot occur since clusters have no isolated vertices).
+    for (const auto& e : a.e_cluster) {
+      a.v_cluster.push_back(e.u);
+      a.v_cluster.push_back(e.v);
+    }
+    std::sort(a.v_cluster.begin(), a.v_cluster.end());
+    a.v_cluster.erase(std::unique(a.v_cluster.begin(), a.v_cluster.end()),
+                      a.v_cluster.end());
+
+    // Communication degrees within E_C.
+    a.comm_degree.assign(a.v_cluster.size(), 0);
+    auto local_index = [&](vertex v) {
+      return size_t(std::lower_bound(a.v_cluster.begin(), a.v_cluster.end(),
+                                     v) -
+                    a.v_cluster.begin());
+    };
+    for (const auto& e : a.e_cluster) {
+      ++a.comm_degree[local_index(e.u)];
+      ++a.comm_degree[local_index(e.v)];
+    }
+
+    // δ and V−.
+    a.delta = opt.delta;
+    if (a.delta == 0) {
+      if (opt.p == 3) {
+        a.delta = ceil_root(std::int64_t(a.v_cluster.size()), 3);
+      } else {
+        a.delta = std::int64_t(
+            opt.beta *
+            double(budget_n_1_minus_2_over_p(g.num_vertices(), opt.p)));
+      }
+    }
+    for (std::size_t i = 0; i < a.v_cluster.size(); ++i) {
+      const vertex v = a.v_cluster[i];
+      const bool eligible = opt.p == 3 ? true : open[size_t(v)];
+      if (eligible && a.comm_degree[i] >= a.delta) a.v_minus.push_back(v);
+    }
+
+    // μ and V*.
+    if (!a.v_minus.empty()) {
+      std::int64_t sum = 0;
+      for (vertex v : a.v_minus) sum += a.comm_degree_of(v);
+      a.mu = double(sum) / double(a.v_minus.size());
+      for (vertex v : a.v_minus)
+        if (double(a.comm_degree_of(v)) >= a.mu / 2.0)
+          a.v_star.push_back(v);
+    }
+
+    for (const auto& e : cl.edges) {  // reset the scratch array
+      --deg_in[size_t(e.u)];
+      --deg_in[size_t(e.v)];
+    }
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+}  // namespace dcl

@@ -1,0 +1,53 @@
+#pragma once
+// Cluster anatomy (paper §2 + Figure 1): from a raw expander decomposition,
+// derive for each cluster the vertex/edge designations the listing layer
+// consumes —
+//   V∘_i : vertices with the majority of their edges inside E_i,
+//   E−_i : edges of E_i with both endpoints in V∘_i (the edges whose cliques
+//          this cluster must list; they are what the recursion retires),
+//   E+_i : the communication cluster's edge set
+//          (K3:  E_i ∪ E(V∘_i, V) — the third triangle vertex may be
+//           anywhere; K_p>3: E_i ∪ E(V∘_i, V∘_i), outside edges arrive via
+//           the Ē/E′ delivery instead),
+//   V−_C : high-communication-degree vertices (≥ δ),
+//   V*_C : vertices of at least half-average communication degree, and μ.
+
+#include <vector>
+
+#include "expander/decomposition.hpp"
+#include "graph/graph.hpp"
+
+namespace dcl {
+
+struct cluster_anatomy {
+  std::vector<vertex> v_cluster;        ///< V_C, sorted (current-level ids)
+  edge_list e_cluster;                  ///< E_C = E+_i
+  std::vector<vertex> v_open;           ///< V∘_i, sorted
+  edge_list e_minus;                    ///< E−_i
+  std::vector<vertex> v_minus;          ///< V−_C, sorted
+  std::vector<vertex> v_star;           ///< V*_C, sorted
+  std::vector<std::int32_t> comm_degree;  ///< deg_C aligned with v_cluster
+  double mu = 0.0;                      ///< average comm degree over V−_C
+  double certified_phi = 0.0;           ///< inherited Cheeger certificate
+  std::int64_t delta = 0;               ///< the V− threshold actually used
+
+  std::int32_t comm_degree_of(vertex v) const;  ///< v must be in V_C
+  bool in_v_minus(vertex v) const;
+};
+
+struct anatomy_options {
+  int p = 3;
+  /// Degree threshold δ for V−_C. 0 derives the paper's defaults:
+  /// p = 3 → ceil(|V_C|^{1/3}) (Def 15 / Lemma 33);
+  /// p ≥ 4 → beta · n^{1-2/p} (Lemma 38), with n = |V(g)|.
+  std::int64_t delta = 0;
+  double beta = 2.0;
+};
+
+/// Builds the anatomy of each cluster of `d` with respect to the
+/// current-level graph `g` (the same graph `d` was computed from).
+std::vector<cluster_anatomy> build_anatomy(const graph& g,
+                                           const expander_decomposition& d,
+                                           const anatomy_options& opt);
+
+}  // namespace dcl

@@ -1,0 +1,31 @@
+#include "expander/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace dcl {
+
+std::int64_t cs20_decomposition_rounds(std::int64_t n, double epsilon) {
+  DCL_EXPECTS(n >= 0 && epsilon > 0.0, "bad model arguments");
+  if (n < 2) return 0;
+  const double logn = std::log2(double(std::max<std::int64_t>(n, 4)));
+  const double loglogn = std::log2(std::max(logn, 2.0));
+  const double subpoly = std::exp2(std::sqrt(logn * loglogn));
+  const double inv_eps = 1.0 / epsilon;
+  return std::int64_t(std::ceil(inv_eps * subpoly));
+}
+
+std::int64_t cs20_routing_rounds(std::int64_t load, double phi,
+                                 std::int64_t n) {
+  DCL_EXPECTS(load >= 0 && phi > 0.0 && n >= 0, "bad model arguments");
+  if (load == 0 || n < 2) return 0;
+  const double logn = std::log2(double(std::max<std::int64_t>(n, 4)));
+  const double loglogn = std::log2(std::max(logn, 2.0));
+  const double subpoly =
+      std::exp2(std::pow(logn, 2.0 / 3.0) * std::pow(loglogn, 1.0 / 3.0));
+  return std::int64_t(std::ceil(double(load) / phi * subpoly));
+}
+
+}  // namespace dcl

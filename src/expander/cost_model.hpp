@@ -1,0 +1,17 @@
+#pragma once
+// Closed-form round charges for the two [CS20] components we substitute
+// (DESIGN.md §2). These are *reported separately* by every benchmark; all
+// other costs in this repository are measured by simulation.
+
+#include <cstdint>
+
+namespace dcl {
+
+/// Thm 5 model: poly(1/ε) · 2^{O(sqrt(log n · log log n))} rounds.
+std::int64_t cs20_decomposition_rounds(std::int64_t n, double epsilon);
+
+/// Thm 6 model: L · poly(1/φ) · 2^{O(log^{2/3} n · log^{1/3} log n)} rounds.
+std::int64_t cs20_routing_rounds(std::int64_t load, double phi,
+                                 std::int64_t n);
+
+}  // namespace dcl

@@ -1,0 +1,155 @@
+#include "expander/decomposition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "expander/cost_model.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/spectral.hpp"
+#include "support/check.hpp"
+
+namespace dcl {
+
+namespace {
+
+struct decompose_state {
+  const graph* g = nullptr;
+  double phi = 0.0;
+  int power_iterations = 0;
+  std::vector<cluster_info>* clusters = nullptr;
+  edge_list* remainder = nullptr;
+  int max_depth = 0;
+};
+
+/// Recursively processes the subgraph induced by `verts` (parent ids,
+/// sorted). Emits clusters and remainder edges in parent ids.
+void decompose_rec(decompose_state& st, const std::vector<vertex>& verts,
+                   int depth) {
+  st.max_depth = std::max(st.max_depth, depth);
+  if (verts.size() <= 1) return;  // no internal edges possible
+
+  // Build the induced subgraph on `verts`.
+  const graph& g = *st.g;
+  std::vector<vertex> to_local(size_t(g.num_vertices()), -1);
+  for (vertex l = 0; l < vertex(verts.size()); ++l)
+    to_local[size_t(verts[size_t(l)])] = l;
+  edge_list local_edges;
+  for (vertex lu = 0; lu < vertex(verts.size()); ++lu) {
+    const vertex u = verts[size_t(lu)];
+    for (vertex v : g.neighbors(u)) {
+      const vertex lv = to_local[size_t(v)];
+      if (lv > lu) local_edges.push_back({lu, lv});
+    }
+  }
+  std::sort(local_edges.begin(), local_edges.end());
+  if (local_edges.empty()) return;
+  const graph sub(vertex(verts.size()), local_edges);
+
+  // Split disconnected candidates by component first.
+  const auto comps = connected_components(sub);
+  if (comps.count > 1) {
+    for (vertex c = 0; c < comps.count; ++c) {
+      std::vector<vertex> side;
+      for (vertex l = 0; l < sub.num_vertices(); ++l)
+        if (comps.id[size_t(l)] == c) side.push_back(verts[size_t(l)]);
+      decompose_rec(st, side, depth);  // free split, no depth charge
+    }
+    return;
+  }
+
+  const auto rep = second_eigen(sub, st.power_iterations);
+  if (rep.lambda2 / 2.0 >= st.phi) {
+    cluster_info info;
+    info.vertices = verts;
+    info.edges.reserve(local_edges.size());
+    for (const auto& e : local_edges)
+      info.edges.push_back(
+          make_edge(verts[size_t(e.u)], verts[size_t(e.v)]));
+    std::sort(info.edges.begin(), info.edges.end());
+    info.lambda2 = rep.lambda2;
+    info.certified_phi = rep.lambda2 / 2.0;
+    info.mixing_time = rep.mixing_time_estimate;
+    st.clusters->push_back(std::move(info));
+    return;
+  }
+
+  auto cut = sweep_cut(sub, rep.embedding);
+  DCL_ENSURE(cut.found && !cut.side.empty() &&
+                 vertex(cut.side.size()) < sub.num_vertices(),
+             "sweep cut failed on a connected low-gap subgraph");
+  std::vector<bool> in_side(size_t(sub.num_vertices()), false);
+  for (vertex l : cut.side) in_side[size_t(l)] = true;
+  std::vector<vertex> side_a, side_b;
+  for (vertex l = 0; l < sub.num_vertices(); ++l)
+    (in_side[size_t(l)] ? side_a : side_b).push_back(verts[size_t(l)]);
+  for (const auto& e : local_edges)
+    if (in_side[size_t(e.u)] != in_side[size_t(e.v)])
+      st.remainder->push_back(
+          make_edge(verts[size_t(e.u)], verts[size_t(e.v)]));
+  decompose_rec(st, side_a, depth + 1);
+  decompose_rec(st, side_b, depth + 1);
+}
+
+}  // namespace
+
+double expander_decomposition::remainder_fraction(const graph& g) const {
+  if (g.num_edges() == 0) return 0.0;
+  return double(remainder.size()) / double(g.num_edges());
+}
+
+expander_decomposition decompose(const graph& g,
+                                 const decomposition_options& opt) {
+  DCL_EXPECTS(opt.epsilon > 0.0 && opt.epsilon < 1.0,
+              "epsilon must be in (0,1)");
+  DCL_EXPECTS(opt.phi_target > 0.0, "phi_target must be positive");
+  const double m = double(std::max<std::int64_t>(g.num_edges(), 2));
+  const double phi_floor = opt.epsilon * opt.epsilon /
+                           (64.0 * std::log2(m) * std::log2(m));
+  double phi = opt.phi_target;
+
+  expander_decomposition result;
+  for (int attempt = 0;; ++attempt) {
+    result.clusters.clear();
+    result.remainder.clear();
+    decompose_state st;
+    st.g = &g;
+    st.phi = phi;
+    st.power_iterations = opt.power_iterations;
+    st.clusters = &result.clusters;
+    st.remainder = &result.remainder;
+    std::vector<vertex> all(size_t(g.num_vertices()));
+    for (vertex v = 0; v < g.num_vertices(); ++v) all[size_t(v)] = v;
+    decompose_rec(st, all, 0);
+    result.phi_used = phi;
+    result.retries = attempt;
+    result.max_cut_depth = st.max_depth;
+    if (double(result.remainder.size()) <=
+        opt.epsilon * double(g.num_edges()))
+      break;
+    // Deterministic adaptive relaxation (DESIGN.md §2.1). Below a quarter of
+    // the provably-sufficient floor, accept the best effort.
+    if (phi < phi_floor / 4.0) break;
+    phi /= 2.0;
+  }
+  std::sort(result.remainder.begin(), result.remainder.end());
+
+  // Sanity: every edge in exactly one cluster or the remainder, clusters
+  // vertex-disjoint. These invariants gate everything downstream.
+  std::int64_t covered = std::int64_t(result.remainder.size());
+  std::vector<bool> seen(size_t(g.num_vertices()), false);
+  for (const auto& c : result.clusters) {
+    covered += std::int64_t(c.edges.size());
+    for (vertex v : c.vertices) {
+      DCL_ENSURE(!seen[size_t(v)], "clusters share a vertex");
+      seen[size_t(v)] = true;
+    }
+  }
+  DCL_ENSURE(covered == g.num_edges(),
+             "decomposition lost or duplicated edges");
+
+  result.model_rounds = cs20_decomposition_rounds(g.num_vertices(),
+                                                  opt.epsilon);
+  return result;
+}
+
+}  // namespace dcl

@@ -1,0 +1,55 @@
+#pragma once
+// Deterministic (ε, φ)-expander decomposition — the implemented substitute
+// for [CS20, Thm 5] (DESIGN.md §2). Recursive spectral partitioning:
+//   * compute λ₂ of the cluster candidate (deterministic power iteration);
+//   * if λ₂/2 ≥ φ, emit it as a cluster (Cheeger certifies Φ ≥ λ₂/2 ≥ φ);
+//   * otherwise split along the best sweep cut, charge the cut edges to the
+//     remainder, and recurse on both sides.
+// With φ = Θ(ε²/log²m) the charging argument bounds the remainder by ε|E|;
+// the implementation additionally *verifies* the bound and retries with a
+// smaller φ if a pathological input defeats the numerical eigensolver.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dcl {
+
+struct decomposition_options {
+  double epsilon = 1.0 / 18.0;  ///< remainder budget, |E_r| <= epsilon*|E|
+  /// Initial conductance target. The algorithm starts here (aggressive, so
+  /// clusterable graphs split into their natural clusters) and halves φ
+  /// until the remainder bound holds; φ = ε²/(64·log₂²m) — the value that
+  /// provably satisfies the bound under exact Cheeger sweeps — acts as the
+  /// floor below which the last attempt is accepted.
+  double phi_target = 0.125;
+  int power_iterations = 3000;
+};
+
+struct cluster_info {
+  std::vector<vertex> vertices;  ///< sorted, in parent-graph ids
+  edge_list edges;               ///< induced edges of this cluster
+  double lambda2 = 0.0;          ///< spectral gap of the cluster subgraph
+  double certified_phi = 0.0;    ///< λ₂/2, the Cheeger certificate
+  double mixing_time = 0.0;
+};
+
+struct expander_decomposition {
+  std::vector<cluster_info> clusters;
+  edge_list remainder;     ///< E_r, inter-cluster edges
+  double phi_used = 0.0;   ///< final conductance target after retries
+  int retries = 0;
+  int max_cut_depth = 0;   ///< depth of the recursive cutting tree
+  std::int64_t model_rounds = 0;  ///< charged CS20-formula round cost
+
+  /// Remainder fraction |E_r| / |E| (0 for the empty graph).
+  double remainder_fraction(const graph& g) const;
+};
+
+/// Decomposes g. Every edge lands in exactly one cluster or the remainder;
+/// clusters are vertex-disjoint connected subgraphs. Deterministic.
+expander_decomposition decompose(const graph& g,
+                                 const decomposition_options& opt = {});
+
+}  // namespace dcl

@@ -1,0 +1,194 @@
+#include "graph/clique_enum.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "support/check.hpp"
+
+namespace dcl {
+
+clique_set::clique_set(int p) : p_(p) {
+  DCL_EXPECTS(p >= 2, "clique arity must be at least 2");
+}
+
+void clique_set::add(std::span<const vertex> clique) {
+  DCL_EXPECTS(int(clique.size()) == p_, "clique arity mismatch");
+  flat_.insert(flat_.end(), clique.begin(), clique.end());
+  std::sort(flat_.end() - p_, flat_.end());
+  normalized_ = false;
+}
+
+std::int64_t clique_set::normalize() {
+  const std::int64_t before = size();
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(before));
+  for (std::int64_t i = 0; i < before; ++i) idx[size_t(i)] = i;
+  auto key = [&](std::int64_t i) {
+    return std::span<const vertex>(flat_.data() + i * p_, size_t(p_));
+  };
+  std::sort(idx.begin(), idx.end(), [&](std::int64_t a, std::int64_t b) {
+    const auto ka = key(a), kb = key(b);
+    return std::lexicographical_compare(ka.begin(), ka.end(), kb.begin(),
+                                        kb.end());
+  });
+  std::vector<vertex> out;
+  out.reserve(flat_.size());
+  for (std::int64_t r = 0; r < before; ++r) {
+    const auto k = key(idx[size_t(r)]);
+    if (!out.empty() &&
+        std::equal(k.begin(), k.end(), out.end() - p_, out.end()))
+      continue;
+    out.insert(out.end(), k.begin(), k.end());
+  }
+  flat_ = std::move(out);
+  normalized_ = true;
+  return before - size();
+}
+
+bool clique_set::contains(std::span<const vertex> clique) const {
+  DCL_EXPECTS(normalized_, "call normalize() before queries");
+  DCL_EXPECTS(int(clique.size()) == p_, "clique arity mismatch");
+  std::vector<vertex> k(clique.begin(), clique.end());
+  std::sort(k.begin(), k.end());
+  std::int64_t lo = 0, hi = size();
+  while (lo < hi) {
+    const std::int64_t mid = (lo + hi) / 2;
+    const auto c = (*this)[mid];
+    if (std::lexicographical_compare(c.begin(), c.end(), k.begin(), k.end()))
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  if (lo == size()) return false;
+  const auto c = (*this)[lo];
+  return std::equal(c.begin(), c.end(), k.begin(), k.end());
+}
+
+void for_each_triangle(const graph& g,
+                       const std::function<void(vertex, vertex, vertex)>& cb) {
+  for (vertex u = 0; u < g.num_vertices(); ++u) {
+    const auto nu = g.neighbors(u);
+    // Suffix of neighbors greater than u.
+    const auto first_gt =
+        std::upper_bound(nu.begin(), nu.end(), u) - nu.begin();
+    const auto fwd_u = nu.subspan(static_cast<std::size_t>(first_gt));
+    for (vertex v : fwd_u) {
+      const auto nv = g.neighbors(v);
+      const auto first_gt_v =
+          std::upper_bound(nv.begin(), nv.end(), v) - nv.begin();
+      const auto fwd_v = nv.subspan(static_cast<std::size_t>(first_gt_v));
+      // w > v, w adjacent to both u and v.
+      std::size_t i = 0, j = 0;
+      const auto fu =
+          fwd_u.subspan(size_t(std::upper_bound(fwd_u.begin(), fwd_u.end(), v) -
+                               fwd_u.begin()));
+      while (i < fu.size() && j < fwd_v.size()) {
+        if (fu[i] < fwd_v[j]) {
+          ++i;
+        } else if (fu[i] > fwd_v[j]) {
+          ++j;
+        } else {
+          cb(u, v, fu[i]);
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+void clique_dfs(const graph& g, int p, std::vector<vertex>& current,
+                std::vector<vertex>& candidates,
+                const std::function<void(std::span<const vertex>)>& cb) {
+  if (int(current.size()) == p) {
+    cb(current);
+    return;
+  }
+  const int need = p - int(current.size());
+  if (int(candidates.size()) < need) return;
+  // Iterate a copy: candidates shrinks in recursive calls.
+  const std::vector<vertex> cands = candidates;
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    if (int(cands.size() - i) < need) break;
+    const vertex v = cands[i];
+    current.push_back(v);
+    std::vector<vertex> next;
+    const auto nv = g.neighbors(v);
+    // Next candidates: those after v in cands that are adjacent to v.
+    std::span<const vertex> tail(cands.data() + i + 1, cands.size() - i - 1);
+    next = sorted_intersection(tail, nv);
+    clique_dfs(g, p, current, next, cb);
+    current.pop_back();
+  }
+}
+
+}  // namespace
+
+void for_each_clique(const graph& g, int p,
+                     const std::function<void(std::span<const vertex>)>& cb) {
+  DCL_EXPECTS(p >= 2, "clique arity must be at least 2");
+  if (p == 3) {
+    for_each_triangle(g, [&](vertex u, vertex v, vertex w) {
+      const vertex t[3] = {u, v, w};
+      cb(std::span<const vertex>(t, 3));
+    });
+    return;
+  }
+  std::vector<vertex> current;
+  for (vertex v = 0; v < g.num_vertices(); ++v) {
+    current.push_back(v);
+    const auto nv = g.neighbors(v);
+    const auto first_gt =
+        std::upper_bound(nv.begin(), nv.end(), v) - nv.begin();
+    std::vector<vertex> cands(nv.begin() + first_gt, nv.end());
+    clique_dfs(g, p, current, cands, cb);
+    current.pop_back();
+  }
+}
+
+std::int64_t count_cliques(const graph& g, int p) {
+  std::int64_t count = 0;
+  for_each_clique(g, p, [&](std::span<const vertex>) { ++count; });
+  return count;
+}
+
+clique_set collect_cliques(const graph& g, int p) {
+  clique_set out(p);
+  for_each_clique(g, p, [&](std::span<const vertex> c) { out.add(c); });
+  out.normalize();
+  return out;
+}
+
+clique_set cliques_in_edge_set(const edge_list& edges, int p) {
+  edge_list canon;
+  canon.reserve(edges.size());
+  for (const auto& e : edges) {
+    if (e.u == e.v) continue;
+    canon.push_back(make_edge(e.u, e.v));
+  }
+  std::sort(canon.begin(), canon.end());
+  canon.erase(std::unique(canon.begin(), canon.end()), canon.end());
+  if (canon.empty()) return clique_set(p);
+
+  // Remap to dense local ids.
+  vertex max_v = 0;
+  for (const auto& e : canon) max_v = std::max(max_v, e.v);
+  edge_induced_subgraph sub = [&] {
+    // Build a throwaway parent graph wrapper: induce_by_edges only needs the
+    // vertex-count upper bound for its to_local map.
+    graph parent(max_v + 1, {});
+    return induce_by_edges(parent, canon);
+  }();
+  clique_set out(p);
+  for_each_clique(sub.g, p, [&](std::span<const vertex> c) {
+    std::vector<vertex> mapped(c.size());
+    for (std::size_t i = 0; i < c.size(); ++i)
+      mapped[i] = sub.to_parent[size_t(c[i])];
+    out.add(mapped);
+  });
+  out.normalize();
+  return out;
+}
+
+}  // namespace dcl

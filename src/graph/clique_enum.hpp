@@ -1,0 +1,64 @@
+#pragma once
+// Sequential exact clique enumeration — the ground truth every distributed
+// listing run is checked against, and itself a baseline (§1.3 discusses the
+// centralized view). Cliques are canonical sorted p-tuples.
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dcl {
+
+/// Canonical set of p-cliques: flat storage, stride p, each tuple ascending,
+/// tuples sorted lexicographically, no duplicates after normalize().
+class clique_set {
+ public:
+  explicit clique_set(int p);
+
+  int arity() const { return p_; }
+  std::int64_t size() const { return std::int64_t(flat_.size()) / p_; }
+
+  /// Appends a clique (any vertex order); call normalize() before queries.
+  void add(std::span<const vertex> clique);
+
+  /// Sorts tuples internally and lexicographically; removes duplicates.
+  /// Returns the number of duplicates removed.
+  std::int64_t normalize();
+
+  std::span<const vertex> operator[](std::int64_t i) const {
+    return {flat_.data() + i * p_, size_t(p_)};
+  }
+
+  bool contains(std::span<const vertex> clique) const;
+
+  friend bool operator==(const clique_set& a, const clique_set& b) {
+    return a.p_ == b.p_ && a.flat_ == b.flat_;
+  }
+
+ private:
+  int p_;
+  std::vector<vertex> flat_;
+  bool normalized_ = true;
+};
+
+/// Calls cb(u, v, w) with u < v < w for every triangle. Forward algorithm on
+/// sorted adjacency — O(m^{3/2}).
+void for_each_triangle(const graph& g,
+                       const std::function<void(vertex, vertex, vertex)>& cb);
+
+/// Calls cb with each p-clique as an ascending tuple. Ordered DFS over
+/// common-neighborhood suffixes; p >= 2.
+void for_each_clique(const graph& g, int p,
+                     const std::function<void(std::span<const vertex>)>& cb);
+
+std::int64_t count_cliques(const graph& g, int p);
+
+clique_set collect_cliques(const graph& g, int p);
+
+/// Enumerate p-cliques of an explicit edge set (not a full graph) — used by
+/// listers that have learned a partial edge set. The edge list may contain
+/// duplicates; vertices are arbitrary ids.
+clique_set cliques_in_edge_set(const edge_list& edges, int p);
+
+}  // namespace dcl

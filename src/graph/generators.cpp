@@ -1,0 +1,189 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "support/check.hpp"
+#include "support/prng.hpp"
+
+namespace dcl::gen {
+
+graph gnp(vertex n, double p, std::uint64_t seed) {
+  DCL_EXPECTS(p >= 0.0 && p <= 1.0, "probability out of range");
+  // Per-pair sampling: exact distribution, deterministic, and fast enough at
+  // the vertex counts a round-accurate CONGEST simulation can handle.
+  DCL_EXPECTS(std::int64_t(n) * (n - 1) / 2 <= 256'000'000,
+              "gnp supports up to ~22k vertices");
+  prng rng(seed);
+  edge_list edges;
+  for (vertex u = 0; u < n; ++u)
+    for (vertex v = u + 1; v < n; ++v)
+      if (rng.next_real() < p) edges.push_back({u, v});
+  return graph(n, edges);
+}
+
+graph gnm(vertex n, std::int64_t m, std::uint64_t seed) {
+  const std::int64_t total = std::int64_t(n) * (n - 1) / 2;
+  DCL_EXPECTS(m >= 0 && m <= total, "edge count out of range");
+  prng rng(seed);
+  std::set<std::pair<vertex, vertex>> chosen;
+  while (std::int64_t(chosen.size()) < m) {
+    const auto u = vertex(rng.next_below(std::uint64_t(n)));
+    const auto v = vertex(rng.next_below(std::uint64_t(n)));
+    if (u == v) continue;
+    chosen.insert({std::min(u, v), std::max(u, v)});
+  }
+  edge_list edges;
+  edges.reserve(chosen.size());
+  for (const auto& [u, v] : chosen) edges.push_back({u, v});
+  return graph(n, edges);
+}
+
+graph power_law(vertex n, double gamma, double avg_deg, std::uint64_t seed) {
+  DCL_EXPECTS(gamma > 1.0, "power-law exponent must exceed 1");
+  prng rng(seed);
+  std::vector<double> w(static_cast<std::size_t>(n));
+  double sum = 0.0;
+  for (vertex i = 0; i < n; ++i) {
+    w[size_t(i)] = std::pow(double(i + 1), -1.0 / (gamma - 1.0));
+    sum += w[size_t(i)];
+  }
+  const double scale = avg_deg * double(n) / sum;
+  for (auto& x : w) x *= scale;
+  edge_list edges;
+  const double total_w = avg_deg * double(n);
+  for (vertex u = 0; u < n; ++u) {
+    for (vertex v = u + 1; v < n; ++v) {
+      const double p = std::min(1.0, w[size_t(u)] * w[size_t(v)] / total_w);
+      if (rng.next_real() < p) edges.push_back({u, v});
+    }
+  }
+  return graph(n, edges);
+}
+
+graph planted_partition(vertex parts, vertex part_size, double p_in,
+                        double p_out, std::uint64_t seed) {
+  const vertex n = parts * part_size;
+  prng rng(seed);
+  edge_list edges;
+  for (vertex u = 0; u < n; ++u) {
+    for (vertex v = u + 1; v < n; ++v) {
+      const bool same = (u / part_size) == (v / part_size);
+      if (rng.next_real() < (same ? p_in : p_out)) edges.push_back({u, v});
+    }
+  }
+  return graph(n, edges);
+}
+
+graph ring_of_cliques(vertex count, vertex size) {
+  DCL_EXPECTS(count >= 1 && size >= 2, "need count >= 1, size >= 2");
+  const vertex n = count * size;
+  edge_list edges;
+  for (vertex c = 0; c < count; ++c) {
+    const vertex base = c * size;
+    for (vertex i = 0; i < size; ++i)
+      for (vertex j = i + 1; j < size; ++j)
+        edges.push_back({base + i, base + j});
+  }
+  if (count > 1) {
+    for (vertex c = 0; c < count; ++c) {
+      const vertex a = c * size;                         // first of clique c
+      const vertex b = ((c + 1) % count) * size + 1;     // second of next
+      if (count == 2 && c == 1) break;  // avoid duplicating the one bridge
+      edges.push_back(make_edge(a, b));
+    }
+  }
+  return graph::from_unsorted(n, std::move(edges));
+}
+
+graph complete(vertex n) {
+  edge_list edges;
+  for (vertex u = 0; u < n; ++u)
+    for (vertex v = u + 1; v < n; ++v) edges.push_back({u, v});
+  return graph(n, edges);
+}
+
+graph complete_bipartite(vertex a, vertex b) {
+  edge_list edges;
+  for (vertex u = 0; u < a; ++u)
+    for (vertex v = 0; v < b; ++v) edges.push_back({u, vertex(a + v)});
+  return graph(a + b, edges);
+}
+
+graph hypercube(int d) {
+  DCL_EXPECTS(d >= 0 && d < 24, "hypercube dimension out of range");
+  const vertex n = vertex(1) << d;
+  edge_list edges;
+  for (vertex u = 0; u < n; ++u)
+    for (int bit = 0; bit < d; ++bit) {
+      const vertex v = u ^ (vertex(1) << bit);
+      if (u < v) edges.push_back({u, v});
+    }
+  return graph(n, edges);
+}
+
+graph grid(vertex rows, vertex cols) {
+  const vertex n = rows * cols;
+  edge_list edges;
+  for (vertex r = 0; r < rows; ++r)
+    for (vertex c = 0; c < cols; ++c) {
+      const vertex u = r * cols + c;
+      if (c + 1 < cols) edges.push_back({u, u + 1});
+      if (r + 1 < rows) edges.push_back({u, u + cols});
+    }
+  return graph(n, edges);
+}
+
+graph circulant(vertex n, const std::vector<vertex>& offsets) {
+  edge_list edges;
+  for (vertex u = 0; u < n; ++u)
+    for (vertex off : offsets) {
+      DCL_EXPECTS(off > 0 && off < n, "circulant offset out of range");
+      edges.push_back(make_edge(u, vertex((u + off) % n)));
+    }
+  return graph::from_unsorted(n, std::move(edges));
+}
+
+graph planted_cliques(vertex n, double p, vertex count, vertex size,
+                      std::uint64_t seed) {
+  DCL_EXPECTS(size <= n, "planted clique larger than graph");
+  prng rng(seed);
+  edge_list edges = gnp(n, p, splitmix64(seed)).edges();
+  std::vector<vertex> ids(static_cast<std::size_t>(n));
+  for (vertex i = 0; i < n; ++i) ids[size_t(i)] = i;
+  for (vertex c = 0; c < count; ++c) {
+    rng.shuffle(ids);
+    for (vertex i = 0; i < size; ++i)
+      for (vertex j = i + 1; j < size; ++j)
+        edges.push_back(make_edge(ids[size_t(i)], ids[size_t(j)]));
+  }
+  return graph::from_unsorted(n, std::move(edges));
+}
+
+graph barabasi_albert(vertex n, vertex m, std::uint64_t seed) {
+  DCL_EXPECTS(m >= 1 && n > m, "need n > m >= 1");
+  prng rng(seed);
+  edge_list edges;
+  std::vector<vertex> targets;  // vertex repeated once per incident edge
+  for (vertex v = 0; v <= m; ++v)
+    for (vertex u = 0; u < v; ++u) {
+      edges.push_back({u, v});
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  for (vertex v = m + 1; v < n; ++v) {
+    std::set<vertex> picked;
+    while (vertex(picked.size()) < m) {
+      picked.insert(targets[size_t(rng.next_below(targets.size()))]);
+    }
+    for (vertex u : picked) {
+      edges.push_back(make_edge(u, v));
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  return graph::from_unsorted(n, std::move(edges));
+}
+
+}  // namespace dcl::gen

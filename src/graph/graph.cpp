@@ -1,0 +1,101 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace dcl {
+
+graph::graph(vertex n, const edge_list& edges) : n_(n) {
+  DCL_EXPECTS(n >= 0, "vertex count must be non-negative");
+  std::vector<std::int32_t> deg(size_t(n), 0);
+  for (const auto& e : edges) {
+    DCL_EXPECTS(e.u >= 0 && e.v < n && e.u < e.v,
+                "edge endpoints must satisfy 0 <= u < v < n");
+    ++deg[size_t(e.u)];
+    ++deg[size_t(e.v)];
+  }
+  offsets_.assign(size_t(n) + 1, 0);
+  for (vertex v = 0; v < n; ++v)
+    offsets_[size_t(v) + 1] = offsets_[size_t(v)] + deg[size_t(v)];
+  adj_.resize(size_t(offsets_[size_t(n)]));
+  std::vector<std::int64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const auto& e : edges) {
+    adj_[size_t(cursor[size_t(e.u)]++)] = e.v;
+    adj_[size_t(cursor[size_t(e.v)]++)] = e.u;
+  }
+  for (vertex v = 0; v < n; ++v) {
+    auto begin = adj_.begin() + offsets_[size_t(v)];
+    auto end = adj_.begin() + offsets_[size_t(v) + 1];
+    std::sort(begin, end);
+    DCL_EXPECTS(std::adjacent_find(begin, end) == end,
+                "duplicate edge in input");
+  }
+  edges_ = edges;
+  std::sort(edges_.begin(), edges_.end());
+}
+
+graph graph::from_unsorted(vertex n, edge_list edges) {
+  edge_list canon;
+  canon.reserve(edges.size());
+  for (const auto& e : edges) {
+    if (e.u == e.v) continue;  // drop self-loops
+    canon.push_back(make_edge(e.u, e.v));
+  }
+  std::sort(canon.begin(), canon.end());
+  canon.erase(std::unique(canon.begin(), canon.end()), canon.end());
+  return graph(n, canon);
+}
+
+bool graph::has_edge(vertex u, vertex v) const {
+  const auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+std::int64_t graph::volume(std::span<const vertex> vs) const {
+  std::int64_t vol = 0;
+  for (vertex v : vs) vol += degree(v);
+  return vol;
+}
+
+std::int32_t graph::degree_into(vertex v, std::span<const vertex> into) const {
+  return std::int32_t(sorted_intersection_size(neighbors(v), into));
+}
+
+std::int64_t sorted_intersection_size(std::span<const vertex> a,
+                                      std::span<const vertex> b) {
+  std::int64_t count = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+std::vector<vertex> sorted_intersection(std::span<const vertex> a,
+                                        std::span<const vertex> b) {
+  std::vector<vertex> out;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      out.push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+}  // namespace dcl

@@ -1,0 +1,82 @@
+#pragma once
+// Immutable simple undirected graph in CSR form. Vertices are dense ids
+// 0..n-1; adjacency lists are sorted ascending, enabling O(log d) edge
+// queries and linear-time sorted-intersection (the workhorse of clique
+// enumeration and of the two-hop exchange in Lemma 35).
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace dcl {
+
+using vertex = std::int32_t;
+
+/// Undirected edge with u < v canonical order.
+struct edge {
+  vertex u;
+  vertex v;
+
+  friend bool operator==(const edge&, const edge&) = default;
+  friend auto operator<=>(const edge&, const edge&) = default;
+};
+
+/// Canonicalizes an unordered endpoint pair.
+constexpr edge make_edge(vertex a, vertex b) {
+  return a < b ? edge{a, b} : edge{b, a};
+}
+
+using edge_list = std::vector<edge>;
+
+class graph {
+ public:
+  graph() = default;
+
+  /// Builds from an edge list over vertices [0, n). Self-loops and duplicate
+  /// edges are rejected (DCL_EXPECTS) — the CONGEST model assumes a simple
+  /// graph and silent dedup would skew message accounting.
+  graph(vertex n, const edge_list& edges);
+
+  /// Convenience: builds after canonicalizing/deduplicating the input.
+  static graph from_unsorted(vertex n, edge_list edges);
+
+  vertex num_vertices() const { return n_; }
+  std::int64_t num_edges() const { return std::int64_t(edges_.size()); }
+
+  std::int32_t degree(vertex v) const {
+    return std::int32_t(offsets_[size_t(v) + 1] - offsets_[size_t(v)]);
+  }
+
+  std::span<const vertex> neighbors(vertex v) const {
+    return {adj_.data() + offsets_[size_t(v)],
+            adj_.data() + offsets_[size_t(v) + 1]};
+  }
+
+  bool has_edge(vertex u, vertex v) const;
+
+  /// All edges in canonical (u < v), lexicographic order.
+  const edge_list& edges() const { return edges_; }
+
+  /// Sum of degrees of the given vertex set (2|E| when given all of V).
+  std::int64_t volume(std::span<const vertex> vs) const;
+
+  /// Number of neighbors of v inside the sorted vertex set `into`.
+  std::int32_t degree_into(vertex v, std::span<const vertex> into) const;
+
+ private:
+  vertex n_ = 0;
+  std::vector<std::int64_t> offsets_ = {0};
+  std::vector<vertex> adj_;
+  edge_list edges_;
+};
+
+/// Size of the intersection of two ascending-sorted ranges.
+std::int64_t sorted_intersection_size(std::span<const vertex> a,
+                                      std::span<const vertex> b);
+
+/// Intersection of two ascending-sorted ranges.
+std::vector<vertex> sorted_intersection(std::span<const vertex> a,
+                                        std::span<const vertex> b);
+
+}  // namespace dcl

@@ -1,0 +1,47 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace dcl {
+
+graph read_edge_list(std::istream& in, vertex n_hint) {
+  edge_list edges;
+  vertex max_id = n_hint - 1;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::int64_t a = 0, b = 0;
+    if (!(ls >> a >> b)) continue;
+    DCL_EXPECTS(a >= 0 && b >= 0 && a <= INT32_MAX && b <= INT32_MAX,
+                "vertex ids must be non-negative 32-bit integers");
+    edges.push_back({vertex(a), vertex(b)});
+    max_id = std::max({max_id, vertex(a), vertex(b)});
+  }
+  return graph::from_unsorted(max_id + 1, std::move(edges));
+}
+
+graph read_edge_list_file(const std::string& path, vertex n_hint) {
+  std::ifstream in(path);
+  DCL_EXPECTS(in.good(), "cannot open " + path);
+  return read_edge_list(in, n_hint);
+}
+
+void write_edge_list(std::ostream& out, const graph& g) {
+  out << "# declique edge list: n=" << g.num_vertices()
+      << " m=" << g.num_edges() << '\n';
+  for (const auto& e : g.edges()) out << e.u << ' ' << e.v << '\n';
+}
+
+void write_edge_list_file(const std::string& path, const graph& g) {
+  std::ofstream out(path);
+  DCL_EXPECTS(out.good(), "cannot open " + path);
+  write_edge_list(out, g);
+}
+
+}  // namespace dcl

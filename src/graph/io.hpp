@@ -1,0 +1,21 @@
+#pragma once
+// Edge-list I/O so users can run the pipeline on their own graphs:
+// whitespace-separated "u v" pairs, '#' comments, ids remapped densely.
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace dcl {
+
+/// Reads an edge list; self-loops dropped, duplicates merged. `n_hint`
+/// extends the vertex count beyond the largest mentioned id if positive.
+graph read_edge_list(std::istream& in, vertex n_hint = 0);
+graph read_edge_list_file(const std::string& path, vertex n_hint = 0);
+
+/// Writes one canonical "u v" line per edge plus a header comment.
+void write_edge_list(std::ostream& out, const graph& g);
+void write_edge_list_file(const std::string& path, const graph& g);
+
+}  // namespace dcl

@@ -1,0 +1,42 @@
+#pragma once
+// Deterministic spectral machinery behind the expander decomposition:
+// second eigenvalue of the lazy random walk (power iteration with a fixed,
+// hash-seeded start vector), Cheeger sweep cuts, and mixing-time estimates.
+//
+// For a connected graph let S = D^{-1/2} A D^{-1/2} and nu2 its second
+// eigenvalue; lambda2 = 1 - nu2 is the normalized-Laplacian spectral gap and
+// Cheeger gives   lambda2 / 2  <=  Phi(G)  <=  sqrt(2 * lambda2),
+// so lambda2/2 is the conductance certificate clusters carry.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dcl {
+
+struct spectral_report {
+  double nu2 = 0.0;        ///< second eigenvalue of D^{-1/2} A D^{-1/2}
+  double lambda2 = 0.0;    ///< normalized Laplacian gap, 1 - nu2
+  double phi_lower = 0.0;  ///< certified conductance lower bound, lambda2/2
+  double mixing_time_estimate = 0.0;  ///< ~ log(vol) / lambda2 (lazy walk)
+  std::vector<double> embedding;      ///< sweep scores x_v = y_v / sqrt(deg v)
+  int iterations = 0;
+};
+
+/// Power iteration for the second eigenpair. Deterministic: the start vector
+/// is derived from splitmix64(v). Vertices of degree 0 get embedding 0 and
+/// are ignored. Requires at least one edge.
+spectral_report second_eigen(const graph& g, int max_iterations = 3000,
+                             double tolerance = 1e-7);
+
+struct sweep_result {
+  std::vector<vertex> side;  ///< sorted smaller-volume side of the best cut
+  double phi = 1.0;          ///< its conductance
+  bool found = false;
+};
+
+/// Best prefix cut of the embedding order (classic Cheeger sweep). Only
+/// nontrivial cuts are considered.
+sweep_result sweep_cut(const graph& g, const std::vector<double>& embedding);
+
+}  // namespace dcl

@@ -1,0 +1,27 @@
+#include "support/check.hpp"
+
+#include <sstream>
+
+namespace dcl::detail {
+
+namespace {
+std::string format(const char* kind, const char* expr, const char* file,
+                   int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  return os.str();
+}
+}  // namespace
+
+void fail_invariant(const char* expr, const char* file, int line,
+                    const std::string& msg) {
+  throw invariant_error(format("invariant", expr, file, line, msg));
+}
+
+void fail_precondition(const char* expr, const char* file, int line,
+                       const std::string& msg) {
+  throw precondition_error(format("precondition", expr, file, line, msg));
+}
+
+}  // namespace dcl::detail

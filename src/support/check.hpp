@@ -1,0 +1,44 @@
+#pragma once
+// Always-on invariant checking. The simulator is a measurement instrument:
+// a silently-violated invariant would corrupt every number downstream, so
+// checks stay enabled in release builds.
+
+#include <stdexcept>
+#include <string>
+
+namespace dcl {
+
+/// Thrown when an internal invariant is violated.
+class invariant_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a caller violates a documented precondition.
+class precondition_error : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+namespace detail {
+[[noreturn]] void fail_invariant(const char* expr, const char* file, int line,
+                                 const std::string& msg);
+[[noreturn]] void fail_precondition(const char* expr, const char* file,
+                                    int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace dcl
+
+/// Internal invariant; failure indicates a bug in this library.
+#define DCL_ENSURE(cond, msg)                                           \
+  do {                                                                  \
+    if (!(cond)) ::dcl::detail::fail_invariant(#cond, __FILE__, __LINE__, \
+                                               (msg));                  \
+  } while (0)
+
+/// Caller-facing precondition; failure indicates misuse of the API.
+#define DCL_EXPECTS(cond, msg)                                             \
+  do {                                                                     \
+    if (!(cond)) ::dcl::detail::fail_precondition(#cond, __FILE__, __LINE__, \
+                                                  (msg));                  \
+  } while (0)

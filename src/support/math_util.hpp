@@ -1,0 +1,50 @@
+#pragma once
+// Small integer/real helpers used throughout the round-accounting code.
+
+#include <cmath>
+#include <cstdint>
+
+#include "support/check.hpp"
+
+namespace dcl {
+
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// floor(log2(x)) for x >= 1.
+constexpr int ilog2(std::uint64_t x) {
+  int r = 0;
+  while (x >>= 1) ++r;
+  return r;
+}
+
+/// Smallest integer y with y >= x^(1/p). Exact (no FP edge cases).
+inline std::int64_t ceil_root(std::int64_t x, int p) {
+  DCL_EXPECTS(x >= 0 && p >= 1, "ceil_root domain");
+  if (x <= 1) return x;
+  auto pow_ge = [&](std::int64_t y) {
+    // Returns true if y^p >= x (with overflow saturation).
+    std::int64_t acc = 1;
+    for (int i = 0; i < p; ++i) {
+      if (acc > x / y + 1) return true;
+      acc *= y;
+      if (acc >= x) return true;
+    }
+    return acc >= x;
+  };
+  auto y = static_cast<std::int64_t>(std::ceil(std::pow(double(x), 1.0 / p)));
+  while (y > 1 && pow_ge(y - 1)) --y;
+  while (!pow_ge(y)) ++y;
+  return y;
+}
+
+/// x^(1-2/p) rounded up; the paper's per-level round budget scale.
+inline std::int64_t budget_n_1_minus_2_over_p(std::int64_t n, int p) {
+  DCL_EXPECTS(p >= 3, "clique size must be at least 3");
+  // Snap values that are integers up to FP noise (e.g. 1000^{1/3}).
+  return static_cast<std::int64_t>(
+      std::ceil(std::pow(double(n), 1.0 - 2.0 / double(p)) - 1e-9));
+}
+
+}  // namespace dcl

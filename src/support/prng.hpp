@@ -1,0 +1,51 @@
+#pragma once
+// Deterministic pseudo-randomness. Everything in this repository that is
+// "random" (generators, the randomized baseline engine) draws from these
+// seeded primitives, so every run is reproducible bit-for-bit.
+
+#include <cstdint>
+#include <vector>
+
+namespace dcl {
+
+/// splitmix64 — used both as a PRNG step and as a deterministic integer hash.
+constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic hash of a pair of integers (order-sensitive).
+constexpr std::uint64_t hash_pair(std::uint64_t a, std::uint64_t b) noexcept {
+  return splitmix64(splitmix64(a) ^ (b + 0x9e3779b97f4a7c15ULL));
+}
+
+/// Small, fast, deterministic PRNG (xoshiro256** seeded via splitmix64).
+class prng {
+ public:
+  explicit prng(std::uint64_t seed) noexcept;
+
+  std::uint64_t next() noexcept;
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform real in [0, 1).
+  double next_real() noexcept;
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace dcl

@@ -1,0 +1,56 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace dcl {
+
+summary summarize(const std::vector<double>& xs) {
+  summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.min = xs.front();
+  s.max = xs.front();
+  double sum = 0.0;
+  for (double x : xs) {
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+    sum += x;
+  }
+  s.mean = sum / double(xs.size());
+  double ss = 0.0;
+  for (double x : xs) ss += (x - s.mean) * (x - s.mean);
+  s.stddev = xs.size() > 1 ? std::sqrt(ss / double(xs.size() - 1)) : 0.0;
+  return s;
+}
+
+double percentile(std::vector<double> xs, double p) {
+  DCL_EXPECTS(!xs.empty(), "percentile of empty sample");
+  DCL_EXPECTS(p >= 0.0 && p <= 100.0, "percentile rank out of range");
+  std::sort(xs.begin(), xs.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * double(xs.size())));
+  return xs[rank == 0 ? 0 : rank - 1];
+}
+
+double loglog_slope(const std::vector<double>& xs,
+                    const std::vector<double>& ys) {
+  DCL_EXPECTS(xs.size() == ys.size(), "mismatched series");
+  DCL_EXPECTS(xs.size() >= 2, "need at least two points");
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const auto n = double(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    DCL_EXPECTS(xs[i] > 0 && ys[i] > 0, "loglog_slope needs positive data");
+    const double lx = std::log(xs[i]);
+    const double ly = std::log(ys[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  return (n * sxy - sx * sy) / (n * sxx - sx * sx);
+}
+
+}  // namespace dcl

@@ -1,0 +1,29 @@
+#pragma once
+// Descriptive statistics and log-log slope fitting for the benchmark harness.
+
+#include <cstddef>
+#include <vector>
+
+namespace dcl {
+
+/// One-pass summary of a sample.
+struct summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+summary summarize(const std::vector<double>& xs);
+
+/// p in [0,100]; nearest-rank percentile of a copy-sorted sample.
+double percentile(std::vector<double> xs, double p);
+
+/// Least-squares slope of log(y) against log(x). Used to estimate the
+/// empirical exponent of round-complexity curves (e.g. ~1/3 for K3).
+/// Requires all xs, ys > 0 and at least two points.
+double loglog_slope(const std::vector<double>& xs,
+                    const std::vector<double>& ys);
+
+}  // namespace dcl

@@ -1,0 +1,63 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace dcl {
+
+table::table(std::vector<std::string> header) : header_(std::move(header)) {
+  DCL_EXPECTS(!header_.empty(), "table needs at least one column");
+}
+
+void table::add_row(std::vector<std::string> cells) {
+  DCL_EXPECTS(cells.size() == header_.size(), "row width != header width");
+  rows_.push_back(std::move(cells));
+}
+
+table::row_builder& table::row_builder::cell(const std::string& s) {
+  cells_.push_back(s);
+  return *this;
+}
+
+table::row_builder& table::row_builder::cell(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  cells_.push_back(os.str());
+  return *this;
+}
+
+table::row_builder& table::row_builder::cell(std::int64_t v) {
+  cells_.push_back(std::to_string(v));
+  return *this;
+}
+
+table::row_builder::~row_builder() {
+  if (!cells_.empty()) t_.add_row(std::move(cells_));
+}
+
+void table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << std::setw(int(width[c])) << cells[c];
+    }
+    os << " |\n";
+  };
+  line(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << (c == 0 ? "|-" : "-|-") << std::string(width[c], '-');
+  }
+  os << "-|\n";
+  for (const auto& r : rows_) line(r);
+}
+
+}  // namespace dcl

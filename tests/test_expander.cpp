@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "expander/anatomy.hpp"
+#include "expander/cost_model.hpp"
+#include "expander/decomposition.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace dcl {
+namespace {
+
+void check_decomposition_invariants(const graph& g,
+                                    const expander_decomposition& d,
+                                    double epsilon) {
+  // Edge partition: every edge in exactly one cluster or remainder.
+  std::int64_t covered = std::int64_t(d.remainder.size());
+  std::set<vertex> seen;
+  for (const auto& c : d.clusters) {
+    covered += std::int64_t(c.edges.size());
+    for (vertex v : c.vertices) EXPECT_TRUE(seen.insert(v).second);
+    // Cluster edges are induced: endpoints inside the cluster.
+    std::set<vertex> vs(c.vertices.begin(), c.vertices.end());
+    for (const auto& e : c.edges) {
+      EXPECT_TRUE(vs.count(e.u));
+      EXPECT_TRUE(vs.count(e.v));
+      EXPECT_TRUE(g.has_edge(e.u, e.v));
+    }
+    // Certificate meets the target.
+    EXPECT_GE(c.certified_phi, d.phi_used);
+  }
+  EXPECT_EQ(covered, g.num_edges());
+  EXPECT_LE(double(d.remainder.size()), epsilon * double(g.num_edges()) + 1e-9);
+}
+
+TEST(Decomposition, PlantedPartitionRecoversBlocks) {
+  const auto g = gen::planted_partition(4, 24, 0.5, 0.005, 7);
+  decomposition_options opt;
+  opt.epsilon = 1.0 / 6.0;
+  const auto d = decompose(g, opt);
+  check_decomposition_invariants(g, d, opt.epsilon);
+  // Expect roughly the four planted blocks to become clusters.
+  EXPECT_GE(d.clusters.size(), 3u);
+  EXPECT_LE(d.clusters.size(), 8u);
+}
+
+TEST(Decomposition, ExpanderStaysWhole) {
+  const auto g = gen::hypercube(7);
+  const auto d = decompose(g);
+  check_decomposition_invariants(g, d, 1.0 / 18.0);
+  EXPECT_EQ(d.clusters.size(), 1u);
+  EXPECT_TRUE(d.remainder.empty());
+}
+
+TEST(Decomposition, CompleteGraphSingleCluster) {
+  const auto g = gen::complete(32);
+  const auto d = decompose(g);
+  EXPECT_EQ(d.clusters.size(), 1u);
+  EXPECT_GT(d.clusters[0].certified_phi, 0.3);
+}
+
+TEST(Decomposition, RingOfCliquesSplits) {
+  const auto g = gen::ring_of_cliques(8, 8);
+  decomposition_options opt;
+  opt.epsilon = 0.25;
+  const auto d = decompose(g, opt);
+  check_decomposition_invariants(g, d, opt.epsilon);
+  EXPECT_GE(d.clusters.size(), 4u);  // the K8 blocks must separate
+}
+
+TEST(Decomposition, GnpSparseRemainderBounded) {
+  const auto g = gen::gnp(300, 0.03, 11);
+  decomposition_options opt;
+  opt.epsilon = 1.0 / 18.0;
+  const auto d = decompose(g, opt);
+  check_decomposition_invariants(g, d, opt.epsilon);
+}
+
+TEST(Decomposition, PowerLawRemainderBounded) {
+  const auto g = gen::power_law(300, 2.5, 10.0, 13);
+  decomposition_options opt;
+  opt.epsilon = 1.0 / 12.0;
+  const auto d = decompose(g, opt);
+  check_decomposition_invariants(g, d, opt.epsilon);
+}
+
+TEST(Decomposition, EmptyAndTinyGraphs) {
+  const graph empty(5, {});
+  const auto d = decompose(empty);
+  EXPECT_TRUE(d.clusters.empty());
+  EXPECT_TRUE(d.remainder.empty());
+
+  const graph single(2, {{0, 1}});
+  const auto d2 = decompose(single);
+  ASSERT_EQ(d2.clusters.size(), 1u);
+  EXPECT_EQ(d2.clusters[0].edges.size(), 1u);
+}
+
+TEST(Decomposition, Deterministic) {
+  const auto g = gen::gnp(200, 0.05, 99);
+  const auto a = decompose(g);
+  const auto b = decompose(g);
+  ASSERT_EQ(a.clusters.size(), b.clusters.size());
+  for (std::size_t i = 0; i < a.clusters.size(); ++i) {
+    EXPECT_EQ(a.clusters[i].vertices, b.clusters[i].vertices);
+    EXPECT_EQ(a.clusters[i].edges, b.clusters[i].edges);
+  }
+  EXPECT_EQ(a.remainder, b.remainder);
+}
+
+TEST(Decomposition, ClustersAreConnected) {
+  const auto g = gen::gnp(150, 0.04, 21);
+  const auto d = decompose(g);
+  for (const auto& c : d.clusters) {
+    const auto sub = induce_by_edges(g, c.edges);
+    EXPECT_EQ(connected_components(sub.g).count, 1);
+  }
+}
+
+TEST(CostModel, MonotoneInN) {
+  EXPECT_LT(cs20_decomposition_rounds(100, 0.1),
+            cs20_decomposition_rounds(100000, 0.1));
+  EXPECT_LT(cs20_decomposition_rounds(1000, 0.5),
+            cs20_decomposition_rounds(1000, 0.05));
+  EXPECT_EQ(cs20_decomposition_rounds(1, 0.1), 0);
+}
+
+TEST(CostModel, RoutingScalesWithLoad) {
+  EXPECT_EQ(cs20_routing_rounds(0, 0.1, 1000), 0);
+  EXPECT_LT(cs20_routing_rounds(10, 0.1, 1000),
+            cs20_routing_rounds(100, 0.1, 1000));
+  EXPECT_LT(cs20_routing_rounds(10, 0.5, 1000),
+            cs20_routing_rounds(10, 0.05, 1000));
+}
+
+TEST(Anatomy, K3ClusterContainsTriangleClosure) {
+  const auto g = gen::gnp(120, 0.08, 3);
+  const auto d = decompose(g);
+  const auto anatomy = build_anatomy(g, d, {.p = 3});
+  for (const auto& a : anatomy) {
+    // Every triangle with an edge in E− lies fully inside E_C (p = 3).
+    std::set<edge> ec(a.e_cluster.begin(), a.e_cluster.end());
+    for (const auto& e : a.e_minus) {
+      const auto common =
+          sorted_intersection(g.neighbors(e.u), g.neighbors(e.v));
+      for (vertex w : common) {
+        EXPECT_TRUE(ec.count(make_edge(e.u, w)));
+        EXPECT_TRUE(ec.count(make_edge(e.v, w)));
+      }
+    }
+  }
+}
+
+TEST(Anatomy, VMinusRespectsDelta) {
+  const auto g = gen::gnp(150, 0.07, 5);
+  const auto d = decompose(g);
+  const auto anatomy = build_anatomy(g, d, {.p = 3});
+  for (const auto& a : anatomy) {
+    for (vertex v : a.v_minus)
+      EXPECT_GE(a.comm_degree_of(v), a.delta);
+    // V* ⊆ V− ⊆ V_C and V* has at least half-average degree.
+    for (vertex v : a.v_star) {
+      EXPECT_TRUE(a.in_v_minus(v));
+      EXPECT_GE(double(a.comm_degree_of(v)), a.mu / 2.0);
+    }
+  }
+}
+
+TEST(Anatomy, VStarCoversHalfVolume) {
+  // E(V*, V_C) >= E(V− \ V*, V_C) — the counting step in Lemma 20's proof.
+  const auto g = gen::gnp(200, 0.06, 9);
+  const auto d = decompose(g);
+  const auto anatomy = build_anatomy(g, d, {.p = 3});
+  for (const auto& a : anatomy) {
+    if (a.v_minus.empty()) continue;
+    std::int64_t star_vol = 0, rest_vol = 0;
+    for (vertex v : a.v_minus) {
+      if (std::binary_search(a.v_star.begin(), a.v_star.end(), v))
+        star_vol += a.comm_degree_of(v);
+      else
+        rest_vol += a.comm_degree_of(v);
+    }
+    EXPECT_GE(star_vol, rest_vol);
+  }
+}
+
+TEST(Anatomy, KpModeUsesOpenEdgesOnly) {
+  const auto g = gen::gnp(100, 0.1, 31);
+  const auto d = decompose(g);
+  const auto anatomy = build_anatomy(g, d, {.p = 4, .beta = 1.0});
+  for (const auto& a : anatomy) {
+    std::set<vertex> open(a.v_open.begin(), a.v_open.end());
+    std::set<edge> original;
+    for (const auto& c : d.clusters)
+      original.insert(c.edges.begin(), c.edges.end());
+    for (const auto& e : a.e_cluster) {
+      const bool in_orig = original.count(e) > 0;
+      const bool both_open = open.count(e.u) && open.count(e.v);
+      EXPECT_TRUE(in_orig || both_open);
+    }
+    // V− ⊆ V∘ for p >= 4.
+    for (vertex v : a.v_minus) EXPECT_TRUE(open.count(v));
+  }
+}
+
+}  // namespace
+}  // namespace dcl

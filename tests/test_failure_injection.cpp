@@ -1,0 +1,149 @@
+// Failure injection: every public API must reject malformed input with a
+// precondition_error (never UB, never silent corruption), and internal
+// invariant checks must stay armed in release builds.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "congest/cluster_comm.hpp"
+#include "congest/congested_clique.hpp"
+#include "core/api/list_cliques.hpp"
+#include "core/ptree/partition.hpp"
+#include "core/streaming/pp_simulate.hpp"
+#include "graph/generators.hpp"
+#include "support/check.hpp"
+
+namespace dcl {
+namespace {
+
+TEST(FailureInjection, GraphRejectsMalformedEdges) {
+  EXPECT_THROW(graph(2, {{0, 2}}), precondition_error);   // out of range
+  EXPECT_THROW(graph(2, {{1, 1}}), precondition_error);   // self loop
+  EXPECT_THROW(graph(-1, {}), precondition_error);        // negative n
+}
+
+TEST(FailureInjection, OptionsValidation) {
+  const auto g = gen::complete(5);
+  listing_options opt;
+  opt.p = 2;
+  EXPECT_THROW(list_cliques(g, opt), precondition_error);
+  opt.p = 7;
+  EXPECT_THROW(list_cliques(g, opt), precondition_error);
+  opt.p = 4;
+  opt.epsilon = 1.5;
+  EXPECT_THROW(list_kp_congest(g, opt), precondition_error);
+}
+
+TEST(FailureInjection, DecompositionOptionValidation) {
+  const auto g = gen::complete(6);
+  decomposition_options opt;
+  opt.epsilon = 0.0;
+  EXPECT_THROW(decompose(g, opt), precondition_error);
+  opt.epsilon = 0.1;
+  opt.phi_target = -1.0;
+  EXPECT_THROW(decompose(g, opt), precondition_error);
+}
+
+TEST(FailureInjection, NetworkRejectsNonEdgeTraffic) {
+  const auto g = gen::grid(2, 2);
+  cost_ledger l;
+  network net(g, l);
+  EXPECT_THROW(net.exchange({{0, 3, 0, 0, 0}}, "p"), precondition_error);
+  EXPECT_THROW(net.exchange({{0, 9, 0, 0, 0}}, "p"), precondition_error);
+}
+
+TEST(FailureInjection, ClusterCommValidation) {
+  const auto g = gen::grid(2, 3);
+  cost_ledger l;
+  network net(g, l);
+  // Unsorted vertex list.
+  EXPECT_THROW(cluster_comm(net, {2, 0, 1}, {{0, 1}}, "c"),
+               precondition_error);
+  // Edge endpoint not in cluster.
+  EXPECT_THROW(cluster_comm(net, {0, 1}, {{1, 2}}, "c"),
+               precondition_error);
+  // Disconnected cluster subgraph.
+  EXPECT_THROW(cluster_comm(net, {0, 1, 4, 5}, {{0, 1}, {4, 5}}, "c"),
+               precondition_error);
+}
+
+TEST(FailureInjection, CongestedCliqueValidation) {
+  cost_ledger l;
+  EXPECT_THROW(congested_clique(1, l), precondition_error);
+  congested_clique cq(4, l);
+  EXPECT_THROW(cq.exchange({{0, 0, 0, 0, 0}}, "p"), precondition_error);
+  EXPECT_THROW(cq.exchange({{0, 7, 0, 0, 0}}, "p"), precondition_error);
+}
+
+TEST(FailureInjection, PartitionValidation) {
+  EXPECT_THROW(interval_partition({0}), precondition_error);
+  EXPECT_THROW(interval_partition({1, 5}), precondition_error);
+  EXPECT_THROW(interval_partition({0, 5, 5}), precondition_error);
+  partition_tree t;
+  EXPECT_THROW(t.push_layer({}, 5), precondition_error);
+  t.push_layer({interval_partition({0, 5})}, 5);
+  // Wrong layer width: root has 1 part, so next layer needs 1 node.
+  EXPECT_THROW(t.push_layer({interval_partition({0, 5}),
+                             interval_partition({0, 5})},
+                            5),
+               precondition_error);
+}
+
+/// A hostile streaming machine that violates its own declared B_aux.
+class liar_machine final : public pp_algorithm {
+ public:
+  pp_limits limits() const override {
+    return {.n_out = 1, .b_aux = 0, .b_write = 1};
+  }
+  std::int64_t state_words() const override { return 1; }
+  void reset() override {}
+  void on_main(const pp_token&, pp_context& ctx) override {
+    ctx.request_aux();  // but b_aux = 0
+  }
+  void on_aux(const pp_token&, pp_context&) override {}
+};
+
+TEST(FailureInjection, StreamingLimitsEnforcedInBothRunners) {
+  pp_stream s;
+  pp_main_entry e;
+  e.main = pp_token{1};
+  e.aux.push_back(pp_token{2});
+  s.push_back(e);
+
+  liar_machine local;
+  EXPECT_THROW(pp_run_local(local, s), invariant_error);
+
+  const auto g = gen::complete(4);
+  cost_ledger l;
+  network net(g, l);
+  std::vector<vertex> all{0, 1, 2, 3};
+  cluster_comm cc(net, all, g.edges(), "c");
+  liar_machine sim;
+  pp_instance inst;
+  inst.alg = &sim;
+  inst.segment = [&s](vertex i) { return i == 0 ? s : pp_stream{}; };
+  EXPECT_THROW(pp_simulate(cc, all, std::span(&inst, 1), 2, "sim"),
+               invariant_error);
+}
+
+TEST(FailureInjection, ListingSurvivesPathologicalGraphs) {
+  // Star: maximally skewed; path: no expansion; isolated vertices.
+  const graph star(64, [] {
+    edge_list e;
+    for (vertex v = 1; v < 64; ++v) e.push_back({0, v});
+    return e;
+  }());
+  EXPECT_EQ(list_cliques(star, {}).cliques.size(), 0);
+
+  edge_list pe;
+  for (vertex v = 0; v + 1 < 50; ++v) pe.push_back({v, vertex(v + 1)});
+  const graph path(50, pe);
+  EXPECT_EQ(list_cliques(path, {}).cliques.size(), 0);
+
+  const graph sparse(40, {{0, 1}, {1, 2}, {0, 2}, {37, 38}});
+  EXPECT_EQ(list_cliques(sparse, {}).cliques.size(), 1);
+}
+
+}  // namespace
+}  // namespace dcl

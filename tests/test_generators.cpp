@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace dcl {
+namespace {
+
+TEST(Generators, GnpDeterministicForSeed) {
+  const auto a = gen::gnp(64, 0.2, 7);
+  const auto b = gen::gnp(64, 0.2, 7);
+  EXPECT_EQ(a.edges(), b.edges());
+  const auto c = gen::gnp(64, 0.2, 8);
+  EXPECT_NE(a.edges(), c.edges());
+}
+
+TEST(Generators, GnpDensityRoughlyCorrect) {
+  const auto g = gen::gnp(200, 0.1, 123);
+  const double expected = 0.1 * 200 * 199 / 2;
+  EXPECT_GT(double(g.num_edges()), 0.75 * expected);
+  EXPECT_LT(double(g.num_edges()), 1.25 * expected);
+}
+
+TEST(Generators, GnpExtremes) {
+  EXPECT_EQ(gen::gnp(20, 0.0, 1).num_edges(), 0);
+  EXPECT_EQ(gen::gnp(20, 1.0, 1).num_edges(), 190);
+}
+
+TEST(Generators, GnmExactCount) {
+  const auto g = gen::gnm(50, 100, 5);
+  EXPECT_EQ(g.num_edges(), 100);
+}
+
+TEST(Generators, PowerLawSkewsDegrees) {
+  const auto g = gen::power_law(300, 2.5, 8.0, 11);
+  std::int32_t max_deg = 0;
+  for (vertex v = 0; v < g.num_vertices(); ++v)
+    max_deg = std::max(max_deg, g.degree(v));
+  const double avg = 2.0 * double(g.num_edges()) / 300.0;
+  EXPECT_GT(avg, 2.0);
+  EXPECT_GT(double(max_deg), 3.0 * avg);  // heavy tail
+}
+
+TEST(Generators, PlantedPartitionHasDenseBlocks) {
+  const auto g = gen::planted_partition(4, 25, 0.5, 0.01, 3);
+  EXPECT_EQ(g.num_vertices(), 100);
+  // Count intra- vs inter-block edges.
+  std::int64_t intra = 0, inter = 0;
+  for (const auto& e : g.edges())
+    ((e.u / 25 == e.v / 25) ? intra : inter) += 1;
+  EXPECT_GT(intra, 4 * inter);
+}
+
+TEST(Generators, RingOfCliquesStructure) {
+  const auto g = gen::ring_of_cliques(4, 5);
+  EXPECT_EQ(g.num_vertices(), 20);
+  // 4 * C(5,2) clique edges + 4 bridges.
+  EXPECT_EQ(g.num_edges(), 4 * 10 + 4);
+  EXPECT_EQ(connected_components(g).count, 1);
+}
+
+TEST(Generators, CompleteAndBipartite) {
+  EXPECT_EQ(gen::complete(7).num_edges(), 21);
+  const auto kb = gen::complete_bipartite(3, 4);
+  EXPECT_EQ(kb.num_edges(), 12);
+  EXPECT_EQ(kb.num_vertices(), 7);
+}
+
+TEST(Generators, HypercubeRegular) {
+  const auto g = gen::hypercube(5);
+  EXPECT_EQ(g.num_vertices(), 32);
+  for (vertex v = 0; v < 32; ++v) EXPECT_EQ(g.degree(v), 5);
+}
+
+TEST(Generators, GridShape) {
+  const auto g = gen::grid(4, 6);
+  EXPECT_EQ(g.num_vertices(), 24);
+  EXPECT_EQ(g.num_edges(), 3 * 6 + 4 * 5);
+}
+
+TEST(Generators, CirculantRegular) {
+  const auto g = gen::circulant(20, {1, 3, 7});
+  EXPECT_EQ(g.num_vertices(), 20);
+  for (vertex v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 6);
+  EXPECT_EQ(connected_components(g).count, 1);
+}
+
+TEST(Generators, PlantedCliquesContainsPlant) {
+  const auto g = gen::planted_cliques(100, 0.02, 2, 6, 17);
+  // The planted K6s force at least C(6,3)*2 - overlaps triangles; just check
+  // some vertex has degree >= 5 and the graph is deterministic.
+  const auto h = gen::planted_cliques(100, 0.02, 2, 6, 17);
+  EXPECT_EQ(g.edges(), h.edges());
+  std::int32_t max_deg = 0;
+  for (vertex v = 0; v < 100; ++v) max_deg = std::max(max_deg, g.degree(v));
+  EXPECT_GE(max_deg, 5);
+}
+
+TEST(Generators, BarabasiAlbertConnected) {
+  const auto g = gen::barabasi_albert(200, 3, 23);
+  EXPECT_EQ(g.num_vertices(), 200);
+  EXPECT_EQ(connected_components(g).count, 1);
+  EXPECT_GE(g.num_edges(), 3 * (200 - 4));
+}
+
+}  // namespace
+}  // namespace dcl

@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "support/check.hpp"
+
+namespace dcl {
+namespace {
+
+TEST(GraphIo, RoundTrip) {
+  const auto g = gen::gnp(60, 0.2, 7);
+  std::stringstream ss;
+  write_edge_list(ss, g);
+  const auto h = read_edge_list(ss);
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_EQ(h.edges(), g.edges());
+}
+
+TEST(GraphIo, CommentsAndLoopsAndDuplicates) {
+  std::stringstream ss("# header\n0 1\n1 0\n2 2\n1 2  # tail comment\n\n");
+  const auto g = read_edge_list(ss);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(GraphIo, NHintExtends) {
+  std::stringstream ss("0 1\n");
+  EXPECT_EQ(read_edge_list(ss, 10).num_vertices(), 10);
+}
+
+TEST(GraphIo, RejectsNegativeIds) {
+  std::stringstream ss("-1 2\n");
+  EXPECT_THROW(read_edge_list(ss), precondition_error);
+}
+
+TEST(GraphIo, EmptyInput) {
+  std::stringstream ss;
+  const auto g = read_edge_list(ss);
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+}  // namespace
+}  // namespace dcl

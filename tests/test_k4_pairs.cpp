@@ -1,0 +1,78 @@
+// §6.2 structures: the recursive cover C* and the pair classification,
+// with the Lemma 46/48/50 inequalities checked on concrete inputs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/listing/k4_pairs.hpp"
+#include "graph/generators.hpp"
+#include "support/math_util.hpp"
+
+namespace dcl {
+namespace {
+
+TEST(K4Pairs, CoverIsLogBounded) {
+  const auto g = gen::planted_partition(6, 30, 0.4, 0.02, 3);
+  const auto cover = build_cover(g, 1.0 / 12.0, 2.0);
+  EXPECT_GE(cover.iterations, 1);
+  // Lemma 46: sharing bounded by O(log n); generous constant 4.
+  const double logn = std::log2(double(g.num_vertices()));
+  EXPECT_LE(double(cover.max_clusters_per_edge), 4.0 * logn);
+  EXPECT_LE(double(cover.max_vminus_per_vertex), 4.0 * logn);
+}
+
+TEST(K4Pairs, CoverDeterministic) {
+  const auto g = gen::gnp(150, 0.12, 5);
+  const auto a = build_cover(g, 1.0 / 12.0, 2.0);
+  const auto b = build_cover(g, 1.0 / 12.0, 2.0);
+  ASSERT_EQ(a.clusters.size(), b.clusters.size());
+  EXPECT_EQ(a.iterations, b.iterations);
+  for (std::size_t i = 0; i < a.clusters.size(); ++i)
+    EXPECT_EQ(a.clusters[i].v_minus, b.clusters[i].v_minus);
+}
+
+TEST(K4Pairs, ClassificationDefinitions) {
+  const auto g = gen::gnp(120, 0.3, 7);
+  const auto cover = build_cover(g, 1.0 / 12.0, 1.0);
+  ASSERT_FALSE(cover.clusters.empty());
+  const auto& c = cover.clusters[0];
+  const auto cls = classify_pair(g, c, c);
+  const auto sqrt_n =
+      std::int64_t(std::ceil(std::sqrt(double(g.num_vertices()))));
+  // Definitions honored: every S* member has >= 1 edge into V−_C and its
+  // V−_{C*} degree exceeds sqrt(n) times that.
+  std::vector<bool> in_vm(size_t(g.num_vertices()), false);
+  for (vertex v : c.v_minus) in_vm[size_t(v)] = true;
+  for (vertex u : cls.s_star) {
+    std::int64_t into = 0;
+    for (vertex w : g.neighbors(u))
+      if (in_vm[size_t(w)]) ++into;
+    EXPECT_GE(into, 1);
+    EXPECT_LT(into * sqrt_n, std::int64_t(g.num_vertices()));
+  }
+}
+
+TEST(K4Pairs, LemmaBoundsOnBenchFamilies) {
+  for (const auto& g :
+       {gen::gnp(160, 0.2, 9), gen::power_law(160, 2.3, 20.0, 11)}) {
+    const auto cover = build_cover(g, 1.0 / 12.0, 2.0);
+    const auto stats = analyze_pairs(g, cover);
+    // Lemma 48: Σ_C deg_{S}(v) = O(deg_{C*}(v)); generous constant 4.
+    EXPECT_LE(stats.max_lemma48_ratio, 4.0);
+    // Lemma 50: |S_{C→C*}| <= avg degree of C*.
+    EXPECT_LE(stats.max_lemma50_ratio, 1.0 + 1e-9);
+  }
+}
+
+TEST(K4Pairs, BadSetsEmptyOnBenignInputs) {
+  // The empirical justification for DESIGN.md §2.4: on benchmark families
+  // the pair machinery has nothing to do.
+  const auto g = gen::planted_partition(4, 35, 0.45, 0.03, 13);
+  const auto cover = build_cover(g, 1.0 / 12.0, 2.0);
+  const auto stats = analyze_pairs(g, cover);
+  EXPECT_EQ(stats.max_s_bad, 0);
+}
+
+}  // namespace
+}  // namespace dcl

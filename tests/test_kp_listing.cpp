@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "core/api/list_cliques.hpp"
+#include "graph/generators.hpp"
+#include "support/check.hpp"
+
+namespace dcl {
+namespace {
+
+void expect_exact_kp(const graph& g, int p, listing_options opt = {},
+                     listing_report* rep = nullptr) {
+  opt.p = p;
+  const auto got = list_kp_congest(g, opt, rep);
+  const auto want = collect_cliques(g, p);
+  EXPECT_TRUE(got == want) << "p=" << p << ": listed " << got.size()
+                           << ", expected " << want.size();
+}
+
+TEST(KpListing, K4ExactOnGnp) {
+  expect_exact_kp(gen::gnp(90, 0.15, 3), 4);
+  expect_exact_kp(gen::gnp(120, 0.08, 5), 4);
+}
+
+TEST(KpListing, K4ExactOnPlantedCliques) {
+  expect_exact_kp(gen::planted_cliques(100, 0.05, 3, 6, 7), 4);
+}
+
+TEST(KpListing, K4ExactOnPlantedPartition) {
+  expect_exact_kp(gen::planted_partition(3, 30, 0.4, 0.03, 11), 4);
+}
+
+TEST(KpListing, K4ExactOnRingOfCliques) {
+  expect_exact_kp(gen::ring_of_cliques(8, 7), 4);
+}
+
+TEST(KpListing, K4ExactOnPowerLaw) {
+  expect_exact_kp(gen::power_law(110, 2.4, 10.0, 13), 4);
+}
+
+TEST(KpListing, K4ExactOnK4FreeGraphs) {
+  expect_exact_kp(gen::complete_bipartite(15, 15), 4);  // zero K4s
+  expect_exact_kp(gen::hypercube(6), 4);
+}
+
+TEST(KpListing, K4DenseExercisesSplitTrees) {
+  // Average degree well above the V− threshold 2*sqrt(n), so clusters have
+  // nonempty V−_C with outside vertices — the full §6 pipeline (delivery,
+  // Theorem 31, split trees, Lemma 37) runs.
+  listing_report rep;
+  expect_exact_kp(gen::gnp(120, 0.35, 97), 4, {}, &rep);
+  expect_exact_kp(gen::planted_partition(2, 45, 0.6, 0.05, 101), 4);
+}
+
+TEST(KpListing, K4DenseRandomizedEngine) {
+  listing_options opt;
+  opt.engine = lb_engine::randomized;
+  opt.seed = 11;
+  expect_exact_kp(gen::gnp(110, 0.35, 103), 4, opt);
+}
+
+TEST(KpListing, K5DenseExercisesSplitTrees) {
+  expect_exact_kp(gen::gnp(90, 0.4, 107), 5);
+}
+
+TEST(KpListing, K5ExactOnGnp) {
+  expect_exact_kp(gen::gnp(70, 0.2, 17), 5);
+}
+
+TEST(KpListing, K5ExactOnPlantedCliques) {
+  expect_exact_kp(gen::planted_cliques(80, 0.04, 2, 7, 19), 5);
+}
+
+TEST(KpListing, K6ExactSmall) {
+  expect_exact_kp(gen::gnp(50, 0.3, 23), 6);
+}
+
+TEST(KpListing, DenseCompleteGraph) {
+  expect_exact_kp(gen::complete(14), 4);
+  expect_exact_kp(gen::complete(12), 5);
+}
+
+TEST(KpListing, EmptyAndTiny) {
+  expect_exact_kp(graph(6, {}), 4);
+  expect_exact_kp(gen::complete(4), 4);
+  expect_exact_kp(gen::complete(5), 5);
+}
+
+TEST(KpListing, RandomizedEngineExact) {
+  listing_options opt;
+  opt.engine = lb_engine::randomized;
+  opt.seed = 5;
+  expect_exact_kp(gen::gnp(90, 0.12, 29), 4, opt);
+}
+
+TEST(KpListing, UnbalancedEngineExact) {
+  listing_options opt;
+  opt.engine = lb_engine::unbalanced;
+  expect_exact_kp(gen::gnp(90, 0.12, 31), 4, opt);
+}
+
+TEST(KpListing, ReportPopulated) {
+  listing_report rep;
+  expect_exact_kp(gen::gnp(110, 0.1, 37), 4, {}, &rep);
+  EXPECT_GT(rep.ledger.rounds(), 0);
+  EXPECT_GT(rep.model_decomposition_rounds, 0);
+  EXPECT_FALSE(rep.levels.empty());
+}
+
+TEST(KpListing, DeterministicTranscript) {
+  const auto g = gen::gnp(80, 0.13, 41);
+  listing_report a, b;
+  listing_options opt;
+  opt.p = 4;
+  const auto ra = list_kp_congest(g, opt, &a);
+  const auto rb = list_kp_congest(g, opt, &b);
+  EXPECT_TRUE(ra == rb);
+  EXPECT_EQ(a.ledger.rounds(), b.ledger.rounds());
+  EXPECT_EQ(a.ledger.messages(), b.ledger.messages());
+}
+
+TEST(ApiFacade, RoutesByP) {
+  const auto g = gen::gnp(60, 0.2, 43);
+  for (int p = 3; p <= 5; ++p) {
+    listing_options opt;
+    opt.p = p;
+    const auto res = list_cliques(g, opt);
+    EXPECT_TRUE(res.cliques == collect_cliques(g, p)) << "p=" << p;
+    EXPECT_GT(res.report.ledger.rounds(), 0);
+  }
+  listing_options bad;
+  bad.p = 9;
+  EXPECT_THROW(list_cliques(g, bad), precondition_error);
+}
+
+}  // namespace
+}  // namespace dcl

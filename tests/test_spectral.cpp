@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/spectral.hpp"
+
+namespace dcl {
+namespace {
+
+TEST(Spectral, CompleteGraphHasLargeGap) {
+  const auto rep = second_eigen(gen::complete(16));
+  // K_n: nu2 = -1/(n-1), lambda2 = n/(n-1) > 1.
+  EXPECT_NEAR(rep.nu2, -1.0 / 15.0, 0.02);
+  EXPECT_GT(rep.phi_lower, 0.4);
+}
+
+TEST(Spectral, CycleHasSmallGap) {
+  const auto g = gen::circulant(64, {1});
+  const auto rep = second_eigen(g);
+  // Cycle C_n: lambda2 = 1 - cos(2*pi/n), tiny.
+  EXPECT_LT(rep.lambda2, 0.02);
+  EXPECT_GT(rep.lambda2, 0.0);
+}
+
+TEST(Spectral, HypercubeGap) {
+  const auto rep = second_eigen(gen::hypercube(6));
+  // Q_d: nu2 = 1 - 2/d, lambda2 = 2/d.
+  EXPECT_NEAR(rep.lambda2, 2.0 / 6.0, 0.03);
+}
+
+TEST(Spectral, CertifiedLowerBoundHolds) {
+  // On small graphs compare the certificate against exact conductance.
+  const std::vector<graph> gs = {
+      gen::complete(8),
+      gen::hypercube(3),
+      gen::circulant(12, {1, 3}),
+      graph(6, {{0, 1}, {0, 2}, {1, 2}, {3, 4}, {3, 5}, {4, 5}, {2, 3}}),
+  };
+  for (const auto& g : gs) {
+    const auto rep = second_eigen(g);
+    const auto exact = min_conductance_exact(g);
+    ASSERT_TRUE(exact.has_value());
+    EXPECT_LE(rep.phi_lower, *exact + 1e-6)
+        << "Cheeger certificate must lower-bound true conductance";
+  }
+}
+
+TEST(Spectral, SweepCutFindsPlantedCut) {
+  // Barbell: two K8 joined by a single edge — the sweep must find a cut of
+  // conductance close to the bridge cut.
+  edge_list edges;
+  for (vertex u = 0; u < 8; ++u)
+    for (vertex v = u + 1; v < 8; ++v) {
+      edges.push_back({u, v});
+      edges.push_back({vertex(u + 8), vertex(v + 8)});
+    }
+  edges.push_back({7, 8});
+  const auto g = graph::from_unsorted(16, std::move(edges));
+  const auto rep = second_eigen(g);
+  const auto cut = sweep_cut(g, rep.embedding);
+  ASSERT_TRUE(cut.found);
+  EXPECT_EQ(cut.side.size(), 8u);
+  EXPECT_LT(cut.phi, 0.02);
+}
+
+TEST(Spectral, SweepCutConductanceMatchesDirectComputation) {
+  const auto g = gen::planted_partition(2, 16, 0.6, 0.02, 5);
+  const auto rep = second_eigen(g);
+  const auto cut = sweep_cut(g, rep.embedding);
+  ASSERT_TRUE(cut.found);
+  const auto direct = conductance(g, cut.side);
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_NEAR(cut.phi, *direct, 1e-9);
+}
+
+TEST(Spectral, DisconnectedGraphHasZeroGap) {
+  const graph g(6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}});
+  const auto rep = second_eigen(g);
+  EXPECT_LT(rep.lambda2, 1e-3);
+  const auto cut = sweep_cut(g, rep.embedding);
+  ASSERT_TRUE(cut.found);
+  EXPECT_LT(cut.phi, 1e-9);  // the component split is a zero-boundary cut
+}
+
+TEST(Spectral, SingleEdge) {
+  const graph g(2, {{0, 1}});
+  const auto rep = second_eigen(g);
+  // K2: S has eigenvalues {1, -1}; lambda2 = 2, certificate 1.
+  EXPECT_NEAR(rep.lambda2, 2.0, 0.05);
+}
+
+TEST(Spectral, DeterministicAcrossRuns) {
+  const auto g = gen::gnp(80, 0.1, 3);
+  const auto a = second_eigen(g);
+  const auto b = second_eigen(g);
+  EXPECT_EQ(a.nu2, b.nu2);
+  EXPECT_EQ(a.embedding, b.embedding);
+}
+
+TEST(Spectral, MixingTimeTracksGap) {
+  const auto fast = second_eigen(gen::complete(32));
+  const auto slow = second_eigen(gen::circulant(32, {1}));
+  EXPECT_LT(fast.mixing_time_estimate, slow.mixing_time_estimate);
+}
+
+}  // namespace
+}  // namespace dcl

@@ -1,0 +1,334 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "congest/cluster_comm.hpp"
+#include "core/streaming/pp_local_run.hpp"
+#include "core/streaming/pp_simulate.hpp"
+#include "graph/generators.hpp"
+#include "support/check.hpp"
+#include "support/prng.hpp"
+
+namespace dcl {
+namespace {
+
+/// Sums word 0 of every main token; emits the total at the end. B_aux = 0.
+class sum_algorithm final : public pp_algorithm {
+ public:
+  pp_limits limits() const override { return {.n_out = 1, .b_aux = 0,
+                                              .b_write = 1}; }
+  std::int64_t state_words() const override { return 1; }
+  void reset() override { acc_ = 0; }
+  void on_main(const pp_token& t, pp_context&) override { acc_ += t.at(0); }
+  void on_aux(const pp_token&, pp_context&) override {
+    DCL_ENSURE(false, "sum_algorithm never requests aux");
+  }
+  void finish(pp_context& ctx) override { ctx.write(pp_token{acc_}); }
+
+ private:
+  std::uint64_t acc_ = 0;
+};
+
+/// Greedy interval builder (the Lemma 17 shape): accumulates main-token
+/// weights, emits [start, end] whenever the bucket would overflow.
+class interval_algorithm final : public pp_algorithm {
+ public:
+  explicit interval_algorithm(std::uint64_t budget, std::int64_t max_parts)
+      : budget_(budget), max_parts_(max_parts) {}
+  pp_limits limits() const override {
+    return {.n_out = max_parts_, .b_aux = 0, .b_write = max_parts_};
+  }
+  std::int64_t state_words() const override { return 3; }
+  void reset() override {
+    acc_ = 0;
+    start_ = 0;
+    index_ = 0;
+  }
+  void on_main(const pp_token& t, pp_context& ctx) override {
+    const std::uint64_t w = t.at(1);
+    if (acc_ + w > budget_ && index_ > start_) {
+      ctx.write(pp_token{start_, index_ - 1});
+      start_ = index_;
+      acc_ = 0;
+    }
+    acc_ += w;
+    ++index_;
+  }
+  void on_aux(const pp_token&, pp_context&) override {
+    DCL_ENSURE(false, "no aux");
+  }
+  void finish(pp_context& ctx) override {
+    if (index_ > start_) ctx.write(pp_token{start_, index_ - 1});
+  }
+
+ private:
+  std::uint64_t budget_;
+  std::int64_t max_parts_;
+  std::uint64_t acc_ = 0;
+  std::uint64_t start_ = 0;
+  std::uint64_t index_ = 0;
+};
+
+/// Exercises GET-AUX: each main token carries the sum of its aux values;
+/// when the running total crosses a threshold multiple, it drills into the
+/// aux run and emits every aux value it sees there.
+class drill_algorithm final : public pp_algorithm {
+ public:
+  explicit drill_algorithm(std::uint64_t threshold, std::int64_t max_aux)
+      : threshold_(threshold), max_aux_(max_aux) {}
+  pp_limits limits() const override {
+    return {.n_out = 1 << 20, .b_aux = max_aux_, .b_write = 1 << 20};
+  }
+  std::int64_t state_words() const override { return 2; }
+  void reset() override { acc_ = 0; }
+  void on_main(const pp_token& t, pp_context& ctx) override {
+    const std::uint64_t before = acc_ / threshold_;
+    acc_ += t.at(0);
+    if (acc_ / threshold_ != before) ctx.request_aux();
+  }
+  void on_aux(const pp_token& t, pp_context& ctx) override {
+    ctx.write(pp_token{t.at(0)});
+  }
+
+ private:
+  std::uint64_t threshold_;
+  std::int64_t max_aux_;
+  std::uint64_t acc_ = 0;
+};
+
+pp_stream make_plain_stream(int n, std::uint64_t seed) {
+  pp_stream s;
+  for (int i = 0; i < n; ++i) {
+    pp_main_entry e;
+    e.main = pp_token{splitmix64(seed + std::uint64_t(i)) % 100,
+                      std::uint64_t(std::uint32_t(i))};
+    s.push_back(e);
+  }
+  return s;
+}
+
+pp_stream make_aux_stream(int n, int aux_each, std::uint64_t seed) {
+  pp_stream s;
+  for (int i = 0; i < n; ++i) {
+    pp_main_entry e;
+    std::uint64_t sum = 0;
+    for (int a = 0; a < aux_each; ++a) {
+      const std::uint64_t val = splitmix64(seed + std::uint64_t(i * 131 + a)) % 50;
+      e.aux.push_back(pp_token{val});
+      sum += val;
+    }
+    e.main = pp_token{sum};
+    s.push_back(e);
+  }
+  return s;
+}
+
+TEST(PpLocalRun, SumAlgorithm) {
+  sum_algorithm alg;
+  const auto s = make_plain_stream(50, 1);
+  std::uint64_t want = 0;
+  for (const auto& e : s) want += e.main.at(0);
+  const auto r = pp_run_local(alg, s);
+  ASSERT_EQ(r.output.size(), 1u);
+  EXPECT_EQ(r.output[0].at(0), want);
+  EXPECT_EQ(r.stats.main_reads, 50);
+  EXPECT_EQ(r.stats.aux_requests, 0);
+}
+
+TEST(PpLocalRun, IntervalsCoverStream) {
+  interval_algorithm alg(200, 64);
+  const auto s = make_plain_stream(100, 2);
+  const auto r = pp_run_local(alg, s);
+  ASSERT_FALSE(r.output.empty());
+  // Intervals tile [0, 100) contiguously.
+  std::uint64_t expect_start = 0;
+  for (const auto& t : r.output) {
+    EXPECT_EQ(t.at(0), expect_start);
+    EXPECT_GE(t.at(1), t.at(0));
+    expect_start = t.at(1) + 1;
+  }
+  EXPECT_EQ(expect_start, 100u);
+}
+
+TEST(PpLocalRun, DrillReadsAux) {
+  drill_algorithm alg(120, 1 << 20);
+  const auto s = make_aux_stream(40, 4, 3);
+  const auto r = pp_run_local(alg, s);
+  EXPECT_GT(r.stats.aux_requests, 0);
+  EXPECT_EQ(r.stats.aux_reads, r.stats.aux_requests * 4);
+}
+
+TEST(PpLocalRun, EnforcesBaux) {
+  drill_algorithm alg(1, 1);  // threshold 1 forces aux nearly every token
+  const auto s = make_aux_stream(30, 2, 4);
+  EXPECT_THROW(pp_run_local(alg, s), invariant_error);
+}
+
+TEST(PpToken, CapacityAndCost) {
+  pp_token t;
+  for (int i = 0; i < pp_token::capacity; ++i) t.push(std::uint64_t(i));
+  EXPECT_THROW(t.push(0), precondition_error);
+  EXPECT_EQ(t.message_cost(), 4);
+  EXPECT_EQ(pp_token({1}).message_cost(), 1);
+  EXPECT_EQ((pp_token{1, 2, 3}).message_cost(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 11 simulation: equivalence with the local reference run.
+
+struct sim_fixture {
+  graph g = gen::hypercube(5);  // 32-vertex expander cluster
+  cost_ledger ledger;
+  network net{g, ledger};
+  cluster_comm cc;
+  std::vector<vertex> pool;
+
+  sim_fixture() : cc(net, all_vertices(), g.edges(), "cluster") {
+    for (vertex v = 0; v < g.num_vertices(); ++v) pool.push_back(v);
+  }
+  std::vector<vertex> all_vertices() const {
+    std::vector<vertex> vs(size_t(g.num_vertices()));
+    std::iota(vs.begin(), vs.end(), 0);
+    return vs;
+  }
+};
+
+/// Splits `stream` into per-pool-vertex segments of near-equal length.
+std::function<pp_stream(vertex)> even_segments(const pp_stream& stream,
+                                               std::int64_t k) {
+  return [stream, k](vertex i) {
+    const std::int64_t n = std::int64_t(stream.size());
+    const std::int64_t lo = n * i / k;
+    const std::int64_t hi = n * (i + 1) / k;
+    return pp_stream(stream.begin() + lo, stream.begin() + hi);
+  };
+}
+
+TEST(PpSimulate, MatchesLocalRunNoAux) {
+  sim_fixture f;
+  const auto stream = make_plain_stream(128, 7);
+  interval_algorithm local_alg(300, 64), sim_alg(300, 64);
+  const auto want = pp_run_local(local_alg, stream);
+
+  pp_instance inst;
+  inst.alg = &sim_alg;
+  inst.segment = even_segments(stream, f.pool.size());
+  const auto rep = pp_simulate(f.cc, f.pool, std::span(&inst, 1), 8, "sim");
+  ASSERT_EQ(rep.outputs.size(), 1u);
+  EXPECT_EQ(rep.outputs[0].output, want.output);
+  EXPECT_EQ(rep.outputs[0].stats.main_reads, want.stats.main_reads);
+  EXPECT_GT(f.ledger.rounds(), 0);
+}
+
+TEST(PpSimulate, MatchesLocalRunWithAux) {
+  sim_fixture f;
+  const auto stream = make_aux_stream(96, 3, 11);
+  drill_algorithm local_alg(150, 1 << 20), sim_alg(150, 1 << 20);
+  const auto want = pp_run_local(local_alg, stream);
+
+  pp_instance inst;
+  inst.alg = &sim_alg;
+  inst.segment = even_segments(stream, f.pool.size());
+  const auto rep = pp_simulate(f.cc, f.pool, std::span(&inst, 1), 4, "sim");
+  EXPECT_EQ(rep.outputs[0].output, want.output);
+  EXPECT_EQ(rep.outputs[0].stats.aux_requests, want.stats.aux_requests);
+  EXPECT_EQ(rep.outputs[0].stats.aux_reads, want.stats.aux_reads);
+}
+
+TEST(PpSimulate, ManyParallelInstances) {
+  sim_fixture f;
+  std::vector<pp_stream> streams;
+  std::vector<interval_algorithm> algs;
+  std::vector<interval_algorithm> ref_algs;
+  for (int j = 0; j < 8; ++j) {
+    streams.push_back(make_plain_stream(64, 100 + std::uint64_t(j)));
+    algs.emplace_back(150, 64);
+    ref_algs.emplace_back(150, 64);
+  }
+  std::vector<pp_instance> insts;
+  for (int j = 0; j < 8; ++j) {
+    pp_instance inst;
+    inst.alg = &algs[size_t(j)];
+    inst.segment = even_segments(streams[size_t(j)], f.pool.size());
+    insts.push_back(inst);
+  }
+  const auto rep = pp_simulate(f.cc, f.pool, insts, 4, "sim");
+  for (int j = 0; j < 8; ++j) {
+    const auto want = pp_run_local(ref_algs[size_t(j)], streams[size_t(j)]);
+    EXPECT_EQ(rep.outputs[size_t(j)].output, want.output) << "instance " << j;
+  }
+}
+
+TEST(PpSimulate, OutputHoldersAreDistributed) {
+  sim_fixture f;
+  const auto stream = make_plain_stream(128, 13);
+  interval_algorithm alg(60, 128);  // many small intervals
+  pp_instance inst;
+  inst.alg = &alg;
+  inst.segment = even_segments(stream, f.pool.size());
+  const auto rep = pp_simulate(f.cc, f.pool, std::span(&inst, 1), 8, "sim");
+  const auto& out = rep.outputs[0];
+  ASSERT_EQ(out.holder.size(), out.output.size());
+  // With λ = 8 chain vertices, outputs cannot all sit at one vertex.
+  std::set<vertex> holders(out.holder.begin(), out.holder.end());
+  EXPECT_GT(holders.size(), 1u);
+  for (vertex h : out.holder) {
+    EXPECT_GE(h, 0);
+    EXPECT_LT(h, vertex(f.pool.size()));
+  }
+}
+
+TEST(PpSimulate, HopBatchesBoundedByLambdaPlusAux) {
+  sim_fixture f;
+  const auto stream = make_aux_stream(64, 2, 17);
+  drill_algorithm alg(100, 1 << 20), ref(100, 1 << 20);
+  const auto want = pp_run_local(ref, stream);
+  pp_instance inst;
+  inst.alg = &alg;
+  inst.segment = even_segments(stream, f.pool.size());
+  const std::int64_t lambda = 4;
+  const auto rep = pp_simulate(f.cc, f.pool, std::span(&inst, 1), lambda,
+                               "sim");
+  // Each GET-AUX costs at most 2 hops; chain passing at most λ-1 hops.
+  EXPECT_LE(rep.hop_batches, lambda - 1 + 2 * want.stats.aux_requests + 1);
+}
+
+TEST(PpSimulate, LambdaOneSingleSimulator) {
+  sim_fixture f;
+  const auto stream = make_plain_stream(64, 23);
+  sum_algorithm alg, ref;
+  const auto want = pp_run_local(ref, stream);
+  pp_instance inst;
+  inst.alg = &alg;
+  inst.segment = even_segments(stream, f.pool.size());
+  const auto rep = pp_simulate(f.cc, f.pool, std::span(&inst, 1), 1, "sim");
+  EXPECT_EQ(rep.outputs[0].output, want.output);
+  EXPECT_EQ(rep.hop_batches, 0);  // single chain vertex, no aux
+}
+
+TEST(PpSimulate, EmptySegmentsHandled) {
+  sim_fixture f;
+  sum_algorithm alg;
+  pp_instance inst;
+  inst.alg = &alg;
+  inst.segment = [](vertex) { return pp_stream{}; };
+  const auto rep = pp_simulate(f.cc, f.pool, std::span(&inst, 1), 4, "sim");
+  ASSERT_EQ(rep.outputs[0].output.size(), 1u);  // finish() still writes sum 0
+  EXPECT_EQ(rep.outputs[0].output[0].at(0), 0u);
+}
+
+TEST(PpSimulate, Phase1CostGrowsWithStream) {
+  sim_fixture f1, f2;
+  sum_algorithm a1, a2;
+  pp_instance i1, i2;
+  i1.alg = &a1;
+  i1.segment = even_segments(make_plain_stream(32, 5), f1.pool.size());
+  i2.alg = &a2;
+  i2.segment = even_segments(make_plain_stream(512, 5), f2.pool.size());
+  pp_simulate(f1.cc, f1.pool, std::span(&i1, 1), 4, "sim");
+  pp_simulate(f2.cc, f2.pool, std::span(&i2, 1), 4, "sim");
+  EXPECT_LT(f1.ledger.rounds(), f2.ledger.rounds());
+}
+
+}  // namespace
+}  // namespace dcl

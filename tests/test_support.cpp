@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/math_util.hpp"
+#include "support/prng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace dcl {
+namespace {
+
+TEST(Check, EnsureThrowsInvariant) {
+  EXPECT_THROW(DCL_ENSURE(false, "boom"), invariant_error);
+  EXPECT_NO_THROW(DCL_ENSURE(true, "fine"));
+}
+
+TEST(Check, ExpectsThrowsPrecondition) {
+  EXPECT_THROW(DCL_EXPECTS(false, "bad arg"), precondition_error);
+  EXPECT_NO_THROW(DCL_EXPECTS(true, "fine"));
+}
+
+TEST(Check, MessageMentionsExpression) {
+  try {
+    DCL_ENSURE(1 == 2, "context");
+    FAIL() << "should have thrown";
+  } catch (const invariant_error& e) {
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("context"), std::string::npos);
+  }
+}
+
+TEST(Prng, DeterministicForSeed) {
+  prng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  prng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Prng, NextBelowInRange) {
+  prng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(17), 17u);
+}
+
+TEST(Prng, NextBelowCoversValues) {
+  prng r(9);
+  std::vector<int> seen(5, 0);
+  for (int i = 0; i < 500; ++i) ++seen[size_t(r.next_below(5))];
+  for (int c : seen) EXPECT_GT(c, 0);
+}
+
+TEST(Prng, NextRealUnitInterval) {
+  prng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.next_real();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Prng, ShufflePermutes) {
+  prng r(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  r.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Prng, HashPairOrderSensitive) {
+  EXPECT_NE(hash_pair(1, 2), hash_pair(2, 1));
+}
+
+TEST(MathUtil, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(1, 5), 1);
+  EXPECT_EQ(ceil_div(0, 5), 0);
+}
+
+TEST(MathUtil, Ilog2) {
+  EXPECT_EQ(ilog2(1), 0);
+  EXPECT_EQ(ilog2(2), 1);
+  EXPECT_EQ(ilog2(3), 1);
+  EXPECT_EQ(ilog2(1024), 10);
+}
+
+TEST(MathUtil, CeilRootExact) {
+  EXPECT_EQ(ceil_root(27, 3), 3);
+  EXPECT_EQ(ceil_root(28, 3), 4);
+  EXPECT_EQ(ceil_root(1, 3), 1);
+  EXPECT_EQ(ceil_root(0, 3), 0);
+  EXPECT_EQ(ceil_root(8, 3), 2);
+  EXPECT_EQ(ceil_root(1000000, 3), 100);
+  EXPECT_EQ(ceil_root(1000001, 3), 101);
+  EXPECT_EQ(ceil_root(16, 4), 2);
+  EXPECT_EQ(ceil_root(17, 4), 3);
+}
+
+TEST(MathUtil, BudgetExponent) {
+  // n^{1-2/3} = n^{1/3}
+  EXPECT_EQ(budget_n_1_minus_2_over_p(1000, 3), 10);
+  // n^{1/2}
+  EXPECT_EQ(budget_n_1_minus_2_over_p(10000, 4), 100);
+}
+
+TEST(Stats, Summarize) {
+  const auto s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(Stats, Percentile) {
+  EXPECT_DOUBLE_EQ(percentile({5, 1, 3, 2, 4}, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile({5, 1, 3, 2, 4}, 100), 5.0);
+}
+
+TEST(Stats, LogLogSlopeRecoversExponent) {
+  std::vector<double> xs, ys;
+  for (double x : {100.0, 200.0, 400.0, 800.0}) {
+    xs.push_back(x);
+    ys.push_back(3.0 * std::pow(x, 1.0 / 3.0));
+  }
+  EXPECT_NEAR(loglog_slope(xs, ys), 1.0 / 3.0, 1e-9);
+}
+
+TEST(Stats, LogLogSlopeRejectsBadInput) {
+  EXPECT_THROW(loglog_slope({1.0}, {1.0}), precondition_error);
+  EXPECT_THROW(loglog_slope({1.0, -1.0}, {1.0, 1.0}), precondition_error);
+}
+
+TEST(Table, PrintsAlignedRows) {
+  table t({"n", "rounds"});
+  t.row().cell(std::int64_t(128)).cell(12.5, 1);
+  t.row().cell(std::int64_t(256)).cell(17.0, 1);
+  std::ostringstream os;
+  t.print(os);
+  const auto s = os.str();
+  EXPECT_NE(s.find("rounds"), std::string::npos);
+  EXPECT_NE(s.find("12.5"), std::string::npos);
+  EXPECT_NE(s.find("256"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongWidth) {
+  table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), precondition_error);
+}
+
+}  // namespace
+}  // namespace dcl
