@@ -8,6 +8,7 @@
 #include "baselines/naive.hpp"
 #include "core/api/list_cliques.hpp"
 #include "graph/generators.hpp"
+#include "local/engine.hpp"
 
 namespace dcl {
 namespace {
@@ -41,9 +42,28 @@ void BM_HeadToHead(benchmark::State& state) {
       double(rep.ledger.rounds() + rep.model_decomposition_rounds);
 }
 
+// Shared-memory kClist engine on the same inputs: the wall-clock floor the
+// simulated baselines are measured against (and the exact-count oracle —
+// the run aborts on a count mismatch with the naive baseline's output).
+void BM_LocalKclist(benchmark::State& state) {
+  const auto p = int(state.range(0));
+  const auto n = vertex(state.range(1));
+  const auto g = gen::gnp(n, 10.0 / double(n), 31);
+  local::engine_options opt;
+  opt.p = p;
+  std::int64_t cliques = 0;
+  for (auto _ : state) cliques = local::count_cliques_local(g, opt);
+  if (cliques != count_cliques(g, p)) std::abort();
+  state.counters["cliques"] = double(cliques);
+}
+
 }  // namespace
 }  // namespace dcl
 
+BENCHMARK(dcl::BM_LocalKclist)
+    ->ArgsProduct({{3, 4, 5}, {128, 256, 512, 1024}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 BENCHMARK(dcl::BM_Dlp12)
     ->ArgsProduct({{3, 4, 5}, {128, 256, 512, 1024}})
     ->Unit(benchmark::kMillisecond)

@@ -1,0 +1,94 @@
+// Thread-scaling benchmark for the shared-memory kClist engine. Emits one
+// JSON document on stdout so the perf trajectory can be tracked across
+// commits without parsing human tables:
+//
+//   ./bench_local_engine [n] [edge_prob] [p] [max_threads]
+//
+// Defaults reproduce the canonical workload: triangles of G(2000, 0.1),
+// thread counts 1, 2, 4, ..., max_threads (default 8). Both count-mode
+// (pure enumeration) and list-mode (enumeration + buffer merge) are timed;
+// count-mode is the scaling headline, list-mode is what the oracle pays.
+//
+// Self-contained on purpose: no google-benchmark dependency, so it builds
+// and runs even where only the core toolchain is present.
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+
+#include "graph/generators.hpp"
+#include "local/engine.hpp"
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Best-of-3 wall time for one configuration.
+template <typename Fn>
+double best_seconds(Fn&& fn) {
+  double best = 1e100;
+  for (int rep = 0; rep < 3; ++rep) {
+    const double t0 = now_seconds();
+    fn();
+    best = std::min(best, now_seconds() - t0);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dcl;
+  const vertex n = argc > 1 ? vertex(std::atoi(argv[1])) : 2000;
+  const double prob = argc > 2 ? std::atof(argv[2]) : 0.1;
+  const int p = argc > 3 ? std::atoi(argv[3]) : 3;
+  const int max_threads = argc > 4 ? std::atoi(argv[4]) : 8;
+
+  const auto g = gen::gnp(n, prob, /*seed=*/7);
+  local::engine_options base;
+  base.p = p;
+  const std::int64_t cliques = local::count_cliques_local(g, base);
+
+  std::cout << "{\n"
+            << "  \"workload\": \"gnp\",\n"
+            << "  \"n\": " << n << ",\n"
+            << "  \"edge_prob\": " << prob << ",\n"
+            << "  \"edges\": " << g.num_edges() << ",\n"
+            << "  \"p\": " << p << ",\n"
+            << "  \"cliques\": " << cliques << ",\n"
+            << "  \"hardware_threads\": "
+            << std::thread::hardware_concurrency() << ",\n"
+            << "  \"results\": [\n";
+
+  bool first = true;
+  for (int threads = 1; threads <= max_threads; threads *= 2) {
+    local::engine_options opt = base;
+    opt.num_threads = threads;
+
+    const double count_s = best_seconds([&] {
+      const std::int64_t c = local::count_cliques_local(g, opt);
+      if (c != cliques) std::abort();  // cross-config self-check
+    });
+    const double list_s = best_seconds([&] {
+      const auto set = local::list_cliques_local(g, opt);
+      if (set.size() != cliques) std::abort();
+    });
+
+    if (!first) std::cout << ",\n";
+    first = false;
+    std::cout << "    {\"threads\": " << threads
+              << ", \"count_seconds\": " << count_s
+              << ", \"list_seconds\": " << list_s
+              << ", \"count_cliques_per_sec\": "
+              << (count_s > 0 ? double(cliques) / count_s : 0.0)
+              << ", \"list_cliques_per_sec\": "
+              << (list_s > 0 ? double(cliques) / list_s : 0.0) << "}";
+  }
+  std::cout << "\n  ]\n}\n";
+  return 0;
+}

@@ -36,7 +36,7 @@ void BM_TriangleListing(benchmark::State& state) {
   clique_set got(3);
   for (auto _ : state) {
     listing_options opt;
-    opt.engine = engine == 0   ? lb_engine::deterministic
+    opt.lb = engine == 0   ? lb_engine::deterministic
                  : engine == 1 ? lb_engine::randomized
                                : lb_engine::unbalanced;
     opt.seed = 99;

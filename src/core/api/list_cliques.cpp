@@ -1,11 +1,27 @@
 #include "core/api/list_cliques.hpp"
 
+#include "local/engine.hpp"
 #include "support/check.hpp"
 
 namespace dcl {
 
 clique_listing_result list_cliques(const graph& g,
                                    const listing_options& opt) {
+  if (opt.engine == listing_engine::local_kclist) {
+    // Shared-memory backend: exact, thread-parallel, no CONGEST accounting
+    // (the ledger stays empty). Arity is only bounded by the enumerator.
+    DCL_EXPECTS(opt.p >= 3 && opt.p <= local::kMaxCliqueArity,
+                "local_kclist supports clique sizes 3..32");
+    local::engine_options lopt;
+    lopt.p = opt.p;
+    lopt.num_threads = opt.local_threads;
+    local::engine_report lrep;
+    clique_listing_result res{clique_set(opt.p), {}};
+    res.cliques = local::list_cliques_local(g, lopt, &lrep);
+    res.report.emitted = lrep.emitted;
+    res.report.duplicates = 0;
+    return res;
+  }
   DCL_EXPECTS(opt.p >= 3 && opt.p <= 6, "supported clique sizes: 3..6");
   clique_listing_result res{clique_set(opt.p), {}};
   if (opt.p == 3) {

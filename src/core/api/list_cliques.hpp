@@ -4,15 +4,23 @@
 //
 //   #include "core/api/list_cliques.hpp"
 //   dcl::listing_options opt;
-//   opt.p = 3;                             // clique size (3..6)
+//   opt.p = 3;                             // clique size (3..6 simulated)
 //   auto res = dcl::list_cliques(graph, opt);
 //   res.cliques    — every K_p, exactly once, as sorted tuples
 //   res.report     — simulated CONGEST rounds/messages, per-phase ledger,
 //                    per-level recursion stats, CS20-model charges
 //
-// The options select the load-balancing engine (the paper's deterministic
-// partition trees, the randomized baseline, or the unbalanced id-range
-// baseline) — see core/listing/driver.hpp.
+// `opt.engine` selects the execution backend:
+//   listing_engine::congest_sim  — the paper's simulated CONGEST algorithms
+//                                  (default; full round/message report);
+//   listing_engine::local_kclist — the shared-memory kClist engine in
+//                                  src/local/ (degeneracy-DAG egonet DFS,
+//                                  thread-parallel via opt.local_threads,
+//                                  p up to 32, empty ledger). Both backends
+//                                  return byte-identical clique sets.
+// Under congest_sim, `opt.lb` further selects the load-balancing engine
+// (the paper's deterministic partition trees, the randomized baseline, or
+// the unbalanced id-range baseline) — see core/listing/driver.hpp.
 
 #include "core/listing/driver.hpp"
 

@@ -1,2 +1,33 @@
-// clique_collector is header-only; this unit anchors the target.
 #include "core/listing/collector.hpp"
+
+#include "support/check.hpp"
+
+namespace dcl {
+
+clique_collector::clique_collector(int p) : set_(p) {}
+
+void clique_collector::emit(std::span<const vertex> clique) {
+  DCL_EXPECTS(!finalized_, "emit after finalize()");
+  set_.add(clique);
+  ++emitted_;
+}
+
+void clique_collector::merge_buffer(std::span<const vertex> flat,
+                                    bool tuples_presorted) {
+  DCL_EXPECTS(!finalized_, "merge_buffer after finalize()");
+  DCL_EXPECTS(flat.size() % size_t(set_.arity()) == 0,
+              "flat buffer length must be a multiple of the arity");
+  set_.add_flat(flat, tuples_presorted);
+  emitted_ += std::int64_t(flat.size()) / set_.arity();
+}
+
+clique_set clique_collector::finalize() {
+  DCL_EXPECTS(!finalized_, "finalize() is single-shot");
+  finalized_ = true;
+  duplicates_ = set_.normalize();
+  DCL_ENSURE(duplicates_ == emitted_ - set_.size(),
+             "duplication accounting must balance");
+  return set_;
+}
+
+}  // namespace dcl

@@ -2,9 +2,19 @@
 // Clique collection with duplication accounting. The paper's listing
 // semantics require every clique to be output by at least one vertex;
 // several listers may emit the same clique, so the collector normalizes at
-// the end and reports the duplication factor as a quality metric.
+// the end and reports the duplication factor as a quality metric. The
+// shared-memory engine (src/local/) feeds it whole per-thread buffers via
+// merge_buffer(); finalize() sorts canonically, so the merged result is
+// independent of thread scheduling.
+//
+// Invariants (enforced in collector.cpp):
+//   - emitted() counts every tuple handed in, via emit() or merge_buffer();
+//   - finalize() may be called exactly once; afterwards the returned set is
+//     normalized (ascending tuples, lexicographic order, no duplicates) and
+//     duplicates() == emitted() - result.size().
 
 #include <cstdint>
+#include <span>
 
 #include "graph/clique_enum.hpp"
 
@@ -12,23 +22,25 @@ namespace dcl {
 
 class clique_collector {
  public:
-  explicit clique_collector(int p) : set_(p) {}
+  explicit clique_collector(int p);
 
   int arity() const { return set_.arity(); }
 
-  void emit(std::span<const vertex> clique) {
-    set_.add(clique);
-    ++emitted_;
-  }
+  /// Records one clique (any vertex order).
+  void emit(std::span<const vertex> clique);
+
+  /// Absorbs a flat buffer of tuples (stride = arity), e.g. one worker
+  /// thread's private output. Cheaper than per-clique emit. Pass
+  /// tuples_presorted when every tuple is already ascending (the per-tuple
+  /// sort becomes an O(p) invariant check).
+  void merge_buffer(std::span<const vertex> flat,
+                    bool tuples_presorted = false);
 
   std::int64_t emitted() const { return emitted_; }
 
-  /// Deduplicates; afterwards duplicates() reports how many emissions were
-  /// redundant.
-  clique_set finalize() {
-    duplicates_ = set_.normalize();
-    return set_;
-  }
+  /// Deduplicates and returns the canonical set; afterwards duplicates()
+  /// reports how many emissions were redundant. Single-shot.
+  clique_set finalize();
 
   std::int64_t duplicates() const { return duplicates_; }
 
@@ -36,6 +48,7 @@ class clique_collector {
   clique_set set_;
   std::int64_t emitted_ = 0;
   std::int64_t duplicates_ = 0;
+  bool finalized_ = false;
 };
 
 }  // namespace dcl

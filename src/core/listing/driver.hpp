@@ -19,10 +19,18 @@
 
 namespace dcl {
 
+/// Execution backend behind dcl::list_cliques:
+///   congest_sim  — the paper's simulated CONGEST algorithms (default);
+///   local_kclist — the shared-memory kClist engine (src/local/), exact and
+///                  fast, with no round/message accounting.
+enum class listing_engine { congest_sim, local_kclist };
+
 struct listing_options {
   int p = 3;
-  lb_engine engine = lb_engine::deterministic;
-  std::uint64_t seed = 0;      ///< used only by the randomized engine
+  listing_engine engine = listing_engine::congest_sim;
+  lb_engine lb = lb_engine::deterministic;  ///< congest_sim load balancing
+  int local_threads = 1;   ///< local_kclist worker count; <= 0 → hardware
+  std::uint64_t seed = 0;      ///< used only by the randomized lb engine
   double epsilon = 0.0;        ///< 0 → 1/18 (p != 4) or 1/12 (p = 4)
   double beta = 2.0;           ///< V−_C degree threshold factor (p >= 4)
   double gamma = 12.0;         ///< overloaded-cluster threshold (p >= 4)

@@ -81,7 +81,7 @@ clique_set list_triangles_congest(const graph& g, const listing_options& opt,
       cost_ledger cluster_ledger;
       network net_c(cur, cluster_ledger);
       const auto cstats =
-          list_k3_in_cluster(net_c, cur, a, opt.engine,
+          list_k3_in_cluster(net_c, cur, a, opt.lb,
                              splitmix64(opt.seed + ci), out,
                              "cluster" + std::to_string(ci));
       rep.max_normalized_load =

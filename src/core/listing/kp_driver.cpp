@@ -227,7 +227,7 @@ clique_set list_kp_congest(const graph& g, const listing_options& opt,
         continue;
       }
 
-      list_kp_in_cluster(net_c, cur, a, del.eprime, opt.p, opt.engine,
+      list_kp_in_cluster(net_c, cur, a, del.eprime, opt.p, opt.lb,
                          splitmix64(opt.seed + ci), out, cl);
       level_ledger.merge_parallel(cluster_ledger);
       ++ls.clusters_listed;

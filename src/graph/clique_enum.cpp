@@ -18,6 +18,26 @@ void clique_set::add(std::span<const vertex> clique) {
   normalized_ = false;
 }
 
+void clique_set::add_flat(std::span<const vertex> flat,
+                          bool tuples_presorted) {
+  DCL_EXPECTS(flat.size() % size_t(p_) == 0,
+              "flat length must be a multiple of the arity");
+  if (flat.empty()) return;
+  const std::size_t start = flat_.size();
+  flat_.insert(flat_.end(), flat.begin(), flat.end());
+  for (std::size_t i = start; i < flat_.size(); i += size_t(p_)) {
+    if (tuples_presorted) {
+      DCL_ENSURE(std::is_sorted(flat_.begin() + std::ptrdiff_t(i),
+                                flat_.begin() + std::ptrdiff_t(i + size_t(p_))),
+                 "presorted add_flat received an unsorted tuple");
+    } else {
+      std::sort(flat_.begin() + std::ptrdiff_t(i),
+                flat_.begin() + std::ptrdiff_t(i + size_t(p_)));
+    }
+  }
+  normalized_ = false;
+}
+
 std::int64_t clique_set::normalize() {
   const std::int64_t before = size();
   std::vector<std::int64_t> idx(static_cast<std::size_t>(before));

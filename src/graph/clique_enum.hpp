@@ -22,6 +22,12 @@ class clique_set {
   /// Appends a clique (any vertex order); call normalize() before queries.
   void add(std::span<const vertex> clique);
 
+  /// Appends many tuples stored flat with stride arity(); call normalize()
+  /// before queries. Bulk-ingest path for per-thread buffers. With
+  /// tuples_presorted the per-tuple sort is replaced by an O(p) ascending
+  /// check (DCL_ENSURE) — for producers that already emit canonical tuples.
+  void add_flat(std::span<const vertex> flat, bool tuples_presorted = false);
+
   /// Sorts tuples internally and lexicographically; removes duplicates.
   /// Returns the number of duplicates removed.
   std::int64_t normalize();

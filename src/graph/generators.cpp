@@ -1,6 +1,7 @@
 #include "graph/generators.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <set>
 
@@ -184,6 +185,32 @@ graph barabasi_albert(vertex n, vertex m, std::uint64_t seed) {
     }
   }
   return graph::from_unsorted(n, std::move(edges));
+}
+
+graph kneser(int n, int k) {
+  DCL_EXPECTS(k >= 1 && 2 * k <= n, "kneser requires 1 <= k and 2k <= n");
+  DCL_EXPECTS(n <= 24, "kneser: n capped so mask enumeration stays cheap");
+  // The vertex count is C(n, k) and edge construction is all-pairs; keep
+  // the quadratic loop bounded (C(16, 8) = 12870 is already ~83M pairs).
+  {
+    std::int64_t verts = 1;
+    for (int i = 1; i <= k; ++i) verts = verts * (n - k + i) / i;
+    DCL_EXPECTS(verts <= 20000,
+                "kneser: C(n, k) capped at 20000 vertices (quadratic edge "
+                "construction)");
+  }
+  // Enumerate k-subsets as bitmasks in ascending mask order (equivalent to
+  // colex order of the subsets — deterministic and stable).
+  std::vector<std::uint32_t> subsets;
+  for (std::uint32_t mask = 0; mask < (std::uint32_t(1) << n); ++mask)
+    if (std::popcount(mask) == k) subsets.push_back(mask);
+  const vertex verts = vertex(subsets.size());
+  edge_list edges;
+  for (vertex a = 0; a < verts; ++a)
+    for (vertex b = a + 1; b < verts; ++b)
+      if ((subsets[size_t(a)] & subsets[size_t(b)]) == 0)
+        edges.push_back({a, b});
+  return graph(verts, edges);
 }
 
 }  // namespace dcl::gen

@@ -53,4 +53,11 @@ graph planted_cliques(vertex n, double p, vertex count, vertex size,
 /// Barabási–Albert preferential attachment, m edges per new vertex.
 graph barabasi_albert(vertex n, vertex m, std::uint64_t seed);
 
+/// Kneser graph K(n, k): vertices are the k-subsets of [n] in ascending
+/// bitmask (colex) order, edges join disjoint subsets. K(5, 2) is the
+/// Petersen graph; c-cliques exist iff c*k <= n, making the family a sharp
+/// structured control for clique listers. Requires 1 <= k, 2k <= n, and
+/// C(n, k) <= 20000 (edge construction is all-pairs).
+graph kneser(int n, int k);
+
 }  // namespace dcl::gen

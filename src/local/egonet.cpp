@@ -1,0 +1,72 @@
+#include "local/egonet.hpp"
+
+#include "support/check.hpp"
+
+namespace dcl::local {
+
+namespace {
+
+constexpr std::int32_t kAbsent = -1;
+constexpr std::int32_t kCandidate = -2;  ///< in N+(u), membership pending
+
+}  // namespace
+
+egonet_builder::egonet_builder(vertex n)
+    : local_id_(size_t(n), kAbsent) {}
+
+void egonet_builder::build(const dag& d, vertex u, vertex v,
+                           std::int32_t levels, egonet& out) {
+  const auto nu = d.out_neighbors(u);
+  const auto nv = d.out_neighbors(v);
+
+  touched_.clear();
+  for (const vertex w : nu) {
+    local_id_[size_t(w)] = kCandidate;
+    touched_.push_back(w);
+  }
+
+  // Members inherit N+(v)'s ascending id order, so `members` stays sorted
+  // and emitted cliques need only a tiny insertion of {u, v}.
+  out.members.clear();
+  for (const vertex w : nv) {
+    if (local_id_[size_t(w)] == kCandidate) {
+      local_id_[size_t(w)] = std::int32_t(out.members.size());
+      out.members.push_back(w);
+    }
+  }
+  out.n = std::int32_t(out.members.size());
+
+  if (levels >= 2 && out.n > 0) {
+    const std::int32_t n = out.n;
+    out.offsets.assign(size_t(n) + 1, 0);
+    for (std::int32_t a = 0; a < n; ++a) {
+      for (const vertex w : d.out_neighbors(out.members[size_t(a)]))
+        if (local_id_[size_t(w)] >= 0) ++out.offsets[size_t(a) + 1];
+    }
+    for (std::int32_t a = 0; a < n; ++a)
+      out.offsets[size_t(a) + 1] += out.offsets[size_t(a)];
+    out.adj.resize(size_t(out.offsets[size_t(n)]));
+    out.label.assign(size_t(n), levels);
+    out.deg.assign(size_t(levels + 1) * size_t(n), 0);
+    for (std::int32_t a = 0; a < n; ++a) {
+      std::int32_t next = out.offsets[size_t(a)];
+      for (const vertex w : d.out_neighbors(out.members[size_t(a)]))
+        if (local_id_[size_t(w)] >= 0)
+          out.adj[size_t(next++)] = local_id_[size_t(w)];
+      // Top-level degree: the whole within-egonet out-list is live.
+      out.deg[size_t(levels) * size_t(n) + size_t(a)] =
+          next - out.offsets[size_t(a)];
+      DCL_ENSURE(next == out.offsets[size_t(a) + 1],
+                 "egonet CSR fill mismatch");
+    }
+  } else {
+    out.offsets.assign(1, 0);
+    out.adj.clear();
+    out.label.clear();
+    out.deg.clear();
+  }
+
+  for (const vertex w : touched_) local_id_[size_t(w)] = kAbsent;
+}
+
+}  // namespace dcl::local

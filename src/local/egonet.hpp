@@ -1,0 +1,48 @@
+#pragma once
+// Per-root egonet construction with level labels — the data structure at the
+// heart of kClist. Rooting at a DAG arc (u, v), the egonet is the subgraph
+// induced on N+(u) ∩ N+(v), relabeled to dense local ids. Every p-clique
+// containing the arc as its two lowest-rank vertices is a (p-2)-clique of
+// this egonet, so enumeration never leaves an array of at most
+// `degeneracy` vertices. Labels and per-level degrees implement the
+// shrink-and-restore discipline of the DFS enumerator (kclist.hpp).
+
+#include <cstdint>
+#include <vector>
+
+#include "local/orient.hpp"
+
+namespace dcl::local {
+
+/// Egonet of one root arc: a small local-id graph plus the level machinery
+/// the enumerator mutates in place. Buffers are reused across roots (sized
+/// once to the DAG's max out-degree) — construction never allocates on the
+/// hot path.
+struct egonet {
+  std::int32_t n = 0;                ///< member count (<= max out-degree)
+  std::vector<vertex> members;       ///< local id -> global vertex id
+  std::vector<std::int32_t> offsets; ///< local CSR offsets (size n+1)
+  std::vector<vertex> adj;           ///< local-id adjacency (mutated by DFS)
+  std::vector<std::int32_t> label;   ///< label[v] = deepest level v is live at
+  std::vector<std::int32_t> deg;     ///< deg[level * n + v], level in [2, p-2]
+};
+
+/// Reusable per-thread builder. Holds the global->local scratch map, so one
+/// instance must not be shared across threads.
+class egonet_builder {
+ public:
+  explicit egonet_builder(vertex n);
+
+  /// Builds into `out` the egonet of N+(u) ∩ N+(v) for DAG arc u -> v, with
+  /// all members labeled `levels` (the enumerator's top level, p - 2).
+  /// When levels <= 1 the adjacency is skipped entirely: the member list by
+  /// itself answers the query (each member closes one p-clique).
+  void build(const dag& d, vertex u, vertex v, std::int32_t levels,
+             egonet& out);
+
+ private:
+  std::vector<std::int32_t> local_id_;  ///< global -> local, -1 = absent
+  std::vector<vertex> touched_;         ///< entries of local_id_ to reset
+};
+
+}  // namespace dcl::local

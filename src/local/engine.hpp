@@ -1,0 +1,53 @@
+#pragma once
+// Public surface of the shared-memory kClist engine (src/local/): exact
+// k-clique listing/counting orders of magnitude faster than the naive
+// baselines, used as the ground-truth oracle for the CONGEST simulation on
+// large inputs and as the throughput baseline in benchmarks.
+//
+//   dcl::local::engine_options opt;
+//   opt.p = 4;
+//   opt.num_threads = 8;
+//   auto cliques = dcl::local::list_cliques_local(g, opt);
+//
+// Pipeline: orient (degeneracy DAG, orient.hpp) -> per-arc egonets
+// (egonet.hpp) -> iterative DFS enumeration (kclist.hpp) -> edge-parallel
+// thread-pool driver with deterministic merge (parallel.hpp). Entry points
+// are anchored in parallel.cpp.
+
+#include <cstdint>
+
+#include "graph/clique_enum.hpp"
+#include "local/kclist.hpp"
+#include "local/orient.hpp"
+#include "local/parallel.hpp"
+
+namespace dcl::local {
+
+struct engine_options {
+  int p = 3;  ///< clique arity, [2, kMaxCliqueArity]
+  orientation_policy orientation = orientation_policy::degeneracy;
+  int num_threads = 1;       ///< <= 0 selects hardware_concurrency()
+  std::int64_t grain = 128;  ///< arcs per dynamically-scheduled chunk
+};
+
+struct engine_report {
+  std::int32_t max_out_degree = 0;  ///< = degeneracy (degeneracy policy)
+  std::int64_t dag_arcs = 0;
+  int threads = 1;
+  std::int64_t emitted = 0;  ///< cliques in the result (engine never dups)
+  double orient_seconds = 0.0;
+  double list_seconds = 0.0;
+  parallel_listing_stats parallel;
+};
+
+/// Lists every p-clique of g, as a normalized canonical clique_set.
+/// Deterministic: identical output for any thread count / schedule /
+/// orientation policy.
+clique_set list_cliques_local(const graph& g, const engine_options& opt,
+                              engine_report* report = nullptr);
+
+/// Counts every p-clique of g without materializing tuples.
+std::int64_t count_cliques_local(const graph& g, const engine_options& opt,
+                                 engine_report* report = nullptr);
+
+}  // namespace dcl::local

@@ -1,0 +1,175 @@
+#include "local/kclist.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace dcl::local {
+
+kclist_enumerator::kclist_enumerator(const dag& d, int p)
+    : dag_(d), p_(p), top_(p - 2), builder_(d.n) {
+  DCL_EXPECTS(p >= 3 && p <= kMaxCliqueArity,
+              "kclist enumerator supports p in [3, kMaxCliqueArity]");
+  cand_.resize(size_t(top_) + 1);
+  pos_.resize(size_t(top_) + 1, 0);
+  prefix_.reserve(size_t(top_));
+}
+
+vertex kclist_enumerator::arc_source(std::int64_t arc_index) const {
+  const auto it = std::upper_bound(dag_.offsets.begin(), dag_.offsets.end(),
+                                   arc_index);
+  return vertex(it - dag_.offsets.begin() - 1);
+}
+
+void kclist_enumerator::arc_endpoints(std::int64_t arc_index, vertex* u,
+                                      vertex* v) const {
+  DCL_EXPECTS(arc_index >= 0 && arc_index < dag_.num_arcs(),
+              "arc index out of range");
+  *u = arc_source(arc_index);
+  *v = dag_.adj[size_t(arc_index)];
+}
+
+template <typename Sink>
+std::int64_t kclist_enumerator::run(vertex u, vertex v, Sink&& sink) {
+  builder_.build(dag_, u, v, top_, ego_);
+  if (ego_.n == 0) return 0;
+
+  if (top_ == 1) {  // p == 3: every member closes a triangle with (u, v).
+    for (std::int32_t w = 0; w < ego_.n; ++w) {
+      const std::int32_t extra[1] = {w};
+      sink(extra, 1);
+    }
+    return ego_.n;
+  }
+
+  const std::int32_t n = ego_.n;
+  auto deg = [&](std::int32_t level, std::int32_t x) -> std::int32_t& {
+    return ego_.deg[size_t(level) * size_t(n) + size_t(x)];
+  };
+
+  std::int64_t total = 0;
+  auto& top_cands = cand_[size_t(top_)];
+  top_cands.resize(size_t(n));
+  for (std::int32_t i = 0; i < n; ++i) top_cands[size_t(i)] = i;
+  prefix_.clear();
+  std::int32_t l = top_;
+  pos_[size_t(l)] = 0;
+
+  for (;;) {
+    bool frame_done = false;
+    if (l == 2) {
+      // Base: every live arc (a -> w) inside the label-2 prefix closes one
+      // clique with the roots and the DFS prefix.
+      for (const std::int32_t a : cand_[2]) {
+        const std::int32_t off = std::int32_t(ego_.offsets[size_t(a)]);
+        const std::int32_t da = deg(2, a);
+        for (std::int32_t j = 0; j < da; ++j) {
+          const std::int32_t extra[2] = {a, ego_.adj[size_t(off + j)]};
+          sink(extra, 2);
+        }
+        total += da;
+      }
+      frame_done = true;
+    } else if (pos_[size_t(l)] == cand_[size_t(l)].size()) {
+      frame_done = true;
+    }
+
+    if (frame_done) {
+      if (l == top_) break;
+      ++l;
+      // Undo the descent: the child candidates go back to being live at
+      // this level; their compacted degrees at l-1 simply become stale.
+      for (const std::int32_t w : cand_[size_t(l) - 1])
+        ego_.label[size_t(w)] = l;
+      prefix_.pop_back();
+      continue;
+    }
+
+    const std::int32_t a = cand_[size_t(l)][pos_[size_t(l)]++];
+    auto& child = cand_[size_t(l) - 1];
+    child.clear();
+    const std::int32_t off = std::int32_t(ego_.offsets[size_t(a)]);
+    const std::int32_t da = deg(l, a);
+    for (std::int32_t j = 0; j < da; ++j) {
+      const std::int32_t w = ego_.adj[size_t(off + j)];
+      ego_.label[size_t(w)] = l - 1;
+      child.push_back(w);
+    }
+    if (child.empty()) continue;
+    // Compact each child's live adjacency into a prefix for the next level.
+    for (const std::int32_t w : child) {
+      std::int32_t d2 = 0;
+      const std::int32_t offw = std::int32_t(ego_.offsets[size_t(w)]);
+      const std::int32_t dl = deg(l, w);
+      for (std::int32_t j = 0; j < dl; ++j) {
+        const std::int32_t x = ego_.adj[size_t(offw + j)];
+        if (ego_.label[size_t(x)] == l - 1)
+          std::swap(ego_.adj[size_t(offw + j)], ego_.adj[size_t(offw + d2++)]);
+      }
+      deg(l - 1, w) = d2;
+    }
+    prefix_.push_back(a);
+    --l;
+    pos_[size_t(l)] = 0;
+  }
+  return total;
+}
+
+std::int64_t kclist_enumerator::list_root(vertex u, vertex v,
+                                          std::vector<vertex>& out) {
+  return run(u, v, [&](const std::int32_t* extra, int n_extra) {
+    vertex tuple[kMaxCliqueArity];
+    int k = 0;
+    tuple[k++] = u;
+    tuple[k++] = v;
+    for (const std::int32_t a : prefix_)
+      tuple[k++] = ego_.members[size_t(a)];
+    for (int i = 0; i < n_extra; ++i)
+      tuple[k++] = ego_.members[size_t(extra[i])];
+    DCL_ENSURE(k == p_, "emitted tuple arity mismatch");
+    std::sort(tuple, tuple + k);
+    out.insert(out.end(), tuple, tuple + k);
+  });
+}
+
+std::int64_t kclist_enumerator::list_arc(std::int64_t arc_index,
+                                         std::vector<vertex>& out) {
+  vertex u, v;
+  arc_endpoints(arc_index, &u, &v);
+  return list_root(u, v, out);
+}
+
+std::int64_t kclist_enumerator::count_arc(std::int64_t arc_index) {
+  vertex u, v;
+  arc_endpoints(arc_index, &u, &v);
+  return run(u, v, [](const std::int32_t*, int) {});
+}
+
+std::int64_t kclist_enumerator::list_range(std::int64_t begin,
+                                           std::int64_t end,
+                                           std::vector<vertex>& out) {
+  if (begin >= end) return 0;
+  DCL_EXPECTS(begin >= 0 && end <= dag_.num_arcs(), "arc range out of range");
+  vertex u = arc_source(begin);
+  std::int64_t total = 0;
+  for (std::int64_t arc = begin; arc < end; ++arc) {
+    while (dag_.offsets[size_t(u) + 1] <= arc) ++u;
+    total += list_root(u, dag_.adj[size_t(arc)], out);
+  }
+  return total;
+}
+
+std::int64_t kclist_enumerator::count_range(std::int64_t begin,
+                                            std::int64_t end) {
+  if (begin >= end) return 0;
+  DCL_EXPECTS(begin >= 0 && end <= dag_.num_arcs(), "arc range out of range");
+  vertex u = arc_source(begin);
+  std::int64_t total = 0;
+  for (std::int64_t arc = begin; arc < end; ++arc) {
+    while (dag_.offsets[size_t(u) + 1] <= arc) ++u;
+    total += run(u, dag_.adj[size_t(arc)], [](const std::int32_t*, int) {});
+  }
+  return total;
+}
+
+}  // namespace dcl::local

@@ -1,0 +1,72 @@
+#pragma once
+// Iterative DFS k-clique enumerator over per-arc egonets (the kClist core
+// loop, Danisch et al. WWW'18). Rooted at a DAG arc (u, v), every p-clique
+// whose two lowest-rank vertices are {u, v} corresponds to a (p-2)-clique
+// of the egonet on N+(u) ∩ N+(v); the enumerator walks those with an
+// explicit per-level stack — no recursion, no allocation after warm-up —
+// using the label/degree shrink-and-restore discipline: descending a level
+// relabels the chosen vertex's live neighbors and compacts each of their
+// adjacency prefixes, returning restores both in O(|sub-egonet|).
+
+#include <cstdint>
+#include <vector>
+
+#include "local/egonet.hpp"
+#include "local/orient.hpp"
+
+namespace dcl::local {
+
+/// Largest supported clique arity (levels array is statically bounded).
+inline constexpr int kMaxCliqueArity = 32;
+
+/// Per-thread enumerator bound to one DAG. Reuses egonet and stack scratch
+/// across roots; instances must not be shared between threads.
+class kclist_enumerator {
+ public:
+  /// p >= 3; the DAG must outlive the enumerator.
+  kclist_enumerator(const dag& d, int p);
+
+  int arity() const { return p_; }
+
+  /// Appends every p-clique rooted at arc `arc_index` (index into the flat
+  /// arc order: source vertex ascending, targets id-ascending within a
+  /// source) to `out` as ascending p-tuples, flat with stride p.
+  /// Returns the number of cliques appended.
+  std::int64_t list_arc(std::int64_t arc_index, std::vector<vertex>& out);
+
+  /// Counting-only variant of list_arc — same traversal, no emission.
+  std::int64_t count_arc(std::int64_t arc_index);
+
+  /// Chunk path used by the parallel driver: lists every p-clique rooted at
+  /// arcs [begin, end), resolving each arc's source incrementally (one
+  /// binary search per chunk, not per arc). Returns cliques appended.
+  std::int64_t list_range(std::int64_t begin, std::int64_t end,
+                          std::vector<vertex>& out);
+
+  /// Counting-only variant of list_range.
+  std::int64_t count_range(std::int64_t begin, std::int64_t end);
+
+ private:
+  /// Resolves an arc index to its (source, target) pair.
+  void arc_endpoints(std::int64_t arc_index, vertex* u, vertex* v) const;
+
+  /// Source vertex of `arc_index` (binary search over the offsets).
+  vertex arc_source(std::int64_t arc_index) const;
+
+  std::int64_t list_root(vertex u, vertex v, std::vector<vertex>& out);
+
+  template <typename Sink>
+  std::int64_t run(vertex u, vertex v, Sink&& sink);
+
+  const dag& dag_;
+  const int p_;
+  const std::int32_t top_;  ///< egonet levels = p - 2
+
+  egonet_builder builder_;
+  egonet ego_;
+  std::vector<std::vector<std::int32_t>> cand_;  ///< candidates per level
+  std::vector<std::size_t> pos_;                 ///< loop cursor per level
+  std::vector<std::int32_t> prefix_;             ///< chosen local ids
+};
+
+}  // namespace dcl::local

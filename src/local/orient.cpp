@@ -1,0 +1,124 @@
+#include "local/orient.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace dcl::local {
+
+namespace {
+
+/// Bucket-queue core peeling: repeatedly removes a minimum-degree vertex.
+/// Returns the removal order; fills core[] with core numbers.
+std::vector<vertex> peeling_order(const graph& g,
+                                  std::vector<std::int32_t>* core) {
+  const vertex n = g.num_vertices();
+  std::vector<std::int32_t> deg(static_cast<size_t>(n));
+  std::int32_t max_deg = 0;
+  for (vertex v = 0; v < n; ++v) {
+    deg[size_t(v)] = g.degree(v);
+    max_deg = std::max(max_deg, deg[size_t(v)]);
+  }
+
+  // bin[d] = start of degree-d block in vert[]; pos[v] = index of v in vert.
+  std::vector<std::int64_t> bin(size_t(max_deg) + 2, 0);
+  for (vertex v = 0; v < n; ++v) ++bin[size_t(deg[size_t(v)]) + 1];
+  std::partial_sum(bin.begin(), bin.end(), bin.begin());
+  std::vector<vertex> vert(static_cast<size_t>(n));
+  std::vector<std::int64_t> pos(static_cast<size_t>(n));
+  {
+    std::vector<std::int64_t> next(bin.begin(), bin.end() - 1);
+    for (vertex v = 0; v < n; ++v) {
+      pos[size_t(v)] = next[size_t(deg[size_t(v)])]++;
+      vert[size_t(pos[size_t(v)])] = v;
+    }
+  }
+
+  std::vector<std::int32_t> cores(size_t(n), 0);
+  std::int32_t current_core = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const vertex v = vert[size_t(i)];
+    current_core = std::max(current_core, deg[size_t(v)]);
+    cores[size_t(v)] = current_core;
+    for (const vertex w : g.neighbors(v)) {
+      if (deg[size_t(w)] <= deg[size_t(v)]) continue;  // already peeled/equal
+      // Move w into the next-lower degree block: swap with the first vertex
+      // of its current block, then shift the block boundary right.
+      const std::int64_t pw = pos[size_t(w)];
+      const std::int64_t start = bin[size_t(deg[size_t(w)])];
+      const vertex u = vert[size_t(start)];
+      if (u != w) {
+        std::swap(vert[size_t(pw)], vert[size_t(start)]);
+        pos[size_t(w)] = start;
+        pos[size_t(u)] = pw;
+      }
+      ++bin[size_t(deg[size_t(w)])];
+      --deg[size_t(w)];
+    }
+    // Peeled vertices keep deg as their degree at removal time; mark done by
+    // setting it to -1 so later neighbors skip them.
+    deg[size_t(v)] = -1;
+  }
+  if (core) *core = std::move(cores);
+  return vert;
+}
+
+}  // namespace
+
+std::vector<std::int32_t> core_numbers(const graph& g) {
+  std::vector<std::int32_t> core;
+  peeling_order(g, &core);
+  return core;
+}
+
+dag orient(const graph& g, orientation_policy policy) {
+  const vertex n = g.num_vertices();
+  dag d;
+  d.n = n;
+  d.order.resize(size_t(n));
+  d.rank.resize(size_t(n));
+
+  if (policy == orientation_policy::degeneracy) {
+    d.order = peeling_order(g, nullptr);
+  } else {
+    // Ascending degree, ties broken by id (stable sort over iota keeps the
+    // tie-break deterministic).
+    std::iota(d.order.begin(), d.order.end(), vertex{0});
+    std::stable_sort(d.order.begin(), d.order.end(),
+                     [&](vertex a, vertex b) {
+                       return g.degree(a) < g.degree(b);
+                     });
+  }
+  for (vertex r = 0; r < n; ++r) d.rank[size_t(d.order[size_t(r)])] = r;
+
+  d.offsets.assign(size_t(n) + 1, 0);
+  for (const auto& e : g.edges()) {
+    const vertex lo =
+        d.rank[size_t(e.u)] < d.rank[size_t(e.v)] ? e.u : e.v;
+    ++d.offsets[size_t(lo) + 1];
+  }
+  std::partial_sum(d.offsets.begin(), d.offsets.end(), d.offsets.begin());
+  d.adj.resize(size_t(g.num_edges()));
+  std::vector<std::int64_t> next(d.offsets.begin(), d.offsets.end() - 1);
+  // g.edges() is lexicographic with u < v, so filling per source in that
+  // order does NOT automatically sort out-lists by id (the source may be
+  // either endpoint). Fill, then sort each short list.
+  for (const auto& e : g.edges()) {
+    const bool u_first = d.rank[size_t(e.u)] < d.rank[size_t(e.v)];
+    const vertex lo = u_first ? e.u : e.v;
+    const vertex hi = u_first ? e.v : e.u;
+    d.adj[size_t(next[size_t(lo)]++)] = hi;
+  }
+  for (vertex v = 0; v < n; ++v) {
+    auto* first = d.adj.data() + d.offsets[size_t(v)];
+    auto* last = d.adj.data() + d.offsets[size_t(v) + 1];
+    std::sort(first, last);
+    d.max_out_degree =
+        std::max(d.max_out_degree, std::int32_t(last - first));
+  }
+  DCL_ENSURE(d.num_arcs() == g.num_edges(), "orientation must keep all edges");
+  return d;
+}
+
+}  // namespace dcl::local

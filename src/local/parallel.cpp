@@ -1,0 +1,258 @@
+#include "local/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "core/listing/collector.hpp"
+#include "local/engine.hpp"
+#include "local/kclist.hpp"
+#include "support/check.hpp"
+
+namespace dcl::local {
+
+// ----------------------------------------------------------- thread_pool
+
+struct thread_pool::state {
+  std::mutex m;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+  std::atomic<std::int64_t> cursor{0};
+  std::int64_t n = 0;
+  std::int64_t grain = 1;
+  const std::function<void(int, std::int64_t, std::int64_t)>* job = nullptr;
+  std::uint64_t generation = 0;  ///< bumped per job; wakes the workers
+  int running = 0;               ///< workers still draining the cursor
+  bool stop = false;
+};
+
+namespace {
+
+/// Drains the shared cursor: the grab-a-chunk loop every participant runs.
+void drain_chunks(thread_pool::state& s, int worker_index,
+                  const std::function<void(int, std::int64_t, std::int64_t)>&
+                      job) {
+  for (;;) {
+    const std::int64_t begin = s.cursor.fetch_add(s.grain);
+    if (begin >= s.n) break;
+    job(worker_index, begin, std::min(begin + s.grain, s.n));
+  }
+}
+
+}  // namespace
+
+thread_pool::thread_pool(int num_threads) : state_(new state) {
+  int t = num_threads;
+  if (t <= 0) t = int(std::thread::hardware_concurrency());
+  if (t < 1) t = 1;
+  // The calling thread is worker 0; spawn the other t-1.
+  for (int i = 1; i < t; ++i) {
+    workers_.emplace_back([this, i] {
+      state& s = *state_;
+      std::uint64_t seen = 0;
+      for (;;) {
+        const std::function<void(int, std::int64_t, std::int64_t)>* job;
+        {
+          std::unique_lock<std::mutex> lk(s.m);
+          s.cv_work.wait(lk,
+                         [&] { return s.stop || s.generation != seen; });
+          if (s.stop) return;
+          seen = s.generation;
+          job = s.job;
+        }
+        drain_chunks(s, i, *job);
+        {
+          std::lock_guard<std::mutex> lk(s.m);
+          if (--s.running == 0) s.cv_done.notify_all();
+        }
+      }
+    });
+  }
+}
+
+thread_pool::~thread_pool() {
+  {
+    std::lock_guard<std::mutex> lk(state_->m);
+    state_->stop = true;
+  }
+  state_->cv_work.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void thread_pool::for_each_chunk(
+    std::int64_t n, std::int64_t grain,
+    const std::function<void(int, std::int64_t, std::int64_t)>& fn) {
+  DCL_EXPECTS(grain > 0, "chunk grain must be positive");
+  state& s = *state_;
+  {
+    std::lock_guard<std::mutex> lk(s.m);
+    s.n = n;
+    s.grain = grain;
+    s.cursor.store(0);
+    s.job = &fn;
+    s.running = int(workers_.size());
+    ++s.generation;
+  }
+  s.cv_work.notify_all();
+  drain_chunks(s, /*worker_index=*/0, fn);
+  std::unique_lock<std::mutex> lk(s.m);
+  s.cv_done.wait(lk, [&] { return s.running == 0; });
+  s.job = nullptr;
+}
+
+// ------------------------------------------------------- parallel driver
+
+clique_set list_cliques_parallel(const dag& d, int p, thread_pool& pool,
+                                 std::int64_t grain,
+                                 parallel_listing_stats* stats) {
+  DCL_EXPECTS(p >= 3, "parallel lister handles p >= 3");
+  const int t = pool.size();
+  std::vector<std::unique_ptr<kclist_enumerator>> enums;
+  enums.reserve(size_t(t));
+  for (int i = 0; i < t; ++i)
+    enums.push_back(std::make_unique<kclist_enumerator>(d, p));
+  std::vector<std::vector<vertex>> buffers(static_cast<size_t>(t));
+  std::vector<std::int64_t> roots(static_cast<size_t>(t), 0);
+  std::vector<std::int64_t> found(static_cast<size_t>(t), 0);
+
+  pool.for_each_chunk(
+      d.num_arcs(), grain,
+      [&](int w, std::int64_t begin, std::int64_t end) {
+        found[size_t(w)] +=
+            enums[size_t(w)]->list_range(begin, end, buffers[size_t(w)]);
+        roots[size_t(w)] += end - begin;
+      });
+
+  // Deterministic merge: concatenation order is fixed (thread index), and
+  // the collector's finalize() sorts canonically, so scheduling cannot leak
+  // into the result.
+  clique_collector collector(p);
+  for (const auto& buf : buffers)
+    collector.merge_buffer(buf, /*tuples_presorted=*/true);
+  if (stats) {
+    stats->threads = t;
+    stats->roots = d.num_arcs();
+    stats->per_thread_roots = std::move(roots);
+    stats->per_thread_cliques = std::move(found);
+  }
+  clique_set out = collector.finalize();
+  DCL_ENSURE(collector.duplicates() == 0,
+             "kClist must emit every clique exactly once");
+  return out;
+}
+
+std::int64_t count_cliques_parallel(const dag& d, int p, thread_pool& pool,
+                                    std::int64_t grain,
+                                    parallel_listing_stats* stats) {
+  DCL_EXPECTS(p >= 3, "parallel counter handles p >= 3");
+  const int t = pool.size();
+  std::vector<std::unique_ptr<kclist_enumerator>> enums;
+  enums.reserve(size_t(t));
+  for (int i = 0; i < t; ++i)
+    enums.push_back(std::make_unique<kclist_enumerator>(d, p));
+  std::vector<std::int64_t> roots(static_cast<size_t>(t), 0);
+  std::vector<std::int64_t> found(static_cast<size_t>(t), 0);
+
+  pool.for_each_chunk(
+      d.num_arcs(), grain,
+      [&](int w, std::int64_t begin, std::int64_t end) {
+        found[size_t(w)] += enums[size_t(w)]->count_range(begin, end);
+        roots[size_t(w)] += end - begin;
+      });
+
+  std::int64_t total = 0;
+  for (const std::int64_t c : found) total += c;
+  if (stats) {
+    stats->threads = t;
+    stats->roots = d.num_arcs();
+    stats->per_thread_roots = std::move(roots);
+    stats->per_thread_cliques = std::move(found);
+  }
+  return total;
+}
+
+// --------------------------------------------------- engine entry points
+// (declared in engine.hpp; anchored here so the header stays thin)
+
+namespace {
+
+clique_set edges_as_cliques(const graph& g) {
+  clique_set out(2);
+  for (const auto& e : g.edges()) {
+    const vertex t2[2] = {e.u, e.v};
+    out.add(t2);
+  }
+  out.normalize();
+  return out;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+clique_set list_cliques_local(const graph& g, const engine_options& opt,
+                              engine_report* report) {
+  DCL_EXPECTS(opt.p >= 2 && opt.p <= kMaxCliqueArity,
+              "local engine supports p in [2, kMaxCliqueArity]");
+  if (opt.p == 2) {
+    if (report) *report = {};
+    auto out = edges_as_cliques(g);
+    if (report) report->emitted = out.size();
+    return out;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const dag d = orient(g, opt.orientation);
+  const double orient_s = seconds_since(t0);
+
+  thread_pool pool(opt.num_threads);
+  const auto t1 = std::chrono::steady_clock::now();
+  parallel_listing_stats stats;
+  clique_set out = list_cliques_parallel(d, opt.p, pool, opt.grain, &stats);
+  if (report) {
+    report->max_out_degree = d.max_out_degree;
+    report->dag_arcs = d.num_arcs();
+    report->threads = stats.threads;
+    report->emitted = out.size();
+    report->orient_seconds = orient_s;
+    report->list_seconds = seconds_since(t1);
+    report->parallel = std::move(stats);
+  }
+  return out;
+}
+
+std::int64_t count_cliques_local(const graph& g, const engine_options& opt,
+                                 engine_report* report) {
+  DCL_EXPECTS(opt.p >= 2 && opt.p <= kMaxCliqueArity,
+              "local engine supports p in [2, kMaxCliqueArity]");
+  if (opt.p == 2) {
+    if (report) *report = {};
+    if (report) report->emitted = g.num_edges();
+    return g.num_edges();
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const dag d = orient(g, opt.orientation);
+  const double orient_s = seconds_since(t0);
+
+  thread_pool pool(opt.num_threads);
+  const auto t1 = std::chrono::steady_clock::now();
+  parallel_listing_stats stats;
+  const std::int64_t total =
+      count_cliques_parallel(d, opt.p, pool, opt.grain, &stats);
+  if (report) {
+    report->max_out_degree = d.max_out_degree;
+    report->dag_arcs = d.num_arcs();
+    report->threads = stats.threads;
+    report->emitted = total;
+    report->orient_seconds = orient_s;
+    report->list_seconds = seconds_since(t1);
+    report->parallel = std::move(stats);
+  }
+  return total;
+}
+
+}  // namespace dcl::local

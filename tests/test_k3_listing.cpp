@@ -96,7 +96,7 @@ TEST(K3Listing, ExactOnTinyAndEmpty) {
 
 TEST(K3Listing, RandomizedEngineExact) {
   listing_options opt;
-  opt.engine = lb_engine::randomized;
+  opt.lb = lb_engine::randomized;
   opt.seed = 99;
   expect_exact(gen::gnp(100, 0.12, 29), opt);
   expect_exact(gen::power_law(120, 2.4, 9.0, 31), opt);
@@ -104,7 +104,7 @@ TEST(K3Listing, RandomizedEngineExact) {
 
 TEST(K3Listing, UnbalancedEngineExact) {
   listing_options opt;
-  opt.engine = lb_engine::unbalanced;
+  opt.lb = lb_engine::unbalanced;
   expect_exact(gen::gnp(100, 0.12, 37), opt);
   expect_exact(gen::power_law(120, 2.4, 9.0, 41), opt);
 }
@@ -146,7 +146,7 @@ TEST(K3Listing, EngineRoundsDifferOnSkewedInputs) {
   const auto g = gen::power_law(200, 2.2, 14.0, 59);
   listing_report det, unb;
   listing_options o_det, o_unb;
-  o_unb.engine = lb_engine::unbalanced;
+  o_unb.lb = lb_engine::unbalanced;
   list_triangles_congest(g, o_det, &det);
   list_triangles_congest(g, o_unb, &unb);
   // Not a strict theorem at this scale, but the unbalanced engine should

@@ -53,7 +53,7 @@ TEST(KpListing, K4DenseExercisesSplitTrees) {
 
 TEST(KpListing, K4DenseRandomizedEngine) {
   listing_options opt;
-  opt.engine = lb_engine::randomized;
+  opt.lb = lb_engine::randomized;
   opt.seed = 11;
   expect_exact_kp(gen::gnp(110, 0.35, 103), 4, opt);
 }
@@ -87,14 +87,14 @@ TEST(KpListing, EmptyAndTiny) {
 
 TEST(KpListing, RandomizedEngineExact) {
   listing_options opt;
-  opt.engine = lb_engine::randomized;
+  opt.lb = lb_engine::randomized;
   opt.seed = 5;
   expect_exact_kp(gen::gnp(90, 0.12, 29), 4, opt);
 }
 
 TEST(KpListing, UnbalancedEngineExact) {
   listing_options opt;
-  opt.engine = lb_engine::unbalanced;
+  opt.lb = lb_engine::unbalanced;
   expect_exact_kp(gen::gnp(90, 0.12, 31), 4, opt);
 }
 

@@ -1,0 +1,224 @@
+// Shared-memory kClist engine (src/local/): orientation invariants, and the
+// engine's output cross-checked against the sequential enumerator and the
+// CONGEST simulation on random, Kneser, and planted-clique inputs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/api/list_cliques.hpp"
+#include "graph/clique_enum.hpp"
+#include "graph/generators.hpp"
+#include "local/engine.hpp"
+
+namespace dcl {
+namespace {
+
+using local::engine_options;
+using local::engine_report;
+using local::orientation_policy;
+
+// ---------------------------------------------------------------------------
+// Orientation.
+
+TEST(Orient, KeepsEveryEdgeExactlyOnceRankForward) {
+  const auto g = gen::gnp(120, 0.1, 3);
+  for (const auto policy :
+       {orientation_policy::degeneracy, orientation_policy::degree}) {
+    const auto d = local::orient(g, policy);
+    EXPECT_EQ(d.num_arcs(), g.num_edges());
+    std::int64_t arcs = 0;
+    for (vertex v = 0; v < g.num_vertices(); ++v) {
+      auto out = d.out_neighbors(v);
+      EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+      for (const vertex w : out) {
+        EXPECT_LT(d.rank[size_t(v)], d.rank[size_t(w)]);
+        EXPECT_TRUE(g.has_edge(v, w));
+        ++arcs;
+      }
+    }
+    EXPECT_EQ(arcs, g.num_edges());
+  }
+}
+
+TEST(Orient, DegeneracyBoundsOutDegree) {
+  // K_n has degeneracy n-1; ring-of-cliques of K6 blocks has degeneracy 5.
+  EXPECT_EQ(local::orient(gen::complete(9), orientation_policy::degeneracy)
+                .max_out_degree,
+            8);
+  EXPECT_EQ(local::orient(gen::ring_of_cliques(4, 6),
+                          orientation_policy::degeneracy)
+                .max_out_degree,
+            5);
+}
+
+TEST(Orient, CoreNumbers) {
+  // Triangle with a pendant: triangle vertices have core 2, pendant core 1.
+  const graph g(4, {{0, 1}, {0, 2}, {1, 2}, {2, 3}});
+  const auto core = local::core_numbers(g);
+  EXPECT_EQ(core[0], 2);
+  EXPECT_EQ(core[1], 2);
+  EXPECT_EQ(core[2], 2);
+  EXPECT_EQ(core[3], 1);
+}
+
+// ---------------------------------------------------------------------------
+// Engine vs sequential ground truth.
+
+void expect_matches_sequential(const graph& g, int p,
+                               const engine_options& base) {
+  const auto want = collect_cliques(g, p);
+  engine_options opt = base;
+  opt.p = p;
+  engine_report rep;
+  const auto got = local::list_cliques_local(g, opt, &rep);
+  EXPECT_TRUE(got == want) << "p=" << p << ": got " << got.size()
+                           << " expected " << want.size();
+  EXPECT_EQ(rep.emitted, want.size());
+  EXPECT_EQ(local::count_cliques_local(g, opt), want.size());
+}
+
+TEST(LocalEngine, MatchesSequentialOnGnp) {
+  const auto g = gen::gnp(80, 0.15, 17);
+  for (int p = 3; p <= 6; ++p)
+    expect_matches_sequential(g, p, engine_options{});
+}
+
+TEST(LocalEngine, MatchesSequentialOnDenseGnp) {
+  const auto g = gen::gnp(60, 0.35, 29);
+  for (int p = 3; p <= 6; ++p)
+    expect_matches_sequential(g, p, engine_options{});
+}
+
+TEST(LocalEngine, MatchesSequentialOnKneser) {
+  // K(9, 3): 84 vertices; triangles exist (three disjoint 3-sets), K4 needs
+  // 12 > 9 ground elements so there are exactly zero — a sharp cutoff.
+  const auto g = gen::kneser(9, 3);
+  for (int p = 3; p <= 5; ++p)
+    expect_matches_sequential(g, p, engine_options{});
+  EXPECT_GT(count_cliques(g, 3), 0);
+  EXPECT_EQ(local::count_cliques_local(g, {.p = 4}), 0);
+}
+
+TEST(LocalEngine, PetersenIsTriangleFree) {
+  EXPECT_EQ(local::count_cliques_local(gen::kneser(5, 2), {.p = 3}), 0);
+}
+
+TEST(LocalEngine, MatchesSequentialOnPlantedCliques) {
+  const auto g = gen::planted_cliques(120, 0.03, 3, 9, 41);
+  for (int p = 3; p <= 6; ++p)
+    expect_matches_sequential(g, p, engine_options{});
+}
+
+TEST(LocalEngine, DegreeOrientationGivesSameResult) {
+  const auto g = gen::power_law(150, 2.3, 10.0, 53);
+  for (int p = 3; p <= 5; ++p) {
+    engine_options opt{.p = p};
+    opt.orientation = orientation_policy::degree;
+    const auto got = local::list_cliques_local(g, opt);
+    EXPECT_TRUE(got == collect_cliques(g, p)) << "p=" << p;
+  }
+}
+
+TEST(LocalEngine, ArbitraryArityBeyondCongestRange) {
+  // p = 8 exceeds the CONGEST drivers' 3..6 but the local engine lists it.
+  const auto g = gen::planted_cliques(60, 0.02, 1, 10, 7);
+  engine_options opt{.p = 8};
+  const auto got = local::list_cliques_local(g, opt);
+  EXPECT_TRUE(got == collect_cliques(g, 8));
+  EXPECT_GT(got.size(), 0);
+}
+
+TEST(LocalEngine, PairsAreEdges) {
+  const auto g = gen::gnp(50, 0.2, 11);
+  const auto got = local::list_cliques_local(g, {.p = 2});
+  EXPECT_EQ(got.size(), g.num_edges());
+}
+
+TEST(LocalEngine, EmptyAndCliqueFreeGraphs) {
+  EXPECT_EQ(local::list_cliques_local(graph(0, {}), {.p = 3}).size(), 0);
+  EXPECT_EQ(local::list_cliques_local(graph(12, {}), {.p = 4}).size(), 0);
+  EXPECT_EQ(
+      local::list_cliques_local(gen::complete_bipartite(6, 7), {.p = 3})
+          .size(),
+      0);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel determinism: any thread count and grain gives byte-identical
+// output, with zero duplicate emissions.
+
+TEST(LocalEngine, ThreadCountInvariance) {
+  const auto g = gen::gnp(140, 0.1, 23);
+  for (int p = 3; p <= 5; ++p) {
+    const auto want = collect_cliques(g, p);
+    for (int threads : {1, 2, 3, 4, 8}) {
+      engine_options opt{.p = p};
+      opt.num_threads = threads;
+      opt.grain = 16;
+      engine_report rep;
+      const auto got = local::list_cliques_local(g, opt, &rep);
+      EXPECT_TRUE(got == want) << "p=" << p << " threads=" << threads;
+      EXPECT_EQ(rep.threads, threads);
+      std::int64_t roots = 0;
+      for (const auto r : rep.parallel.per_thread_roots) roots += r;
+      EXPECT_EQ(roots, rep.dag_arcs);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Backend integration: dcl::list_cliques with engine = local_kclist must be
+// byte-identical to the CONGEST simulation.
+
+void expect_backends_agree(const graph& g, int p) {
+  listing_options congest;
+  congest.p = p;
+  const auto sim = list_cliques(g, congest);
+
+  listing_options loc;
+  loc.p = p;
+  loc.engine = listing_engine::local_kclist;
+  loc.local_threads = 3;
+  const auto fast = list_cliques(g, loc);
+
+  EXPECT_TRUE(sim.cliques == fast.cliques)
+      << "p=" << p << ": congest " << sim.cliques.size() << " vs local "
+      << fast.cliques.size();
+  EXPECT_EQ(fast.report.duplicates, 0);
+  EXPECT_EQ(fast.report.emitted, fast.cliques.size());
+}
+
+TEST(BackendAgreement, GnpAllArities) {
+  const auto g = gen::gnp(70, 0.12, 31);
+  for (int p = 3; p <= 6; ++p) expect_backends_agree(g, p);
+}
+
+TEST(BackendAgreement, Kneser) {
+  expect_backends_agree(gen::kneser(9, 3), 3);
+  expect_backends_agree(gen::kneser(8, 2), 4);
+}
+
+TEST(BackendAgreement, PlantedCliques) {
+  const auto g = gen::planted_cliques(90, 0.02, 2, 8, 61);
+  for (int p = 3; p <= 6; ++p) expect_backends_agree(g, p);
+}
+
+// ---------------------------------------------------------------------------
+// Generator sanity for the new family.
+
+TEST(Kneser, PetersenShape) {
+  const auto g = gen::kneser(5, 2);  // Petersen: 10 vertices, 15 edges
+  EXPECT_EQ(g.num_vertices(), 10);
+  EXPECT_EQ(g.num_edges(), 15);
+  for (vertex v = 0; v < g.num_vertices(); ++v) EXPECT_EQ(g.degree(v), 3);
+}
+
+TEST(Kneser, CompleteWhenKIsOne) {
+  const auto g = gen::kneser(6, 1);  // K(6,1) = K6
+  EXPECT_EQ(g.num_vertices(), 6);
+  EXPECT_EQ(g.num_edges(), 15);
+}
+
+}  // namespace
+}  // namespace dcl

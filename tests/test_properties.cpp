@@ -23,13 +23,13 @@ namespace {
 struct listing_case {
   const char* family;
   int p;
-  lb_engine engine;
+  lb_engine lb;
 };
 
 std::string case_name(const testing::TestParamInfo<listing_case>& info) {
   const auto& c = info.param;
-  std::string e = c.engine == lb_engine::deterministic ? "det"
-                  : c.engine == lb_engine::randomized  ? "rand"
+  std::string e = c.lb == lb_engine::deterministic ? "det"
+                  : c.lb == lb_engine::randomized  ? "rand"
                                                        : "unbal";
   return std::string(c.family) + "_p" + std::to_string(c.p) + "_" + e;
 }
@@ -53,7 +53,7 @@ TEST_P(ListingExactness, MatchesSequentialGroundTruth) {
   const auto g = make_family(c.family);
   listing_options opt;
   opt.p = c.p;
-  opt.engine = c.engine;
+  opt.lb = c.lb;
   opt.seed = 1234;
   const auto res = list_cliques(g, opt);
   const auto want = collect_cliques(g, c.p);
@@ -194,7 +194,7 @@ class SeedSweep : public testing::TestWithParam<std::uint64_t> {};
 TEST_P(SeedSweep, RandomizedEngineExactForAnySeed) {
   const auto g = make_family("powerlaw");
   listing_options opt;
-  opt.engine = lb_engine::randomized;
+  opt.lb = lb_engine::randomized;
   opt.seed = GetParam();
   const auto res = list_cliques(g, opt);
   EXPECT_TRUE(res.cliques == collect_cliques(g, 3));
