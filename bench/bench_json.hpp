@@ -1,0 +1,49 @@
+#pragma once
+// Shared helpers for the self-contained JSON benches (bench_local_engine,
+// bench_congest_parallel): wall-clock timing and the checked emit path —
+// print the document to stdout for humans and write it to the BENCH_*.json
+// file CI archives. A file that cannot be written is a hard failure — a
+// bench that exits 0 without its JSON would silently empty the perf
+// trajectory.
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+namespace dcl::bench {
+
+inline double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Best-of-3 wall time for one configuration.
+template <typename Fn>
+double best_seconds(Fn&& fn) {
+  double best = 1e100;
+  for (int rep = 0; rep < 3; ++rep) {
+    const double t0 = now_seconds();
+    fn();
+    best = std::min(best, now_seconds() - t0);
+  }
+  return best;
+}
+
+/// Returns the process exit code: 0 on success, 1 if the file could not be
+/// written (with a diagnostic on stderr).
+inline int emit_json(const std::string& path, const std::string& body) {
+  std::cout << body;
+  std::ofstream out(path);
+  out << body;
+  out.flush();
+  if (!out) {
+    std::cerr << "error: could not write " << path << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace dcl::bench

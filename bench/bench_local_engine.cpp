@@ -1,8 +1,8 @@
 // Thread-scaling benchmark for the shared-memory kClist engine. Emits one
-// JSON document on stdout so the perf trajectory can be tracked across
-// commits without parsing human tables:
+// JSON document on stdout AND to a BENCH_local_engine.json file so the perf
+// trajectory can be tracked across commits without parsing human tables:
 //
-//   ./bench_local_engine [n] [edge_prob] [p] [max_threads]
+//   ./bench_local_engine [n] [edge_prob] [p] [max_threads] [out.json]
 //
 // Defaults reproduce the canonical workload: triangles of G(2000, 0.1),
 // thread counts 1, 2, 4, ..., max_threads (default 8). Both count-mode
@@ -12,33 +12,19 @@
 // Self-contained on purpose: no google-benchmark dependency, so it builds
 // and runs even where only the core toolchain is present.
 
-#include <chrono>
 #include <cstdlib>
-#include <iostream>
+#include <sstream>
+#include <string>
 #include <thread>
+
+#include "bench_json.hpp"
 
 #include "graph/generators.hpp"
 #include "local/engine.hpp"
 
 namespace {
 
-double now_seconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-/// Best-of-3 wall time for one configuration.
-template <typename Fn>
-double best_seconds(Fn&& fn) {
-  double best = 1e100;
-  for (int rep = 0; rep < 3; ++rep) {
-    const double t0 = now_seconds();
-    fn();
-    best = std::min(best, now_seconds() - t0);
-  }
-  return best;
-}
+using dcl::bench::best_seconds;
 
 }  // namespace
 
@@ -48,13 +34,16 @@ int main(int argc, char** argv) {
   const double prob = argc > 2 ? std::atof(argv[2]) : 0.1;
   const int p = argc > 3 ? std::atoi(argv[3]) : 3;
   const int max_threads = argc > 4 ? std::atoi(argv[4]) : 8;
+  const std::string out_path =
+      argc > 5 ? argv[5] : "BENCH_local_engine.json";
 
   const auto g = gen::gnp(n, prob, /*seed=*/7);
   local::engine_options base;
   base.p = p;
   const std::int64_t cliques = local::count_cliques_local(g, base);
 
-  std::cout << "{\n"
+  std::ostringstream js;
+  js << "{\n"
             << "  \"workload\": \"gnp\",\n"
             << "  \"n\": " << n << ",\n"
             << "  \"edge_prob\": " << prob << ",\n"
@@ -79,9 +68,9 @@ int main(int argc, char** argv) {
       if (set.size() != cliques) std::abort();
     });
 
-    if (!first) std::cout << ",\n";
+    if (!first) js << ",\n";
     first = false;
-    std::cout << "    {\"threads\": " << threads
+    js << "    {\"threads\": " << threads
               << ", \"count_seconds\": " << count_s
               << ", \"list_seconds\": " << list_s
               << ", \"count_cliques_per_sec\": "
@@ -89,6 +78,6 @@ int main(int argc, char** argv) {
               << ", \"list_cliques_per_sec\": "
               << (list_s > 0 ? double(cliques) / list_s : 0.0) << "}";
   }
-  std::cout << "\n  ]\n}\n";
-  return 0;
+  js << "\n  ]\n}\n";
+  return dcl::bench::emit_json(out_path, js.str());
 }

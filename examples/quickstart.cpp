@@ -25,6 +25,8 @@ int main(int argc, char** argv) {
   for (int p = 3; p <= 4; ++p) {
     listing_options opt;
     opt.p = p;
+    opt.sim_threads = 0;  // clusters of each level in parallel, all cores;
+                          // the report is identical for any thread count
     const auto res = list_cliques(g, opt);
     listing_options oracle;
     oracle.p = p;

@@ -60,6 +60,14 @@ std::vector<message> cluster_comm::route(std::vector<message> msgs,
   return delivered;
 }
 
+route_stats cluster_comm::route_discard(message_batch& batch,
+                                        std::string_view sub) {
+  last_stats_ = router_->route(batch.vec(), /*delivered=*/nullptr);
+  net_->ledger().charge(phase(sub), last_stats_.rounds, last_stats_.messages);
+  batch.clear();
+  return last_stats_;
+}
+
 void cluster_comm::charge_broadcast_from_leader(std::int64_t num_words,
                                                 std::string_view sub) {
   if (num_words <= 0 || size() <= 1) return;
@@ -80,19 +88,14 @@ std::int64_t cluster_comm::allgather(
     const std::vector<std::int64_t>& items_per_vertex, std::string_view sub) {
   DCL_EXPECTS(vertex(items_per_vertex.size()) == size(),
               "items_per_vertex size mismatch");
-  std::vector<message> to_leader;
+  message_batch to_leader;
   std::int64_t total = 0;
   for (vertex v = 0; v < size(); ++v) {
     total += items_per_vertex[size_t(v)];
-    for (std::int64_t i = 0; i < items_per_vertex[size_t(v)]; ++i) {
-      message m;
-      m.src = v;
-      m.dst = 0;  // leader = min parent id = local 0
-      m.a = std::uint64_t(i);
-      to_leader.push_back(m);
-    }
+    for (std::int64_t i = 0; i < items_per_vertex[size_t(v)]; ++i)
+      to_leader.emplace(v, /*dst=*/0, 0, std::uint64_t(i));  // leader = 0
   }
-  route(std::move(to_leader), sub);
+  route_discard(to_leader, sub);
   charge_broadcast_from_leader(total, sub);
   return total;
 }

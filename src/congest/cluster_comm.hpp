@@ -32,6 +32,13 @@ class cluster_comm {
   /// Multi-hop routed batch (local ids). Simulated; charges measured rounds.
   std::vector<message> route(std::vector<message> msgs, std::string_view sub);
 
+  /// Accounting-only routed batch: routes and charges like route(), but
+  /// never materializes the delivered messages, and clears `batch` in place
+  /// with its capacity kept. The fast path for senders that model receipt
+  /// analytically — combined with a scratch-arena batch it makes repeated
+  /// exchanges allocation-free.
+  route_stats route_discard(message_batch& batch, std::string_view sub);
+
   /// Leader (local id 0 = minimum parent id) sends `num_words` words to all
   /// cluster vertices along the primary BFS tree; exact pipelined cost
   /// rounds = num_words + depth - 1, messages = num_words * (K - 1).

@@ -4,6 +4,7 @@
 // is exactly what the paper's algorithms ship per message.
 
 #include <cstdint>
+#include <vector>
 
 #include "graph/graph.hpp"
 
@@ -28,5 +29,30 @@ inline bool message_order(const message& x, const message& y) {
   if (x.a != y.a) return x.a < y.a;
   return x.b < y.b;
 }
+
+/// Flat staging buffer for one exchange/route batch. clear() keeps the
+/// allocation, so a worker reuses one batch (usually parked in its
+/// runtime::scratch_arena) across many exchanges instead of constructing a
+/// fresh vector per call — the message layer's hot loops stay allocation-
+/// free after warm-up.
+class message_batch {
+ public:
+  void clear() { msgs_.clear(); }
+  bool empty() const { return msgs_.empty(); }
+  std::size_t size() const { return msgs_.size(); }
+  void reserve(std::size_t n) { msgs_.reserve(n); }
+
+  void push(const message& m) { msgs_.push_back(m); }
+  message& emplace(vertex src, vertex dst, std::uint32_t tag = 0,
+                   std::uint64_t a = 0, std::uint64_t b = 0) {
+    return msgs_.emplace_back(message{src, dst, tag, a, b});
+  }
+
+  std::vector<message>& vec() { return msgs_; }
+  const std::vector<message>& vec() const { return msgs_; }
+
+ private:
+  std::vector<message> msgs_;
+};
 
 }  // namespace dcl

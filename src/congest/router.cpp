@@ -1,7 +1,6 @@
 #include "congest/router.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <numeric>
 
 #include "graph/algorithms.hpp"
@@ -29,6 +28,9 @@ cluster_router::cluster_router(const graph& cluster, int num_trees)
   DCL_EXPECTS(num_trees >= 1, "need at least one tree");
   DCL_EXPECTS(cluster.num_vertices() >= 1, "empty cluster");
   const vertex n = cluster.num_vertices();
+  offsets_.assign(size_t(n) + 1, 0);
+  for (vertex v = 0; v < n; ++v)
+    offsets_[size_t(v) + 1] = offsets_[size_t(v)] + cluster.degree(v);
   if (n == 1) return;  // no routing possible or needed
   DCL_EXPECTS(connected_components(cluster).count == 1,
               "cluster_router requires a connected cluster");
@@ -69,14 +71,16 @@ cluster_router::cluster_router(const graph& cluster, int num_trees)
   }
 }
 
-std::vector<vertex> cluster_router::tree_path(int t, vertex src,
-                                              vertex dst) const {
+void cluster_router::tree_path(int t, vertex src, vertex dst,
+                               std::vector<vertex>& out,
+                               std::vector<vertex>& down) const {
   const auto& parent = parents_[size_t(t)];
   const auto& depth = depths_[size_t(t)];
-  std::vector<vertex> up, down;
+  out.clear();
+  down.clear();
   vertex a = src, b = dst;
   while (depth[size_t(a)] > depth[size_t(b)]) {
-    up.push_back(a);
+    out.push_back(a);
     a = parent[size_t(a)];
   }
   while (depth[size_t(b)] > depth[size_t(a)]) {
@@ -84,14 +88,13 @@ std::vector<vertex> cluster_router::tree_path(int t, vertex src,
     b = parent[size_t(b)];
   }
   while (a != b) {
-    up.push_back(a);
+    out.push_back(a);
     a = parent[size_t(a)];
     down.push_back(b);
     b = parent[size_t(b)];
   }
-  up.push_back(a);  // the LCA
-  up.insert(up.end(), down.rbegin(), down.rend());
-  return up;
+  out.push_back(a);  // the LCA
+  out.insert(out.end(), down.rbegin(), down.rend());
 }
 
 route_stats cluster_router::route(std::span<const message> msgs,
@@ -99,119 +102,119 @@ route_stats cluster_router::route(std::span<const message> msgs,
   route_stats stats;
   const graph& g = *g_;
   const vertex n = g.num_vertices();
-  std::vector<message> done;
+  const std::int64_t num_dir_edges = offsets_[size_t(n)];
+  workspace& ws = ws_;
+  ws.done.clear();
 
-  // CSR offsets for directed edge ids.
-  std::vector<std::int64_t> offsets(size_t(n) + 1, 0);
-  for (vertex v = 0; v < n; ++v)
-    offsets[size_t(v) + 1] = offsets[size_t(v)] + g.degree(v);
-  const std::int64_t num_dir_edges = offsets[size_t(n)];
-
-  // Assign each message a tree and materialize its edge-id path.
-  struct in_flight {
-    std::vector<std::int64_t> path;  // directed edge ids
-    std::size_t next = 0;
-    message msg;
-  };
-  std::vector<in_flight> flights;
-  flights.reserve(msgs.size());
-  std::vector<std::int64_t> edge_load(size_t(num_dir_edges), 0);
-  std::vector<std::int64_t> tree_load(parents_.size(), 0);
+  // Assign each message a tree and materialize its edge-id path in the
+  // flattened path pool. The workspace vectors are sized on first use and
+  // recycled afterwards — steady-state route() calls allocate nothing.
+  ws.flights.clear();
+  if (ws.flights.capacity() < msgs.size()) ws.flights.reserve(msgs.size());
+  ws.path_pool.clear();
+  ws.edge_load.assign(size_t(num_dir_edges), 0);
+  ws.tree_load.assign(parents_.size(), 0);
+  ws.lens.resize(parents_.size());
   for (const auto& m : msgs) {
     DCL_EXPECTS(m.src >= 0 && m.src < n && m.dst >= 0 && m.dst < n,
                 "route endpoint out of local range");
     if (m.src == m.dst) {
-      done.push_back(m);  // local delivery, free
+      if (delivered != nullptr) ws.done.push_back(m);  // local delivery, free
       continue;
     }
     // Candidate trees: shortest path length, within slack 2 of the best.
     int best_len = std::numeric_limits<int>::max();
-    std::vector<int> lens(parents_.size());
     for (int t = 0; t < int(parents_.size()); ++t) {
       const auto& depth = depths_[size_t(t)];
       // Path length upper bound via depths (exact requires LCA; use the
       // cheap bound for candidate filtering, exact path computed after).
-      lens[size_t(t)] =
+      ws.lens[size_t(t)] =
           depth[size_t(m.src)] + depth[size_t(m.dst)];
-      best_len = std::min(best_len, lens[size_t(t)]);
+      best_len = std::min(best_len, ws.lens[size_t(t)]);
     }
-    std::vector<int> candidates;
+    ws.candidates.clear();
     for (int t = 0; t < int(parents_.size()); ++t)
-      if (lens[size_t(t)] <= best_len + 2) candidates.push_back(t);
+      if (ws.lens[size_t(t)] <= best_len + 2) ws.candidates.push_back(t);
     // Least-loaded candidate tree; deterministic hash tie-break spreads
     // equal-load choices.
-    int chosen = candidates[0];
-    for (int t : candidates) {
-      if (tree_load[size_t(t)] < tree_load[size_t(chosen)] ||
-          (tree_load[size_t(t)] == tree_load[size_t(chosen)] &&
+    int chosen = ws.candidates[0];
+    for (int t : ws.candidates) {
+      if (ws.tree_load[size_t(t)] < ws.tree_load[size_t(chosen)] ||
+          (ws.tree_load[size_t(t)] == ws.tree_load[size_t(chosen)] &&
            (hash_pair(std::uint64_t(std::uint32_t(m.src)) + std::uint64_t(t),
                       std::uint64_t(std::uint32_t(m.dst))) &
             1) != 0))
         chosen = t;
     }
-    in_flight f;
+    workspace::in_flight f;
     f.msg = m;
-    const auto path = tree_path(chosen, m.src, m.dst);
-    f.path.reserve(path.size() - 1);
-    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-      const auto eid = directed_edge_id(g, path[i], path[i + 1], offsets);
-      f.path.push_back(eid);
-      ++edge_load[size_t(eid)];
+    tree_path(chosen, m.src, m.dst, ws.path, ws.path_down);
+    f.path_begin = std::int64_t(ws.path_pool.size());
+    for (std::size_t i = 0; i + 1 < ws.path.size(); ++i) {
+      const auto eid =
+          directed_edge_id(g, ws.path[i], ws.path[i + 1], offsets_);
+      ws.path_pool.push_back(eid);
+      ++ws.edge_load[size_t(eid)];
     }
-    stats.messages += std::int64_t(f.path.size());
-    stats.max_path = std::max(stats.max_path, std::int64_t(f.path.size()));
-    tree_load[size_t(chosen)] += std::int64_t(f.path.size());
-    flights.push_back(std::move(f));
+    f.path_len = std::int64_t(ws.path_pool.size()) - f.path_begin;
+    stats.messages += f.path_len;
+    stats.max_path = std::max(stats.max_path, f.path_len);
+    ws.tree_load[size_t(chosen)] += f.path_len;
+    ws.flights.push_back(f);
   }
-  for (std::int64_t l : edge_load)
+  for (std::int64_t l : ws.edge_load)
     stats.max_edge_load = std::max(stats.max_edge_load, l);
 
   // Synchronous store-and-forward: per round each directed edge forwards the
   // front of its FIFO queue. Arrivals are buffered so a message moves at
-  // most one hop per round.
-  std::vector<std::deque<std::int32_t>> queue(static_cast<std::size_t>(num_dir_edges));
-  std::vector<std::int64_t> active;  // edges with non-empty queues
-  auto enqueue = [&](std::int64_t eid, std::int32_t flight_idx) {
-    if (queue[size_t(eid)].empty()) active.push_back(eid);
-    queue[size_t(eid)].push_back(flight_idx);
+  // most one hop per round. All queues are empty again once every message
+  // is delivered, so the queue array can persist across route() calls.
+  if (ws.queue.size() < size_t(num_dir_edges))
+    ws.queue.resize(size_t(num_dir_edges));
+  ws.active.clear();
+  auto enqueue = [&ws](std::int64_t eid, std::int32_t flight_idx) {
+    if (ws.queue[size_t(eid)].empty()) ws.active.push_back(eid);
+    ws.queue[size_t(eid)].push_back(flight_idx);
   };
-  for (std::int32_t i = 0; i < std::int32_t(flights.size()); ++i)
-    enqueue(flights[size_t(i)].path[0], i);
+  for (std::int32_t i = 0; i < std::int32_t(ws.flights.size()); ++i)
+    enqueue(ws.path_pool[size_t(ws.flights[size_t(i)].path_begin)], i);
 
-  std::int64_t remaining = std::int64_t(flights.size());
+  std::int64_t remaining = std::int64_t(ws.flights.size());
   while (remaining > 0) {
     ++stats.rounds;
-    std::vector<std::pair<std::int64_t, std::int32_t>> arrivals;
-    std::vector<std::int64_t> still_active;
-    std::sort(active.begin(), active.end());  // deterministic edge order
-    active.erase(std::unique(active.begin(), active.end()), active.end());
-    for (std::int64_t eid : active) {
-      auto& q = queue[size_t(eid)];
+    ws.arrivals.clear();
+    ws.still_active.clear();
+    std::sort(ws.active.begin(), ws.active.end());  // deterministic order
+    ws.active.erase(std::unique(ws.active.begin(), ws.active.end()),
+                    ws.active.end());
+    for (std::int64_t eid : ws.active) {
+      auto& q = ws.queue[size_t(eid)];
       if (q.empty()) continue;
       const std::int32_t fi = q.front();
       q.pop_front();
-      auto& f = flights[size_t(fi)];
+      auto& f = ws.flights[size_t(fi)];
       ++f.next;
-      if (f.next == f.path.size()) {
-        done.push_back(f.msg);
+      if (f.next == f.path_len) {
+        if (delivered != nullptr) ws.done.push_back(f.msg);
         --remaining;
       } else {
-        arrivals.emplace_back(f.path[f.next], fi);
+        ws.arrivals.emplace_back(
+            ws.path_pool[size_t(f.path_begin + f.next)], fi);
       }
-      if (!q.empty()) still_active.push_back(eid);
+      if (!q.empty()) ws.still_active.push_back(eid);
     }
-    for (const auto& [eid, fi] : arrivals) {
-      if (queue[size_t(eid)].empty()) still_active.push_back(eid);
-      queue[size_t(eid)].push_back(fi);
+    for (const auto& [eid, fi] : ws.arrivals) {
+      if (ws.queue[size_t(eid)].empty()) ws.still_active.push_back(eid);
+      ws.queue[size_t(eid)].push_back(fi);
     }
-    active = std::move(still_active);
-    DCL_ENSURE(!active.empty() || remaining == 0,
+    std::swap(ws.active, ws.still_active);
+    DCL_ENSURE(!ws.active.empty() || remaining == 0,
                "router stalled with undelivered messages");
   }
 
   if (delivered != nullptr) {
-    std::sort(done.begin(), done.end(), message_order);
-    delivered->insert(delivered->end(), done.begin(), done.end());
+    std::sort(ws.done.begin(), ws.done.end(), message_order);
+    delivered->insert(delivered->end(), ws.done.begin(), ws.done.end());
   }
   return stats;
 }

@@ -6,7 +6,9 @@
 // returned round count is a *measured* CONGEST cost, not a model.
 
 #include <cstdint>
+#include <deque>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "congest/message.hpp"
@@ -29,8 +31,10 @@ class cluster_router {
   explicit cluster_router(const graph& cluster, int num_trees = 8);
 
   /// Routes a batch of point-to-point messages (local ids). Appends the
-  /// delivered messages to `delivered` in deterministic receiver order and
-  /// returns the measured cost of the batch.
+  /// delivered messages to `delivered` in deterministic receiver order
+  /// (pass nullptr for accounting-only callers) and returns the measured
+  /// cost of the batch. Repeated calls on one router reuse an internal
+  /// workspace — no per-call allocation after the first batch.
   route_stats route(std::span<const message> msgs,
                     std::vector<message>* delivered);
 
@@ -38,13 +42,43 @@ class cluster_router {
   int num_trees() const { return int(parents_.size()); }
 
  private:
-  /// Full tree path src -> ... -> dst through the LCA in tree t.
-  std::vector<vertex> tree_path(int t, vertex src, vertex dst) const;
+  /// Full tree path src -> ... -> dst through the LCA in tree t; `down` is
+  /// caller-provided scratch for the dst-side half.
+  void tree_path(int t, vertex src, vertex dst, std::vector<vertex>& out,
+                 std::vector<vertex>& down) const;
+
+  /// Recycled per-route state; sized once per router, reset cheaply. All
+  /// message paths live flattened in one shared pool (each flight keeps an
+  /// offset/length into it), so repeated route() calls allocate nothing
+  /// once the workspace capacity has warmed up.
+  struct workspace {
+    struct in_flight {
+      std::int64_t path_begin = 0;  // offset into path_pool
+      std::int64_t path_len = 0;
+      std::int64_t next = 0;        // hops already taken
+      message msg;
+    };
+    std::vector<std::int64_t> path_pool;  // directed edge ids, flattened
+    std::vector<message> done;
+    std::vector<in_flight> flights;
+    std::vector<std::int64_t> edge_load;
+    std::vector<std::int64_t> tree_load;
+    std::vector<int> lens;
+    std::vector<int> candidates;
+    std::vector<vertex> path;
+    std::vector<vertex> path_down;
+    std::vector<std::deque<std::int32_t>> queue;  // empty between routes
+    std::vector<std::int64_t> active;
+    std::vector<std::int64_t> still_active;
+    std::vector<std::pair<std::int64_t, std::int32_t>> arrivals;
+  };
 
   const graph* g_;
+  std::vector<std::int64_t> offsets_;  // CSR prefix for directed edge ids
   std::vector<std::vector<vertex>> parents_;       // per tree
   std::vector<std::vector<std::int32_t>> depths_;  // per tree
   std::int32_t max_depth_ = 0;
+  workspace ws_;
 };
 
 }  // namespace dcl

@@ -1,17 +1,58 @@
 #include "core/api/list_cliques.hpp"
 
+#include <string>
+
 #include "local/engine.hpp"
 #include "support/check.hpp"
 
 namespace dcl {
 
+namespace {
+
+[[noreturn]] void reject(const std::string& what) {
+  throw precondition_error("listing_options: " + what);
+}
+
+}  // namespace
+
+void validate_options(const listing_options& opt) {
+  // The facade rejects inconsistent options with messages a caller can act
+  // on, instead of letting them surface as DCL_EXPECTS failures deep inside
+  // a driver or a partition-tree builder.
+  if (opt.engine == listing_engine::local_kclist) {
+    if (opt.p < 3 || opt.p > local::kMaxCliqueArity)
+      reject("p = " + std::to_string(opt.p) +
+             " is outside the local_kclist range [3, " +
+             std::to_string(local::kMaxCliqueArity) + "]");
+  } else {
+    if (opt.p < 3 || opt.p > 6)
+      reject("p = " + std::to_string(opt.p) +
+             " is outside the congest_sim range [3, 6]; use "
+             "listing_engine::local_kclist for larger cliques");
+  }
+  if (opt.epsilon < 0.0 || opt.epsilon >= 1.0)
+    reject("epsilon = " + std::to_string(opt.epsilon) +
+           " must lie in [0, 1) (0 selects the paper's default)");
+  if (opt.beta <= 0.0)
+    reject("beta = " + std::to_string(opt.beta) +
+           " must be positive (V−_C degree threshold factor)");
+  if (opt.gamma <= 0.0)
+    reject("gamma = " + std::to_string(opt.gamma) +
+           " must be positive (overloaded-cluster threshold)");
+  if (opt.max_levels < 1)
+    reject("max_levels = " + std::to_string(opt.max_levels) +
+           " must be at least 1");
+  if (opt.base_case_edges < 0)
+    reject("base_case_edges = " + std::to_string(opt.base_case_edges) +
+           " must be non-negative");
+}
+
 clique_listing_result list_cliques(const graph& g,
                                    const listing_options& opt) {
+  validate_options(opt);
   if (opt.engine == listing_engine::local_kclist) {
     // Shared-memory backend: exact, thread-parallel, no CONGEST accounting
     // (the ledger stays empty). Arity is only bounded by the enumerator.
-    DCL_EXPECTS(opt.p >= 3 && opt.p <= local::kMaxCliqueArity,
-                "local_kclist supports clique sizes 3..32");
     local::engine_options lopt;
     lopt.p = opt.p;
     lopt.num_threads = opt.local_threads;
@@ -22,7 +63,6 @@ clique_listing_result list_cliques(const graph& g,
     res.report.duplicates = 0;
     return res;
   }
-  DCL_EXPECTS(opt.p >= 3 && opt.p <= 6, "supported clique sizes: 3..6");
   clique_listing_result res{clique_set(opt.p), {}};
   if (opt.p == 3) {
     res.cliques = list_triangles_congest(g, opt, &res.report);

@@ -31,7 +31,17 @@ struct clique_listing_result {
   listing_report report;
 };
 
-/// Lists all K_p of g in the simulated CONGEST model. p in [3, 6].
+/// Checks `opt` for consistency and throws dcl::precondition_error with an
+/// actionable message on the first violation: p range per engine
+/// (congest_sim: 3..6, local_kclist: 3..32), epsilon in [0, 1), beta and
+/// gamma positive, max_levels >= 1, base_case_edges >= 0. Thread counts are
+/// never rejected (<= 0 selects the hardware concurrency). list_cliques
+/// runs this itself; callers that build options programmatically can call
+/// it early to fail fast.
+void validate_options(const listing_options& opt);
+
+/// Lists all K_p of g. Validates `opt` first (see validate_options); under
+/// congest_sim, p in [3, 6].
 clique_listing_result list_cliques(const graph& g,
                                    const listing_options& opt);
 

@@ -21,6 +21,17 @@ void clique_collector::merge_buffer(std::span<const vertex> flat,
   emitted_ += std::int64_t(flat.size()) / set_.arity();
 }
 
+void clique_collector::absorb(const clique_collector& other) {
+  DCL_EXPECTS(!finalized_, "absorb after finalize()");
+  DCL_EXPECTS(!other.finalized_, "absorbing a finalized collector");
+  DCL_EXPECTS(other.set_.arity() == set_.arity(),
+              "absorb requires matching arity");
+  // Tuples in a collector are individually ascending (emit() sorts each
+  // one), so the bulk path can skip the per-tuple sort.
+  set_.add_flat(other.set_.flat_view(), /*tuples_presorted=*/true);
+  emitted_ += other.emitted_;
+}
+
 clique_set clique_collector::finalize() {
   DCL_EXPECTS(!finalized_, "finalize() is single-shot");
   finalized_ = true;

@@ -36,6 +36,13 @@ class clique_collector {
   void merge_buffer(std::span<const vertex> flat,
                     bool tuples_presorted = false);
 
+  /// Absorbs another (unfinalized) collector of the same arity: raw tuples
+  /// and the emission count carry over, so emitted()/duplicates() end up
+  /// exactly as if every emit() had targeted this collector directly. The
+  /// deterministic-merge step for per-cluster collectors: the parallel
+  /// CONGEST drivers absorb cluster results in cluster-index order.
+  void absorb(const clique_collector& other);
+
   std::int64_t emitted() const { return emitted_; }
 
   /// Deduplicates and returns the canonical set; afterwards duplicates()

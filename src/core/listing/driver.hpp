@@ -30,6 +30,12 @@ struct listing_options {
   listing_engine engine = listing_engine::congest_sim;
   lb_engine lb = lb_engine::deterministic;  ///< congest_sim load balancing
   int local_threads = 1;   ///< local_kclist worker count; <= 0 → hardware
+  /// congest_sim cluster-parallel workers (<= 0 → hardware threads). Each
+  /// recursion level lists its clusters simultaneously on the shared
+  /// runtime pool, mirroring the paper's within-level parallelism; output
+  /// cliques and the full ledger are bit-identical for every value
+  /// (DESIGN.md §6).
+  int sim_threads = 1;
   std::uint64_t seed = 0;      ///< used only by the randomized lb engine
   double epsilon = 0.0;        ///< 0 → 1/18 (p != 4) or 1/12 (p = 4)
   double beta = 2.0;           ///< V−_C degree threshold factor (p >= 4)

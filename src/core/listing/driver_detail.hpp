@@ -3,9 +3,28 @@
 
 #include "congest/cost.hpp"
 #include "core/listing/collector.hpp"
+#include "core/listing/k3_cluster.hpp"
 #include "graph/graph.hpp"
 
 namespace dcl::detail {
+
+/// Everything one cluster's listing task produces. Tasks run concurrently
+/// on the runtime pool, each against its own ledger/collector (the message
+/// layer is instance-local, so per-task instances make the level fan-out
+/// race-free); the driver then folds outcomes in cluster-index order —
+/// merge_parallel for the ledger, absorb for the cliques — so the merged
+/// report and clique set are identical for every sim_threads value.
+struct cluster_outcome {
+  explicit cluster_outcome(int p) : cliques(p) {}
+
+  cost_ledger ledger;
+  clique_collector cliques;
+  cluster_listing_stats stats;
+  edge_list removed;              ///< E− edges this cluster retires (p >= 4)
+  std::int64_t bad_vertices = 0;  ///< |S_C| (p >= 4)
+  bool considered = false;        ///< cluster entered the listing path
+  bool deferred = false;          ///< overloaded, deliver cost dropped (p >= 4)
+};
 
 /// Gathers the residual graph at a per-component leader (exact tree-
 /// congestion charge) and lists centrally. The unconditional-correctness

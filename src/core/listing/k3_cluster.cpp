@@ -75,11 +75,22 @@ k3_tree_build build_baseline_tree(cluster_comm& cc,
 
 }  // namespace
 
+namespace {
+
+/// Recycled staging for the two Lemma 34 learn exchanges; keyed per worker
+/// in the runtime arena so capacity survives across clusters.
+struct k3_learn_scratch {
+  message_batch requests, replies;
+};
+
+}  // namespace
+
 cluster_listing_stats list_k3_in_cluster(network& net_c, const graph& g,
                                          const cluster_anatomy& a,
                                          lb_engine engine, std::uint64_t seed,
                                          clique_collector& out,
-                                         std::string_view phase) {
+                                         std::string_view phase,
+                                         runtime::scratch_arena* scratch) {
   cluster_listing_stats stats;
   cluster_comm cc(net_c, a.v_cluster, a.e_cluster, std::string(phase));
 
@@ -117,7 +128,11 @@ cluster_listing_stats list_k3_in_cluster(network& net_c, const graph& g,
   // Step 1: each lister sends the interval endpoints of the other anc parts
   // to every member of every anc part (O(1) words per member).
   // Step 2: members reply with their H-edges into the other parts.
-  std::vector<message> requests, replies;
+  k3_learn_scratch local_ws;
+  k3_learn_scratch& ws =
+      scratch != nullptr ? scratch->get<k3_learn_scratch>() : local_ws;
+  ws.requests.clear();
+  ws.replies.clear();
   std::vector<edge_list> learned(tb.leaf_parts.size());
   std::set<vertex> lister_set;
   std::map<vertex, std::int64_t> recv_words;
@@ -132,11 +147,8 @@ cluster_listing_stats list_k3_in_cluster(network& net_c, const graph& g,
       for (std::int64_t posu = ulo; posu < uhi; ++posu) {
         const vertex u = pool[size_t(posu)];
         if (u != lister) {
-          message req;
-          req.src = lister;
-          req.dst = u;
-          requests.push_back(req);
-          requests.push_back(req);  // two interval-endpoint words
+          ws.requests.emplace(lister, u);
+          ws.requests.emplace(lister, u);  // two interval-endpoint words
         }
         const auto nb = tb.h.neighbors(vertex(posu));
         for (std::size_t wi = 0; wi < chain.size(); ++wi) {
@@ -149,12 +161,7 @@ cluster_listing_stats list_k3_in_cluster(network& net_c, const graph& g,
           for (auto it = lo_it; it != hi_it; ++it) {
             learned[li].push_back(make_edge(vertex(posu), *it));
             ++recv_words[lister];
-            if (u != lister) {
-              message rep;
-              rep.src = u;
-              rep.dst = lister;
-              replies.push_back(rep);
-            }
+            if (u != lister) ws.replies.emplace(u, lister);
           }
         }
       }
@@ -167,8 +174,8 @@ cluster_listing_stats list_k3_in_cluster(network& net_c, const graph& g,
       stats.max_normalized_load =
           std::max(stats.max_normalized_load, double(words) / double(deg));
   }
-  cc.route(std::move(requests), std::string(phase) + "/learn_req");
-  cc.route(std::move(replies), std::string(phase) + "/learn_rep");
+  cc.route_discard(ws.requests, std::string(phase) + "/learn_req");
+  cc.route_discard(ws.replies, std::string(phase) + "/learn_rep");
 
   for (std::size_t li = 0; li < tb.leaf_parts.size(); ++li) {
     auto& le = learned[li];

@@ -18,6 +18,7 @@
 #include "congest/network.hpp"
 #include "core/listing/collector.hpp"
 #include "expander/anatomy.hpp"
+#include "runtime/scratch.hpp"
 
 namespace dcl {
 
@@ -36,11 +37,15 @@ struct cluster_listing_stats {
 
 /// Lists every triangle of the cluster subgraph G[E_C] into `out` (ids of
 /// g). `net_c` must be a network over g whose ledger belongs to this
-/// cluster (the driver merges cluster ledgers in parallel).
+/// cluster (the driver merges cluster ledgers in parallel). `scratch`, when
+/// given, supplies recycled message batches (the per-worker arena of the
+/// runtime pool); the result is identical with or without it.
 cluster_listing_stats list_k3_in_cluster(network& net_c, const graph& g,
                                          const cluster_anatomy& a,
                                          lb_engine engine, std::uint64_t seed,
                                          clique_collector& out,
-                                         std::string_view phase);
+                                         std::string_view phase,
+                                         runtime::scratch_arena* scratch =
+                                             nullptr);
 
 }  // namespace dcl

@@ -1,10 +1,13 @@
 #include <algorithm>
+#include <string>
 
 #include "core/listing/driver.hpp"
 #include "core/listing/driver_detail.hpp"
 #include "congest/network.hpp"
 #include "expander/cost_model.hpp"
 #include "expander/decomposition.hpp"
+#include "runtime/merge.hpp"
+#include "runtime/thread_pool.hpp"
 #include "support/check.hpp"
 #include "support/prng.hpp"
 
@@ -47,6 +50,7 @@ clique_set list_triangles_congest(const graph& g, const listing_options& opt,
 
   clique_collector out(3);
   const double epsilon = opt.epsilon > 0 ? opt.epsilon : 1.0 / 18.0;
+  runtime::thread_pool pool(opt.sim_threads);
   graph cur = g;
   bool done = false;
 
@@ -75,18 +79,33 @@ clique_set list_triangles_congest(const graph& g, const listing_options& opt,
 
     cost_ledger level_ledger;
     edge_list removed;
+    // All clusters of this level list simultaneously (the paper's
+    // within-level parallelism, now also hardware parallelism): each task
+    // runs against its own ledger/collector, and outcomes fold back in
+    // cluster-index order, so the merged ledger, report and clique set are
+    // bit-identical for every sim_threads value.
+    const auto outcomes = runtime::run_indexed<detail::cluster_outcome>(
+        pool, std::int64_t(anatomy.size()),
+        [&](int worker, std::int64_t ci) {
+          detail::cluster_outcome oc(3);
+          const auto& a = anatomy[size_t(ci)];
+          if (a.e_minus.empty()) return oc;
+          network net_c(cur, oc.ledger);
+          oc.stats = list_k3_in_cluster(
+              net_c, cur, a, opt.lb, splitmix64(opt.seed + std::uint64_t(ci)),
+              oc.cliques, "cluster" + std::to_string(ci),
+              &pool.arena(worker));
+          oc.considered = true;
+          return oc;
+        });
     for (std::size_t ci = 0; ci < anatomy.size(); ++ci) {
+      const auto& oc = outcomes[ci];
+      if (!oc.considered) continue;
       const auto& a = anatomy[ci];
-      if (a.e_minus.empty()) continue;
-      cost_ledger cluster_ledger;
-      network net_c(cur, cluster_ledger);
-      const auto cstats =
-          list_k3_in_cluster(net_c, cur, a, opt.lb,
-                             splitmix64(opt.seed + ci), out,
-                             "cluster" + std::to_string(ci));
       rep.max_normalized_load =
-          std::max(rep.max_normalized_load, cstats.max_normalized_load);
-      level_ledger.merge_parallel(cluster_ledger);
+          std::max(rep.max_normalized_load, oc.stats.max_normalized_load);
+      level_ledger.merge_parallel(oc.ledger);
+      out.absorb(oc.cliques);
       removed.insert(removed.end(), a.e_minus.begin(), a.e_minus.end());
       ++ls.clusters_listed;
       ls.low_degree_targets +=

@@ -56,12 +56,19 @@ void leaves_needing_edge(const partition_tree& tree, int pi, bool a_is_v2,
   }
 }
 
+/// Recycled staging for the per-p′ learn exchange; keyed per worker in the
+/// runtime arena so capacity survives across clusters.
+struct kp_learn_scratch {
+  message_batch traffic;
+};
+
 }  // namespace
 
 cluster_listing_stats list_kp_in_cluster(
     network& net_c, const graph& g, const cluster_anatomy& a,
     const delivered_edges& eprime, int p, lb_engine engine,
-    std::uint64_t seed, clique_collector& out, std::string_view phase) {
+    std::uint64_t seed, clique_collector& out, std::string_view phase,
+    runtime::scratch_arena* scratch) {
   cluster_listing_stats stats;
   if (a.v_minus.size() < 2) return stats;
   cluster_comm cc(net_c, a.v_cluster, a.e_cluster, std::string(phase));
@@ -151,7 +158,10 @@ cluster_listing_stats list_kp_in_cluster(
     // ---- Edge learning: ship every known edge to every lister whose leaf
     // chain it crosses; then list locally.
     std::vector<edge_list> learned(leaf_parts.size());
-    std::vector<message> traffic;
+    kp_learn_scratch local_ws;
+    kp_learn_scratch& ws =
+        scratch != nullptr ? scratch->get<kp_learn_scratch>() : local_ws;
+    ws.traffic.clear();
     std::vector<std::int64_t> hit_leaves;
     auto ship = [&](bool a_is_v2, std::int64_t pa, bool b_is_v2,
                     std::int64_t pb, edge orig, vertex holder_local) {
@@ -164,12 +174,7 @@ cluster_listing_stats list_kp_in_cluster(
       for (const auto lid : hit_leaves) {
         learned[size_t(lid)].push_back(orig);
         const vertex lister = pool[size_t(assignment[size_t(lid)])];
-        if (lister != holder_local) {
-          message m;
-          m.src = holder_local;
-          m.dst = lister;
-          traffic.push_back(m);
-        }
+        if (lister != holder_local) ws.traffic.emplace(holder_local, lister);
       }
     };
     for (const auto& e : in.e1)
@@ -186,8 +191,8 @@ cluster_listing_stats list_kp_in_cluster(
            make_edge(v2_list[size_t(e.u)], v2_list[size_t(e.v)]),
            pool[size_t(tb.v2_owner[size_t(e.u)])]);
     }
-    cc.route(std::move(traffic),
-             std::string(phase) + "/learn" + std::to_string(p_prime));
+    cc.route_discard(ws.traffic,
+                     std::string(phase) + "/learn" + std::to_string(p_prime));
 
     std::set<vertex> listers;
     for (std::size_t lid = 0; lid < leaf_parts.size(); ++lid) {

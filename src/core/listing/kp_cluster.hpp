@@ -13,6 +13,7 @@
 #include "core/listing/collector.hpp"
 #include "core/listing/k3_cluster.hpp"
 #include "expander/anatomy.hpp"
+#include "runtime/scratch.hpp"
 
 namespace dcl {
 
@@ -26,6 +27,7 @@ struct delivered_edges {
 cluster_listing_stats list_kp_in_cluster(
     network& net_c, const graph& g, const cluster_anatomy& a,
     const delivered_edges& eprime, int p, lb_engine engine,
-    std::uint64_t seed, clique_collector& out, std::string_view phase);
+    std::uint64_t seed, clique_collector& out, std::string_view phase,
+    runtime::scratch_arena* scratch = nullptr);
 
 }  // namespace dcl

@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <set>
+#include <string>
 
 #include "congest/network.hpp"
 #include "core/listing/driver.hpp"
@@ -8,6 +9,8 @@
 #include "core/listing/two_hop.hpp"
 #include "expander/cost_model.hpp"
 #include "expander/decomposition.hpp"
+#include "runtime/merge.hpp"
+#include "runtime/thread_pool.hpp"
 #include "support/check.hpp"
 #include "support/math_util.hpp"
 #include "support/prng.hpp"
@@ -140,6 +143,7 @@ clique_set list_kp_congest(const graph& g, const listing_options& opt,
       opt.epsilon > 0 ? opt.epsilon : (opt.p == 4 ? 1.0 / 12.0 : 1.0 / 18.0);
   const std::int64_t n_budget =
       budget_n_1_minus_2_over_p(g.num_vertices(), opt.p);
+  runtime::thread_pool pool(opt.sim_threads);
   graph cur = g;
   bool done = false;
 
@@ -202,45 +206,67 @@ clique_set list_kp_congest(const graph& g, const listing_options& opt,
             removed.push_back(e);
     }
 
-    // Per cluster: delivery, overload test, split-tree listing.
+    // Per cluster: delivery, overload test, split-tree listing — every
+    // cluster of the level simultaneously on the runtime pool. Each task is
+    // self-contained (own ledger, own collector, own delivery); outcomes
+    // fold back in cluster-index order so the report stays bit-identical
+    // for every sim_threads value. A deferred cluster's deliver cost is
+    // dropped with its ledger, exactly as in the sequential formulation.
+    const auto outcomes = runtime::run_indexed<detail::cluster_outcome>(
+        pool, std::int64_t(anatomy.size()),
+        [&](int worker, std::int64_t ci) {
+          detail::cluster_outcome oc(opt.p);
+          const auto& a = anatomy[size_t(ci)];
+          if (a.v_minus.size() < 2) return oc;
+          oc.considered = true;
+          network net_c(cur, oc.ledger);
+          const std::string cl = "cluster" + std::to_string(ci);
+
+          const auto del =
+              deliver_eprime(net_c, cur, a, n_budget, cl + "/deliver");
+          oc.bad_vertices = std::int64_t(del.s_bad.size());
+
+          // Lemma 44 overload test: defer clusters whose communication
+          // volume cannot absorb their E′ share.
+          std::int64_t e_vm_vc = 0;
+          for (vertex v : a.v_minus) e_vm_vc += a.comm_degree_of(v);
+          const bool overloaded =
+              double(e_vm_vc) / double(a.v_minus.size()) <=
+              double(del.eprime.edges.size()) /
+                  (opt.gamma * double(cur.num_vertices()));
+          if (overloaded) {
+            oc.deferred = true;
+            return oc;
+          }
+
+          oc.stats = list_kp_in_cluster(
+              net_c, cur, a, del.eprime, opt.p, opt.lb,
+              splitmix64(opt.seed + std::uint64_t(ci)), oc.cliques, cl,
+              &pool.arena(worker));
+
+          // Removal rule (DESIGN.md §2.4/2.5): E− edges inside V− with a
+          // good endpoint are fully covered by this cluster's listing.
+          std::vector<bool> is_bad(size_t(cur.num_vertices()), false);
+          for (vertex v : del.s_bad) is_bad[size_t(v)] = true;
+          for (const auto& e : a.e_minus) {
+            if (!a.in_v_minus(e.u) || !a.in_v_minus(e.v)) continue;
+            if (is_bad[size_t(e.u)] && is_bad[size_t(e.v)]) continue;
+            oc.removed.push_back(e);
+          }
+          return oc;
+        });
     for (std::size_t ci = 0; ci < anatomy.size(); ++ci) {
-      const auto& a = anatomy[ci];
-      if (a.v_minus.size() < 2) continue;
-      cost_ledger cluster_ledger;
-      network net_c(cur, cluster_ledger);
-      const std::string cl = "cluster" + std::to_string(ci);
-
-      const auto del =
-          deliver_eprime(net_c, cur, a, n_budget, cl + "/deliver");
-      ls.bad_vertices += std::int64_t(del.s_bad.size());
-
-      // Lemma 44 overload test: defer clusters whose communication volume
-      // cannot absorb their E′ share.
-      std::int64_t e_vm_vc = 0;
-      for (vertex v : a.v_minus) e_vm_vc += a.comm_degree_of(v);
-      const bool overloaded =
-          double(e_vm_vc) / double(a.v_minus.size()) <=
-          double(del.eprime.edges.size()) /
-              (opt.gamma * double(cur.num_vertices()));
-      if (overloaded) {
+      const auto& oc = outcomes[ci];
+      if (!oc.considered) continue;
+      ls.bad_vertices += oc.bad_vertices;
+      if (oc.deferred) {
         ++ls.deferred_clusters;
         continue;
       }
-
-      list_kp_in_cluster(net_c, cur, a, del.eprime, opt.p, opt.lb,
-                         splitmix64(opt.seed + ci), out, cl);
-      level_ledger.merge_parallel(cluster_ledger);
+      level_ledger.merge_parallel(oc.ledger);
+      out.absorb(oc.cliques);
       ++ls.clusters_listed;
-
-      // Removal rule (DESIGN.md §2.4/2.5): E− edges inside V− with a good
-      // endpoint are fully covered by this cluster's listing.
-      std::vector<bool> is_bad(size_t(cur.num_vertices()), false);
-      for (vertex v : del.s_bad) is_bad[size_t(v)] = true;
-      for (const auto& e : a.e_minus) {
-        if (!a.in_v_minus(e.u) || !a.in_v_minus(e.v)) continue;
-        if (is_bad[size_t(e.u)] && is_bad[size_t(e.v)]) continue;
-        removed.push_back(e);
-      }
+      removed.insert(removed.end(), oc.removed.begin(), oc.removed.end());
     }
     rep.ledger.merge_sequential(level_ledger);
 

@@ -36,6 +36,11 @@ class clique_set {
     return {flat_.data() + i * p_, size_t(p_)};
   }
 
+  /// Raw flat storage (stride arity(), each tuple ascending). Before
+  /// normalize() the tuple order is the insertion order and duplicates may
+  /// be present — the bulk-transfer view used when one set absorbs another.
+  std::span<const vertex> flat_view() const { return flat_; }
+
   bool contains(std::span<const vertex> clique) const;
 
   friend bool operator==(const clique_set& a, const clique_set& b) {

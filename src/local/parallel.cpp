@@ -1,10 +1,8 @@
 #include "local/parallel.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
+#include <memory>
 
 #include "core/listing/collector.hpp"
 #include "local/engine.hpp"
@@ -12,95 +10,6 @@
 #include "support/check.hpp"
 
 namespace dcl::local {
-
-// ----------------------------------------------------------- thread_pool
-
-struct thread_pool::state {
-  std::mutex m;
-  std::condition_variable cv_work;
-  std::condition_variable cv_done;
-  std::atomic<std::int64_t> cursor{0};
-  std::int64_t n = 0;
-  std::int64_t grain = 1;
-  const std::function<void(int, std::int64_t, std::int64_t)>* job = nullptr;
-  std::uint64_t generation = 0;  ///< bumped per job; wakes the workers
-  int running = 0;               ///< workers still draining the cursor
-  bool stop = false;
-};
-
-namespace {
-
-/// Drains the shared cursor: the grab-a-chunk loop every participant runs.
-void drain_chunks(thread_pool::state& s, int worker_index,
-                  const std::function<void(int, std::int64_t, std::int64_t)>&
-                      job) {
-  for (;;) {
-    const std::int64_t begin = s.cursor.fetch_add(s.grain);
-    if (begin >= s.n) break;
-    job(worker_index, begin, std::min(begin + s.grain, s.n));
-  }
-}
-
-}  // namespace
-
-thread_pool::thread_pool(int num_threads) : state_(new state) {
-  int t = num_threads;
-  if (t <= 0) t = int(std::thread::hardware_concurrency());
-  if (t < 1) t = 1;
-  // The calling thread is worker 0; spawn the other t-1.
-  for (int i = 1; i < t; ++i) {
-    workers_.emplace_back([this, i] {
-      state& s = *state_;
-      std::uint64_t seen = 0;
-      for (;;) {
-        const std::function<void(int, std::int64_t, std::int64_t)>* job;
-        {
-          std::unique_lock<std::mutex> lk(s.m);
-          s.cv_work.wait(lk,
-                         [&] { return s.stop || s.generation != seen; });
-          if (s.stop) return;
-          seen = s.generation;
-          job = s.job;
-        }
-        drain_chunks(s, i, *job);
-        {
-          std::lock_guard<std::mutex> lk(s.m);
-          if (--s.running == 0) s.cv_done.notify_all();
-        }
-      }
-    });
-  }
-}
-
-thread_pool::~thread_pool() {
-  {
-    std::lock_guard<std::mutex> lk(state_->m);
-    state_->stop = true;
-  }
-  state_->cv_work.notify_all();
-  for (auto& w : workers_) w.join();
-}
-
-void thread_pool::for_each_chunk(
-    std::int64_t n, std::int64_t grain,
-    const std::function<void(int, std::int64_t, std::int64_t)>& fn) {
-  DCL_EXPECTS(grain > 0, "chunk grain must be positive");
-  state& s = *state_;
-  {
-    std::lock_guard<std::mutex> lk(s.m);
-    s.n = n;
-    s.grain = grain;
-    s.cursor.store(0);
-    s.job = &fn;
-    s.running = int(workers_.size());
-    ++s.generation;
-  }
-  s.cv_work.notify_all();
-  drain_chunks(s, /*worker_index=*/0, fn);
-  std::unique_lock<std::mutex> lk(s.m);
-  s.cv_done.wait(lk, [&] { return s.running == 0; });
-  s.job = nullptr;
-}
 
 // ------------------------------------------------------- parallel driver
 
@@ -125,7 +34,7 @@ clique_set list_cliques_parallel(const dag& d, int p, thread_pool& pool,
         roots[size_t(w)] += end - begin;
       });
 
-  // Deterministic merge: concatenation order is fixed (thread index), and
+  // Deterministic merge: concatenation order is fixed (worker index), and
   // the collector's finalize() sorts canonically, so scheduling cannot leak
   // into the result.
   clique_collector collector(p);

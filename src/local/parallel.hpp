@@ -1,50 +1,25 @@
 #pragma once
 // Edge-parallel driver for the shared-memory kClist engine. Work units are
-// DAG arcs (each arc roots one egonet); a persistent std::thread pool pulls
-// dynamically-sized chunks off an atomic cursor, so skewed roots (hubs in
-// power-law graphs) cannot serialize the run. Each worker lists into a
-// private flat buffer; buffers are merged through clique_collector, whose
-// normalize() sorts canonically — the final clique_set is identical for
-// every thread count and schedule.
+// DAG arcs (each arc roots one egonet); the shared runtime worker pool
+// (src/runtime/) pulls dynamically-sized chunks off an atomic cursor, so
+// skewed roots (hubs in power-law graphs) cannot serialize the run. Each
+// worker lists into a private flat buffer; buffers are merged through
+// clique_collector in worker-index order, and its normalize() sorts
+// canonically — the final clique_set is identical for every thread count
+// and schedule.
 
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <thread>
 #include <vector>
 
 #include "graph/clique_enum.hpp"
 #include "local/orient.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace dcl::local {
 
-/// Minimal persistent worker pool. Workers block on a condition variable
-/// between jobs; for_each_chunk() is the only entry point and blocks the
-/// caller until every chunk is processed. Not reentrant.
-class thread_pool {
- public:
-  /// num_threads <= 0 selects std::thread::hardware_concurrency().
-  explicit thread_pool(int num_threads);
-  ~thread_pool();
-
-  thread_pool(const thread_pool&) = delete;
-  thread_pool& operator=(const thread_pool&) = delete;
-
-  int size() const { return int(workers_.size()) + 1; }  ///< incl. caller
-
-  /// Invokes fn(worker_index, begin, end) over [0, n) in chunks of `grain`,
-  /// dynamically scheduled. worker_index is in [0, size()); the calling
-  /// thread participates as worker 0.
-  void for_each_chunk(
-      std::int64_t n, std::int64_t grain,
-      const std::function<void(int, std::int64_t, std::int64_t)>& fn);
-
-  struct state;  ///< shared worker state; defined in parallel.cpp
-
- private:
-  std::unique_ptr<state> state_;
-  std::vector<std::thread> workers_;
-};
+/// The engine runs on the shared runtime pool; the old src/local-owned pool
+/// class moved to src/runtime/thread_pool.hpp unchanged in semantics.
+using thread_pool = runtime::thread_pool;
 
 /// Per-run accounting from the parallel driver.
 struct parallel_listing_stats {

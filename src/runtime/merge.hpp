@@ -1,0 +1,41 @@
+#pragma once
+// Deterministic index-ordered result merge — the primitive that keeps
+// parallel runs bit-identical to sequential ones. Tasks produce one result
+// per index on whatever worker the queue hands them to; the caller then
+// consumes results strictly in index order, so the merged output (cliques,
+// ledgers, stats) is a pure function of the inputs, never of the schedule.
+//
+// This is the CONGEST drivers' execution model: per recursion level, each
+// cluster is one index; cluster results (its private cost_ledger, clique
+// collector and removed-edge list) are merged in cluster order with the
+// same max-rounds/add-messages semantics the sequential loop used.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+#include "support/check.hpp"
+
+namespace dcl::runtime {
+
+/// Runs fn(worker, i) for every i in [0, n) on the pool and returns the
+/// results ordered by index. R needs move construction only (results are
+/// staged in optionals, so no default constructor is required). Exceptions
+/// propagate from for_each_chunk.
+template <class R, class Fn>
+std::vector<R> run_indexed(thread_pool& pool, std::int64_t n, Fn&& fn) {
+  std::vector<std::optional<R>> staged(static_cast<std::size_t>(n));
+  pool.for_each_index(n, [&](int worker, std::int64_t i) {
+    staged[size_t(i)].emplace(fn(worker, i));
+  });
+  std::vector<R> out;
+  out.reserve(size_t(n));
+  for (auto& slot : staged) {
+    DCL_ENSURE(slot.has_value(), "indexed task produced no result");
+    out.push_back(std::move(*slot));
+  }
+  return out;
+}
+
+}  // namespace dcl::runtime

@@ -1,0 +1,56 @@
+#pragma once
+// Per-worker scratch arenas. A scratch_arena hands out one persistent,
+// default-constructed instance per type: the first get<T>() on a worker
+// constructs it, every later get<T>() on the same worker returns the same
+// object with its capacity intact. Tasks key their workspace by a dedicated
+// struct type (e.g. one staging struct per call site), so two call sites
+// never alias each other's buffers:
+//
+//   struct learn_scratch { message_batch requests, replies; };
+//   auto& ws = arena.get<learn_scratch>();
+//   ws.requests.clear();  // capacity survives from the previous task
+//
+// Arenas are owned by the thread_pool, one per worker; a task only ever
+// touches the arena of the worker it runs on, so no synchronization is
+// needed.
+
+#include <map>
+#include <memory>
+#include <typeindex>
+
+namespace dcl::runtime {
+
+class scratch_arena {
+ public:
+  scratch_arena() = default;
+  scratch_arena(scratch_arena&&) = default;
+  scratch_arena& operator=(scratch_arena&&) = default;
+
+  scratch_arena(const scratch_arena&) = delete;
+  scratch_arena& operator=(const scratch_arena&) = delete;
+
+  /// The arena's single instance of T, default-constructed on first use.
+  /// The caller is responsible for clear()ing whatever state the previous
+  /// task left behind (that is the point: capacity is the state we keep).
+  template <class T>
+  T& get() {
+    const std::type_index key(typeid(T));
+    auto it = slots_.find(key);
+    if (it == slots_.end())
+      it = slots_.emplace(key, std::make_unique<holder<T>>()).first;
+    return static_cast<holder<T>*>(it->second.get())->value;
+  }
+
+ private:
+  struct holder_base {
+    virtual ~holder_base() = default;
+  };
+  template <class T>
+  struct holder final : holder_base {
+    T value{};
+  };
+
+  std::map<std::type_index, std::unique_ptr<holder_base>> slots_;
+};
+
+}  // namespace dcl::runtime

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/api/list_cliques.hpp"
+#include "graph/generators.hpp"
+#include "support/check.hpp"
+
+namespace dcl {
+namespace {
+
+// The facade rejects inconsistent options with actionable messages instead
+// of letting them surface as DCL_EXPECTS failures deep inside a driver.
+
+std::string message_of(const listing_options& opt) {
+  try {
+    validate_options(opt);
+  } catch (const precondition_error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(OptionsValidation, DefaultsAreValid) {
+  EXPECT_NO_THROW(validate_options(listing_options{}));
+}
+
+TEST(OptionsValidation, CongestSimPRange) {
+  listing_options opt;
+  opt.p = 2;
+  EXPECT_THROW(validate_options(opt), precondition_error);
+  opt.p = 7;
+  EXPECT_THROW(validate_options(opt), precondition_error);
+  // The message names the offending value and the valid range.
+  EXPECT_NE(message_of(opt).find("p = 7"), std::string::npos);
+  EXPECT_NE(message_of(opt).find("[3, 6]"), std::string::npos);
+  for (int p = 3; p <= 6; ++p) {
+    opt.p = p;
+    EXPECT_NO_THROW(validate_options(opt));
+  }
+}
+
+TEST(OptionsValidation, LocalEnginePRange) {
+  listing_options opt;
+  opt.engine = listing_engine::local_kclist;
+  opt.p = 12;  // beyond congest_sim's range, fine for the local engine
+  EXPECT_NO_THROW(validate_options(opt));
+  opt.p = 33;
+  EXPECT_THROW(validate_options(opt), precondition_error);
+  opt.p = 2;
+  EXPECT_THROW(validate_options(opt), precondition_error);
+}
+
+TEST(OptionsValidation, EpsilonRange) {
+  listing_options opt;
+  opt.epsilon = 1.0;
+  EXPECT_THROW(validate_options(opt), precondition_error);
+  EXPECT_NE(message_of(opt).find("epsilon"), std::string::npos);
+  opt.epsilon = -0.1;
+  EXPECT_THROW(validate_options(opt), precondition_error);
+  opt.epsilon = 0.0;  // 0 selects the paper's default
+  EXPECT_NO_THROW(validate_options(opt));
+  opt.epsilon = 1.0 / 18.0;
+  EXPECT_NO_THROW(validate_options(opt));
+}
+
+TEST(OptionsValidation, BetaGammaPositivity) {
+  listing_options opt;
+  opt.beta = 0.0;
+  EXPECT_THROW(validate_options(opt), precondition_error);
+  EXPECT_NE(message_of(opt).find("beta"), std::string::npos);
+  opt.beta = 2.0;
+  opt.gamma = -3.0;
+  EXPECT_THROW(validate_options(opt), precondition_error);
+  EXPECT_NE(message_of(opt).find("gamma"), std::string::npos);
+}
+
+TEST(OptionsValidation, RecursionBudgets) {
+  listing_options opt;
+  opt.max_levels = 0;
+  EXPECT_THROW(validate_options(opt), precondition_error);
+  opt.max_levels = 64;
+  opt.base_case_edges = -1;
+  EXPECT_THROW(validate_options(opt), precondition_error);
+}
+
+TEST(OptionsValidation, ThreadCountsAreNeverRejected) {
+  listing_options opt;
+  opt.sim_threads = -4;  // <= 0 selects hardware concurrency
+  opt.local_threads = 0;
+  EXPECT_NO_THROW(validate_options(opt));
+}
+
+TEST(OptionsValidation, ListCliquesRunsTheValidation) {
+  const auto g = gen::gnp(20, 0.2, 1);
+  listing_options opt;
+  opt.p = 9;  // out of range for congest_sim
+  EXPECT_THROW(list_cliques(g, opt), precondition_error);
+  opt.engine = listing_engine::local_kclist;
+  EXPECT_NO_THROW(list_cliques(g, opt));  // in range for the local engine
+}
+
+}  // namespace
+}  // namespace dcl

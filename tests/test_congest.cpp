@@ -43,6 +43,85 @@ TEST(CostLedger, Merges) {
   EXPECT_EQ(par.phases().at("x").rounds, 5);  // max(5, 3)
 }
 
+TEST(CostLedger, MergeSequentialAddsPerPhase) {
+  cost_ledger a, b;
+  a.charge("deliver", 4, 40);
+  b.charge("deliver", 6, 60);
+  b.charge("learn", 2, 20);
+  a.merge_sequential(b);
+  EXPECT_EQ(a.phases().at("deliver").rounds, 10);
+  EXPECT_EQ(a.phases().at("deliver").messages, 100);
+  EXPECT_EQ(a.phases().at("learn").rounds, 2);
+  EXPECT_EQ(a.rounds(), 12);
+  EXPECT_EQ(a.messages(), 120);
+}
+
+TEST(CostLedger, MergeParallelMaxRoundsAddMessagesPerPhase) {
+  cost_ledger a, b;
+  a.charge("tree", 7, 70);
+  a.charge("only_a", 1, 10);
+  b.charge("tree", 4, 40);
+  b.charge("only_b", 9, 90);
+  a.merge_parallel(b);
+  // Phase-wise: rounds take max, messages add; phases unique to either
+  // side survive with their own costs.
+  EXPECT_EQ(a.phases().at("tree").rounds, 7);
+  EXPECT_EQ(a.phases().at("tree").messages, 110);
+  EXPECT_EQ(a.phases().at("only_a").rounds, 1);
+  EXPECT_EQ(a.phases().at("only_b").rounds, 9);
+  EXPECT_EQ(a.phases().at("only_b").messages, 90);
+  // Totals: the slower branch gates the algorithm (max of the branch
+  // totals, NOT the sum of phase maxima), traffic accumulates.
+  EXPECT_EQ(a.rounds(), 13);  // max(7 + 1, 4 + 9)
+  EXPECT_EQ(a.messages(), 210);
+}
+
+TEST(CostLedger, MergeIntoEmptyIsIdentity) {
+  cost_ledger src;
+  src.charge("x", 3, 30);
+  cost_ledger seq, par;
+  seq.merge_sequential(src);
+  par.merge_parallel(src);
+  for (const auto* l : {&seq, &par}) {
+    EXPECT_EQ(l->rounds(), 3);
+    EXPECT_EQ(l->messages(), 30);
+    EXPECT_EQ(l->phases().at("x").rounds, 3);
+  }
+}
+
+TEST(CostLedger, PhaseLabelsStaySorted) {
+  // The per-phase breakdown is a deterministically ordered map, so report
+  // output and cross-thread comparisons never depend on charge order.
+  cost_ledger l;
+  l.charge("zeta", 1, 1);
+  l.charge("alpha", 1, 1);
+  cost_ledger other;
+  other.charge("mid", 2, 2);
+  l.merge_parallel(other);
+  std::vector<std::string> labels;
+  for (const auto& [label, cost] : l.phases()) labels.push_back(label);
+  EXPECT_EQ(labels, (std::vector<std::string>{"alpha", "mid", "zeta"}));
+}
+
+TEST(CostLedger, FoldOrderIrrelevantForClusterMerges) {
+  // The drivers fold per-cluster ledgers in cluster-index order; max/add
+  // semantics make any fold order equivalent, which is what makes the
+  // parallel fan-out safe.
+  cost_ledger c1, c2, c3;
+  c1.charge("learn", 5, 50);
+  c2.charge("learn", 8, 80);
+  c3.charge("deliver", 2, 20);
+  cost_ledger fwd, rev;
+  for (const auto* c : {&c1, &c2, &c3}) fwd.merge_parallel(*c);
+  for (const auto* c : {&c3, &c2, &c1}) rev.merge_parallel(*c);
+  EXPECT_EQ(fwd.rounds(), rev.rounds());
+  EXPECT_EQ(fwd.messages(), rev.messages());
+  EXPECT_EQ(fwd.phases().at("learn").rounds,
+            rev.phases().at("learn").rounds);
+  EXPECT_EQ(fwd.phases().at("deliver").messages,
+            rev.phases().at("deliver").messages);
+}
+
 TEST(Network, OneHopRoundsIsMaxEdgeLoad) {
   std::vector<message> msgs;
   msgs.push_back({0, 1, 0, 0, 0});
@@ -51,6 +130,29 @@ TEST(Network, OneHopRoundsIsMaxEdgeLoad) {
   msgs.push_back({2, 3, 0, 0, 0});
   EXPECT_EQ(one_hop_rounds(msgs), 2);
   EXPECT_EQ(one_hop_rounds({}), 0);
+}
+
+TEST(Network, OneHopRoundsEdgeCases) {
+  // Single message: one round.
+  EXPECT_EQ(one_hop_rounds({{0, 1, 0, 0, 0}}), 1);
+  // Duplicates of one directed edge, interleaved with others in arbitrary
+  // order: the max multiplicity wins regardless of input order.
+  std::vector<message> interleaved = {
+      {4, 5, 0, 1, 0}, {0, 1, 0, 1, 0}, {4, 5, 0, 2, 0},
+      {2, 3, 0, 1, 0}, {4, 5, 0, 3, 0}, {0, 1, 0, 2, 0}};
+  EXPECT_EQ(one_hop_rounds(interleaved), 3);
+  // Same source fanning out to distinct receivers: fully parallel.
+  std::vector<message> fanout;
+  for (vertex d = 1; d <= 6; ++d) fanout.push_back({0, d, 0, 0, 0});
+  EXPECT_EQ(one_hop_rounds(fanout), 1);
+  // All n messages on one directed edge serialize completely.
+  std::vector<message> serial;
+  for (int i = 0; i < 9; ++i) serial.push_back({7, 8, 0, std::uint64_t(i), 0});
+  EXPECT_EQ(one_hop_rounds(serial), 9);
+  // Payload does not matter: identical payloads still occupy distinct
+  // rounds on the same edge.
+  std::vector<message> same_payload(4, message{1, 2, 0, 0, 0});
+  EXPECT_EQ(one_hop_rounds(same_payload), 4);
 }
 
 TEST(Network, ExchangeRequiresEdges) {

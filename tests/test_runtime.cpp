@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "core/api/list_cliques.hpp"
+#include "graph/generators.hpp"
+#include "runtime/merge.hpp"
+#include "runtime/scratch.hpp"
+#include "runtime/thread_pool.hpp"
+#include "support/check.hpp"
+
+namespace dcl {
+namespace {
+
+// ----------------------------------------------------------- thread_pool
+
+TEST(ThreadPool, CoversEveryChunkExactlyOnce) {
+  runtime::thread_pool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  const std::int64_t n = 1000;
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+  pool.for_each_chunk(n, 7, [&](int, std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) ++hits[size_t(i)];
+  });
+  for (std::int64_t i = 0; i < n; ++i) EXPECT_EQ(hits[size_t(i)].load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  runtime::thread_pool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  std::vector<int> workers;
+  pool.for_each_index(5, [&](int w, std::int64_t) { workers.push_back(w); });
+  EXPECT_EQ(workers, std::vector<int>(5, 0));  // caller is worker 0
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  runtime::thread_pool pool(3);
+  for (int job = 0; job < 5; ++job) {
+    std::atomic<std::int64_t> sum{0};
+    pool.for_each_index(100, [&](int, std::int64_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 4950);
+  }
+}
+
+TEST(ThreadPool, TaskExceptionPropagatesToCaller) {
+  runtime::thread_pool pool(2);
+  EXPECT_THROW(
+      pool.for_each_index(50,
+                          [&](int, std::int64_t i) {
+                            DCL_EXPECTS(i != 17, "injected failure");
+                          }),
+      precondition_error);
+  // The pool survives a poisoned job and runs the next one normally.
+  std::atomic<int> count{0};
+  pool.for_each_index(10, [&](int, std::int64_t) { ++count; });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, PerWorkerArenasAreStable) {
+  runtime::thread_pool pool(3);
+  struct slot {
+    std::vector<int> data;
+  };
+  // First job: every worker that runs deposits a marker in its arena.
+  pool.for_each_index(64, [&](int w, std::int64_t) {
+    pool.arena(w).get<slot>().data.push_back(w);
+  });
+  // The arena of each worker only ever saw that worker's marker.
+  for (int w = 0; w < pool.size(); ++w) {
+    for (int v : pool.arena(w).get<slot>().data) EXPECT_EQ(v, w);
+  }
+}
+
+// --------------------------------------------------------- scratch_arena
+
+TEST(ScratchArena, OneInstancePerTypePersists) {
+  runtime::scratch_arena arena;
+  struct a_t {
+    std::vector<int> v;
+  };
+  struct b_t {
+    std::vector<int> v;
+  };
+  arena.get<a_t>().v.push_back(1);
+  arena.get<b_t>().v.push_back(2);
+  EXPECT_EQ(arena.get<a_t>().v, std::vector<int>{1});   // same instance
+  EXPECT_EQ(arena.get<b_t>().v, std::vector<int>{2});   // no aliasing
+  EXPECT_NE(static_cast<void*>(&arena.get<a_t>()),
+            static_cast<void*>(&arena.get<b_t>()));
+}
+
+// ----------------------------------------------------------- run_indexed
+
+TEST(RunIndexed, ResultsComeBackInIndexOrder) {
+  runtime::thread_pool pool(4);
+  // Not default-constructible: proves the staging works without one.
+  struct result {
+    explicit result(std::int64_t v) : value(v) {}
+    std::int64_t value;
+  };
+  const auto out = runtime::run_indexed<result>(
+      pool, 200, [](int, std::int64_t i) { return result(i * i); });
+  ASSERT_EQ(out.size(), 200u);
+  for (std::int64_t i = 0; i < 200; ++i)
+    EXPECT_EQ(out[size_t(i)].value, i * i);
+}
+
+TEST(RunIndexed, ExceptionAbortsAndPropagates) {
+  runtime::thread_pool pool(2);
+  EXPECT_THROW(runtime::run_indexed<int>(pool, 20,
+                                         [](int, std::int64_t i) {
+                                           DCL_ENSURE(i != 5, "boom");
+                                           return int(i);
+                                         }),
+               invariant_error);
+}
+
+// ------------------------------------- cluster-parallel CONGEST backend
+//
+// The refactor's invariant: output cliques AND the full report (rounds,
+// messages, per-phase ledger, per-level stats) are bit-identical for every
+// sim_threads value. This is the paper's headline determinism property
+// carried through the parallel runtime.
+
+void expect_reports_identical(const listing_report& a,
+                              const listing_report& b) {
+  EXPECT_EQ(a.ledger.rounds(), b.ledger.rounds());
+  EXPECT_EQ(a.ledger.messages(), b.ledger.messages());
+  ASSERT_EQ(a.ledger.phases().size(), b.ledger.phases().size());
+  auto ita = a.ledger.phases().begin();
+  auto itb = b.ledger.phases().begin();
+  for (; ita != a.ledger.phases().end(); ++ita, ++itb) {
+    EXPECT_EQ(ita->first, itb->first);
+    EXPECT_EQ(ita->second.rounds, itb->second.rounds) << ita->first;
+    EXPECT_EQ(ita->second.messages, itb->second.messages) << ita->first;
+  }
+  EXPECT_EQ(a.model_decomposition_rounds, b.model_decomposition_rounds);
+  ASSERT_EQ(a.levels.size(), b.levels.size());
+  for (std::size_t i = 0; i < a.levels.size(); ++i) {
+    EXPECT_EQ(a.levels[i].edges_before, b.levels[i].edges_before);
+    EXPECT_EQ(a.levels[i].edges_removed, b.levels[i].edges_removed);
+    EXPECT_EQ(a.levels[i].clusters, b.levels[i].clusters);
+    EXPECT_EQ(a.levels[i].clusters_listed, b.levels[i].clusters_listed);
+    EXPECT_EQ(a.levels[i].deferred_clusters, b.levels[i].deferred_clusters);
+    EXPECT_EQ(a.levels[i].bad_vertices, b.levels[i].bad_vertices);
+    EXPECT_EQ(a.levels[i].low_degree_targets,
+              b.levels[i].low_degree_targets);
+  }
+  EXPECT_EQ(a.emitted, b.emitted);
+  EXPECT_EQ(a.duplicates, b.duplicates);
+  EXPECT_EQ(a.used_fallback, b.used_fallback);
+  EXPECT_DOUBLE_EQ(a.max_normalized_load, b.max_normalized_load);
+}
+
+void expect_sim_threads_invariant(const graph& g, int p) {
+  listing_options opt;
+  opt.p = p;
+  opt.sim_threads = 1;
+  const auto base = list_cliques(g, opt);
+  const auto want = collect_cliques(g, p);
+  EXPECT_TRUE(base.cliques == want)
+      << "p=" << p << ": sequential run is not exact";
+  for (const int t : {2, 8}) {
+    opt.sim_threads = t;
+    const auto run = list_cliques(g, opt);
+    EXPECT_TRUE(run.cliques == base.cliques)
+        << "p=" << p << " sim_threads=" << t << ": clique set diverged";
+    expect_reports_identical(base.report, run.report);
+  }
+}
+
+TEST(ClusterParallelSim, TrianglesDeterministicAcrossThreads) {
+  expect_sim_threads_invariant(gen::gnp(80, 0.15, 3), 3);
+  expect_sim_threads_invariant(gen::planted_cliques(70, 0.05, 3, 6, 7), 3);
+  expect_sim_threads_invariant(gen::kneser(7, 2), 3);
+}
+
+TEST(ClusterParallelSim, K4DeterministicAcrossThreads) {
+  expect_sim_threads_invariant(gen::gnp(90, 0.15, 3), 4);
+  expect_sim_threads_invariant(gen::planted_partition(3, 25, 0.4, 0.03, 11),
+                               4);
+}
+
+TEST(ClusterParallelSim, K5DeterministicAcrossThreads) {
+  expect_sim_threads_invariant(gen::gnp(70, 0.25, 31), 5);
+}
+
+TEST(ClusterParallelSim, K6DeterministicAcrossThreads) {
+  expect_sim_threads_invariant(gen::gnp(60, 0.3, 41), 6);
+  expect_sim_threads_invariant(gen::ring_of_cliques(6, 8), 6);
+}
+
+TEST(ClusterParallelSim, HardwareThreadSelectionWorks) {
+  listing_options opt;
+  opt.p = 3;
+  opt.sim_threads = 0;  // hardware concurrency
+  const auto g = gen::gnp(60, 0.15, 5);
+  const auto run = list_cliques(g, opt);
+  EXPECT_TRUE(run.cliques == collect_cliques(g, 3));
+}
+
+TEST(ClusterParallelSim, RandomizedLbStaysSeedDeterministicInParallel) {
+  listing_options opt;
+  opt.p = 3;
+  opt.lb = lb_engine::randomized;
+  opt.seed = 123;
+  const auto g = gen::gnp(80, 0.2, 17);
+  opt.sim_threads = 1;
+  const auto a = list_cliques(g, opt);
+  opt.sim_threads = 8;
+  const auto b = list_cliques(g, opt);
+  EXPECT_TRUE(a.cliques == b.cliques);
+  expect_reports_identical(a.report, b.report);
+}
+
+}  // namespace
+}  // namespace dcl
