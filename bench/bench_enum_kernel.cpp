@@ -1,0 +1,220 @@
+// Old-vs-new enumerator microbenchmark. The arena-backed kernel
+// (src/enumkernel/) replaced the recursive std::function DFS that lived in
+// graph/clique_enum.cpp; a verbatim copy of that legacy enumerator is kept
+// below (namespace legacy) so the comparison stays reproducible after the
+// deletion. Emits one JSON document on stdout AND to BENCH_enum_kernel.json
+// via the shared checked emitter:
+//
+//   ./bench_enum_kernel [out.json]
+//
+// Every case cross-checks legacy and kernel clique counts before timing;
+// a mismatch aborts. The "speedup" field is legacy_seconds/kernel_seconds —
+// the acceptance bar for the kernel refactor is >= 2x on the p >= 4 cases.
+//
+// Self-contained on purpose: no google-benchmark dependency, so it builds
+// and runs even where only the core toolchain is present.
+
+#include <cstdlib>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.hpp"
+
+#include "core/listing/collector.hpp"
+#include "enumkernel/kernel.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/clique_enum.hpp"
+#include "graph/generators.hpp"
+
+namespace legacy {
+
+using namespace dcl;
+
+// ---- verbatim pre-kernel implementation (graph/clique_enum.cpp @ PR 2).
+
+void clique_dfs(const graph& g, int p, std::vector<vertex>& current,
+                std::vector<vertex>& candidates,
+                const std::function<void(std::span<const vertex>)>& cb) {
+  if (int(current.size()) == p) {
+    cb(current);
+    return;
+  }
+  const int need = p - int(current.size());
+  if (int(candidates.size()) < need) return;
+  // Iterate a copy: candidates shrinks in recursive calls.
+  const std::vector<vertex> cands = candidates;
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    if (int(cands.size() - i) < need) break;
+    const vertex v = cands[i];
+    current.push_back(v);
+    std::vector<vertex> next;
+    const auto nv = g.neighbors(v);
+    std::span<const vertex> tail(cands.data() + i + 1, cands.size() - i - 1);
+    next = sorted_intersection(tail, nv);
+    clique_dfs(g, p, current, next, cb);
+    current.pop_back();
+  }
+}
+
+void for_each_clique(const graph& g, int p,
+                     const std::function<void(std::span<const vertex>)>& cb) {
+  if (p == 3) {  // the old code special-cased triangles (forward algorithm)
+    dcl::for_each_triangle(g, [&](vertex u, vertex v, vertex w) {
+      const vertex t[3] = {u, v, w};
+      cb(std::span<const vertex>(t, 3));
+    });
+    return;
+  }
+  std::vector<vertex> current;
+  for (vertex v = 0; v < g.num_vertices(); ++v) {
+    current.push_back(v);
+    const auto nv = g.neighbors(v);
+    const auto first_gt =
+        std::upper_bound(nv.begin(), nv.end(), v) - nv.begin();
+    std::vector<vertex> cands(nv.begin() + first_gt, nv.end());
+    clique_dfs(g, p, current, cands, cb);
+    current.pop_back();
+  }
+}
+
+std::int64_t count_cliques(const graph& g, int p) {
+  std::int64_t count = 0;
+  legacy::for_each_clique(g, p,
+                          [&](std::span<const vertex>) { ++count; });
+  return count;
+}
+
+clique_set cliques_in_edge_set(const edge_list& edges, int p) {
+  edge_list canon;
+  canon.reserve(edges.size());
+  for (const auto& e : edges) {
+    if (e.u == e.v) continue;
+    canon.push_back(make_edge(e.u, e.v));
+  }
+  std::sort(canon.begin(), canon.end());
+  canon.erase(std::unique(canon.begin(), canon.end()), canon.end());
+  if (canon.empty()) return clique_set(p);
+
+  vertex max_v = 0;
+  for (const auto& e : canon) max_v = std::max(max_v, e.v);
+  edge_induced_subgraph sub = [&] {
+    graph parent(max_v + 1, {});
+    return induce_by_edges(parent, canon);
+  }();
+  clique_set out(p);
+  legacy::for_each_clique(sub.g, p, [&](std::span<const vertex> c) {
+    std::vector<vertex> mapped(c.size());
+    for (std::size_t i = 0; i < c.size(); ++i)
+      mapped[i] = sub.to_parent[size_t(c[i])];
+    out.add(mapped);
+  });
+  out.normalize();
+  return out;
+}
+
+}  // namespace legacy
+
+namespace {
+
+using dcl::bench::best_seconds;
+
+struct case_result {
+  std::string name;
+  std::string entry;
+  dcl::vertex n;
+  std::int64_t edges;
+  int p;
+  std::int64_t cliques;
+  double legacy_seconds;
+  double kernel_seconds;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dcl;
+  const std::string out_path =
+      argc > 1 ? argv[1] : "BENCH_enum_kernel.json";
+
+  enumkernel::enum_scratch ws;  // warm kernel scratch shared by all cases
+  std::vector<case_result> results;
+
+  // ---- graph entry: count every p-clique of one graph.
+  const auto graph_case = [&](const std::string& name, const graph& g,
+                              int p) {
+    const std::int64_t want = legacy::count_cliques(g, p);
+    const std::int64_t got = enumkernel::count_cliques(g, p, ws);
+    if (want != got) std::abort();  // old-vs-new cross-check
+    const double legacy_s =
+        best_seconds([&] { (void)legacy::count_cliques(g, p); });
+    const double kernel_s =
+        best_seconds([&] { (void)enumkernel::count_cliques(g, p, ws); });
+    results.push_back({name, "graph", g.num_vertices(), g.num_edges(), p,
+                       want, legacy_s, kernel_s});
+  };
+
+  // ---- edge-list entry: the cluster-local hot path, measured exactly as
+  // the CONGEST listers run it. Old code materialized a normalized
+  // clique_set per leaf (cliques_in_edge_set) and re-emitted it into the
+  // cluster's collector; new code streams kernel tuples straight into the
+  // collector. The collector's one-shot finalize is per-run, not per-leaf,
+  // so it stays outside the timed region on both sides.
+  const auto edges_case = [&](const std::string& name, const graph& g,
+                              int p) {
+    const auto& edges = g.edges();
+    const auto want = legacy::cliques_in_edge_set(edges, p);
+    if (!(enumkernel::cliques_in_edge_set(edges, p, ws) == want))
+      std::abort();
+    const double legacy_s = best_seconds([&] {
+      clique_collector col(p);
+      const auto found = legacy::cliques_in_edge_set(edges, p);
+      for (std::int64_t i = 0; i < found.size(); ++i) col.emit(found[i]);
+      if (col.emitted() != want.size()) std::abort();
+    });
+    const double kernel_s = best_seconds([&] {
+      clique_collector col(p);
+      enumkernel::enumerate_cliques_in_edges(
+          edges, p, ws,
+          [&](std::span<const vertex> c) { col.emit(c); });
+      if (col.emitted() != want.size()) std::abort();
+    });
+    results.push_back({name, "edges", g.num_vertices(), g.num_edges(), p,
+                       want.size(), legacy_s, kernel_s});
+  };
+
+  // Clique-dense inputs: enumeration work dominates, which is the regime
+  // the cluster listers live in (a learned edge set is a dense subset by
+  // construction — it was shipped precisely because it closes cliques).
+  graph_case("gnp_p3", gen::gnp(500, 0.08, 7), 3);
+  graph_case("gnp_p4", gen::gnp(200, 0.35, 7), 4);
+  graph_case("gnp_p5", gen::gnp(120, 0.45, 7), 5);
+  graph_case("gnp_p6", gen::gnp(90, 0.55, 7), 6);
+  graph_case("kneser_p5", gen::kneser(13, 2), 5);
+  graph_case("kneser_p6", gen::kneser(13, 2), 6);
+  edges_case("edges_gnp_p4", gen::gnp(200, 0.35, 9), 4);
+  edges_case("edges_gnp_p5", gen::gnp(120, 0.50, 9), 5);
+
+  std::ostringstream js;
+  js << "{\n"
+     << "  \"bench\": \"enum_kernel\",\n"
+     << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+     << ",\n"
+     << "  \"cases\": [\n";
+  bool first = true;
+  for (const auto& r : results) {
+    if (!first) js << ",\n";
+    first = false;
+    js << "    {\"name\": \"" << r.name << "\", \"entry\": \"" << r.entry
+       << "\", \"n\": " << r.n << ", \"edges\": " << r.edges
+       << ", \"p\": " << r.p << ", \"cliques\": " << r.cliques
+       << ", \"legacy_seconds\": " << r.legacy_seconds
+       << ", \"kernel_seconds\": " << r.kernel_seconds << ", \"speedup\": "
+       << (r.kernel_seconds > 0 ? r.legacy_seconds / r.kernel_seconds : 0.0)
+       << "}";
+  }
+  js << "\n  ]\n}\n";
+  return dcl::bench::emit_json(out_path, js.str());
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "congest/congested_clique.hpp"
+#include "enumkernel/kernel.hpp"
 #include "support/check.hpp"
 #include "support/math_util.hpp"
 
@@ -52,19 +53,21 @@ dlp12_result dlp12_list_cliques(const graph& g, int p) {
   }
   net.exchange(std::move(batch), "dlp12/ship");
 
+  enumkernel::enum_scratch ws;  // one warm kernel workspace across owners
+  std::vector<std::int64_t> gs;
   for (std::size_t t = 0; t < tuples.size(); ++t) {
     res.max_edges_per_vertex = std::max(
         res.max_edges_per_vertex, std::int64_t(learned[t].size()));
-    const auto found = cliques_in_edge_set(learned[t], p);
-    for (std::int64_t i = 0; i < found.size(); ++i) {
-      // Emit only if this tuple is the canonical one for the clique (the
-      // sorted groups match exactly), so no cross-owner duplicates.
-      const auto c = found[i];
-      std::vector<std::int64_t> gs;
-      for (vertex v : c) gs.push_back(group_of(v));
-      std::sort(gs.begin(), gs.end());
-      if (gs == tuples[t]) res.cliques.add(c);
-    }
+    enumkernel::enumerate_cliques_in_edges(
+        learned[t], p, ws, [&](std::span<const vertex> c) {
+          // Emit only if this tuple is the canonical one for the clique
+          // (the sorted groups match exactly), so no cross-owner
+          // duplicates.
+          gs.clear();
+          for (vertex v : c) gs.push_back(group_of(v));
+          std::sort(gs.begin(), gs.end());
+          if (gs == tuples[t]) res.cliques.add(c);
+        });
   }
   res.cliques.normalize();
   return res;

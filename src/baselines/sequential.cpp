@@ -1,10 +1,21 @@
 #include "baselines/sequential.hpp"
 
+#include "enumkernel/kernel.hpp"
+
 namespace dcl::baseline {
 
 sequential_result sequential_listing(const graph& g, int p) {
   const auto start = std::chrono::steady_clock::now();
-  sequential_result res{collect_cliques(g, p), 0.0};
+  // Straight single-threaded pass over the shared kernel — the same
+  // enumerator the distributed paths use, minus parallelism and
+  // communication.
+  enumkernel::enum_scratch ws;
+  clique_set cliques(p);
+  enumkernel::enumerate_cliques(
+      g, p, ws,
+      [&](std::span<const vertex> c) { cliques.add_flat(c, true); });
+  cliques.normalize();
+  sequential_result res{std::move(cliques), 0.0};
   res.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "enumkernel/limits.hpp"
 #include "local/engine.hpp"
 #include "support/check.hpp"
 
@@ -13,21 +14,32 @@ namespace {
   throw precondition_error("listing_options: " + what);
 }
 
+/// Largest arity the CONGEST drivers implement (Theorem 36 machinery).
+constexpr int kCongestMaxP = 6;
+
+// Every backend bottoms out in the shared enumeration kernel, so no
+// backend may accept an arity the kernel cannot enumerate.
+static_assert(kCongestMaxP <= enumkernel::kMaxCliqueArity,
+              "congest_sim arity bound exceeds the shared kernel limit");
+
 }  // namespace
 
 void validate_options(const listing_options& opt) {
   // The facade rejects inconsistent options with messages a caller can act
   // on, instead of letting them surface as DCL_EXPECTS failures deep inside
-  // a driver or a partition-tree builder.
+  // a driver, a partition-tree builder, or the enumeration kernel. Both
+  // backends validate against the one shared arity constant
+  // (enumkernel::kMaxCliqueArity).
   if (opt.engine == listing_engine::local_kclist) {
-    if (opt.p < 3 || opt.p > local::kMaxCliqueArity)
+    if (opt.p < 3 || opt.p > enumkernel::kMaxCliqueArity)
       reject("p = " + std::to_string(opt.p) +
              " is outside the local_kclist range [3, " +
-             std::to_string(local::kMaxCliqueArity) + "]");
+             std::to_string(enumkernel::kMaxCliqueArity) + "]");
   } else {
-    if (opt.p < 3 || opt.p > 6)
+    if (opt.p < 3 || opt.p > kCongestMaxP)
       reject("p = " + std::to_string(opt.p) +
-             " is outside the congest_sim range [3, 6]; use "
+             " is outside the congest_sim range [3, " +
+             std::to_string(kCongestMaxP) + "]; use "
              "listing_engine::local_kclist for larger cliques");
   }
   if (opt.epsilon < 0.0 || opt.epsilon >= 1.0)

@@ -8,6 +8,7 @@
 #include "core/listing/balance.hpp"
 #include "core/listing/two_hop.hpp"
 #include "core/ptree/build_k3.hpp"
+#include "enumkernel/kernel.hpp"
 #include "support/check.hpp"
 #include "support/math_util.hpp"
 #include "support/prng.hpp"
@@ -77,10 +78,12 @@ k3_tree_build build_baseline_tree(cluster_comm& cc,
 
 namespace {
 
-/// Recycled staging for the two Lemma 34 learn exchanges; keyed per worker
-/// in the runtime arena so capacity survives across clusters.
+/// Recycled staging for the two Lemma 34 learn exchanges plus the kernel
+/// workspace of the per-leaf local listing; keyed per worker in the runtime
+/// arena so capacity survives across clusters.
 struct k3_learn_scratch {
   message_batch requests, replies;
+  enumkernel::enum_scratch enum_ws;
 };
 
 }  // namespace
@@ -100,8 +103,12 @@ cluster_listing_stats list_k3_in_cluster(network& net_c, const graph& g,
     if (!a.in_v_minus(v)) low_local.push_back(cc.to_local(v));
   {
     network local_net(cc.local_graph(), net_c.ledger());
+    enumkernel::enum_scratch* two_hop_ws =
+        scratch != nullptr ? &scratch->get<k3_learn_scratch>().enum_ws
+                           : nullptr;
     two_hop_listing(local_net, cc.local_graph(), low_local, a.delta, 3, out,
-                    std::string(phase) + "/twohop", cc.parent_vertices());
+                    std::string(phase) + "/twohop", cc.parent_vertices(),
+                    two_hop_ws);
   }
 
   // ---- High-degree side: triangles inside V−_C via a partition tree.
@@ -182,14 +189,15 @@ cluster_listing_stats list_k3_in_cluster(network& net_c, const graph& g,
     std::sort(le.begin(), le.end());
     le.erase(std::unique(le.begin(), le.end()), le.end());
     stats.learned_edges += std::int64_t(le.size());
-    const auto found = cliques_in_edge_set(le, 3);
-    std::vector<vertex> tri(3);
-    for (std::int64_t t = 0; t < found.size(); ++t) {
-      const auto c = found[t];
-      for (int z = 0; z < 3; ++z)
-        tri[size_t(z)] = cc.to_parent(pool[size_t(c[size_t(z)])]);
-      out.emit(tri);
-    }
+    // Cluster-local listing on the shared kernel: the learned edges are in
+    // position space, so remap each emitted triangle back to parent ids.
+    enumkernel::enumerate_cliques_in_edges(
+        le, 3, ws.enum_ws, [&](std::span<const vertex> c) {
+          vertex tri[3];
+          for (int z = 0; z < 3; ++z)
+            tri[size_t(z)] = cc.to_parent(pool[size_t(c[size_t(z)])]);
+          out.emit(std::span<const vertex>(tri, 3));
+        });
   }
   return stats;
 }

@@ -4,6 +4,7 @@
 #include "core/listing/driver.hpp"
 #include "core/listing/driver_detail.hpp"
 #include "congest/network.hpp"
+#include "enumkernel/kernel.hpp"
 #include "expander/cost_model.hpp"
 #include "expander/decomposition.hpp"
 #include "runtime/merge.hpp"
@@ -21,8 +22,9 @@ void central_fallback(const graph& cur, int p, clique_collector& out,
                       cost_ledger& ledger) {
   network net(cur, ledger);
   net.charge_gather_all_edges("fallback/gather");
-  for_each_clique(cur, p,
-                  [&](std::span<const vertex> c) { out.emit(c); });
+  enumkernel::enum_scratch ws;
+  enumkernel::enumerate_cliques(
+      cur, p, ws, [&](std::span<const vertex> c) { out.emit(c); });
 }
 
 graph remove_edges(const graph& cur, const edge_list& removed) {

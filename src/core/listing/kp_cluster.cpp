@@ -6,6 +6,7 @@
 #include "congest/cluster_comm.hpp"
 #include "core/listing/balance.hpp"
 #include "core/ptree/build_split.hpp"
+#include "enumkernel/kernel.hpp"
 #include "support/check.hpp"
 #include "support/prng.hpp"
 
@@ -56,10 +57,12 @@ void leaves_needing_edge(const partition_tree& tree, int pi, bool a_is_v2,
   }
 }
 
-/// Recycled staging for the per-p′ learn exchange; keyed per worker in the
-/// runtime arena so capacity survives across clusters.
+/// Recycled staging for the per-p′ learn exchange plus the kernel workspace
+/// of the per-leaf local listing; keyed per worker in the runtime arena so
+/// capacity survives across clusters.
 struct kp_learn_scratch {
   message_batch traffic;
+  enumkernel::enum_scratch enum_ws;
 };
 
 }  // namespace
@@ -202,8 +205,10 @@ cluster_listing_stats list_kp_in_cluster(
       std::sort(le.begin(), le.end());
       le.erase(std::unique(le.begin(), le.end()), le.end());
       stats.learned_edges += std::int64_t(le.size());
-      const auto found = cliques_in_edge_set(le, p);
-      for (std::int64_t t = 0; t < found.size(); ++t) out.emit(found[t]);
+      // Learned edges already carry parent ids — emit kernel tuples as-is.
+      enumkernel::enumerate_cliques_in_edges(
+          le, p, ws.enum_ws,
+          [&](std::span<const vertex> c) { out.emit(c); });
     }
     stats.listers += std::int64_t(listers.size());
   }

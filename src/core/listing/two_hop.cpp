@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "graph/algorithms.hpp"
+#include "enumkernel/kernel.hpp"
 #include "support/check.hpp"
 
 namespace dcl {
@@ -11,7 +11,8 @@ two_hop_stats two_hop_listing(network& net, const graph& g,
                               std::span<const vertex> targets,
                               std::int64_t alpha, int p,
                               clique_collector& out, std::string_view phase,
-                              std::span<const vertex> id_map) {
+                              std::span<const vertex> id_map,
+                              enumkernel::enum_scratch* scratch) {
   DCL_EXPECTS(p >= 3, "clique arity must be at least 3");
   DCL_EXPECTS(id_map.empty() || vertex(id_map.size()) == g.num_vertices(),
               "id_map must cover all vertices");
@@ -47,34 +48,37 @@ two_hop_stats two_hop_listing(network& net, const graph& g,
   stats.rounds = rounds_a + rounds_b;
   net.charge(phase, stats.rounds, stats.messages);
 
-  // Local listing at each target: p-cliques inside its learned 2-hop set.
+  // Local listing at each target: p-cliques inside its learned 2-hop set,
+  // enumerated on the shared kernel (one warm scratch across all targets).
   // To avoid emitting the same clique once per contained target, a clique
   // is emitted only by its minimum-id target member.
-  std::vector<vertex> scratch;
+  enumkernel::enum_scratch local_ws;
+  enumkernel::enum_scratch& ws = scratch != nullptr ? *scratch : local_ws;
+  std::vector<vertex> tuple;
+  edge_list learned;
   for (vertex v : targets) {
     const auto nv = g.neighbors(v);
-    edge_list learned;
+    learned.clear();
     for (vertex u : nv) {
       for (vertex w : sorted_intersection(g.neighbors(u), nv)) {
         if (w > u) learned.push_back({u, w});
       }
     }
-    const auto sub_cliques = cliques_in_edge_set(learned, p - 1);
-    for (std::int64_t i = 0; i < sub_cliques.size(); ++i) {
-      const auto c = sub_cliques[i];
-      bool v_is_min_target = true;
-      for (vertex u : c)
-        if (is_target[size_t(u)] && u < v) {
-          v_is_min_target = false;
-          break;
-        }
-      if (!v_is_min_target) continue;
-      scratch.assign(c.begin(), c.end());
-      scratch.push_back(v);
-      if (!id_map.empty())
-        for (auto& z : scratch) z = id_map[size_t(z)];
-      out.emit(scratch);
-    }
+    enumkernel::enumerate_cliques_in_edges(
+        learned, p - 1, ws, [&](std::span<const vertex> c) {
+          bool v_is_min_target = true;
+          for (vertex u : c)
+            if (is_target[size_t(u)] && u < v) {
+              v_is_min_target = false;
+              break;
+            }
+          if (!v_is_min_target) return;
+          tuple.assign(c.begin(), c.end());
+          tuple.push_back(v);
+          if (!id_map.empty())
+            for (auto& z : tuple) z = id_map[size_t(z)];
+          out.emit(tuple);
+        });
   }
   return stats;
 }

@@ -1,8 +1,8 @@
-#include "local/egonet.hpp"
+#include "enumkernel/egonet.hpp"
 
 #include "support/check.hpp"
 
-namespace dcl::local {
+namespace dcl::enumkernel {
 
 namespace {
 
@@ -11,11 +11,14 @@ constexpr std::int32_t kCandidate = -2;  ///< in N+(u), membership pending
 
 }  // namespace
 
-egonet_builder::egonet_builder(vertex n)
-    : local_id_(size_t(n), kAbsent) {}
+void egonet_builder::ensure(vertex n) {
+  if (vertex(local_id_.size()) < n) local_id_.resize(size_t(n), kAbsent);
+}
 
 void egonet_builder::build(const dag& d, vertex u, vertex v,
                            std::int32_t levels, egonet& out) {
+  DCL_EXPECTS(vertex(local_id_.size()) >= d.n,
+              "egonet_builder not sized for this DAG — call ensure()");
   const auto nu = d.out_neighbors(u);
   const auto nv = d.out_neighbors(v);
 
@@ -69,4 +72,4 @@ void egonet_builder::build(const dag& d, vertex u, vertex v,
   for (const vertex w : touched_) local_id_[size_t(w)] = kAbsent;
 }
 
-}  // namespace dcl::local
+}  // namespace dcl::enumkernel

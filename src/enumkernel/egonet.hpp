@@ -5,14 +5,14 @@
 // containing the arc as its two lowest-rank vertices is a (p-2)-clique of
 // this egonet, so enumeration never leaves an array of at most
 // `degeneracy` vertices. Labels and per-level degrees implement the
-// shrink-and-restore discipline of the DFS enumerator (kclist.hpp).
+// shrink-and-restore discipline of the DFS enumerator (kernel.hpp).
 
 #include <cstdint>
 #include <vector>
 
-#include "local/orient.hpp"
+#include "enumkernel/orient.hpp"
 
-namespace dcl::local {
+namespace dcl::enumkernel {
 
 /// Egonet of one root arc: a small local-id graph plus the level machinery
 /// the enumerator mutates in place. Buffers are reused across roots (sized
@@ -27,11 +27,17 @@ struct egonet {
   std::vector<std::int32_t> deg;     ///< deg[level * n + v], level in [2, p-2]
 };
 
-/// Reusable per-thread builder. Holds the global->local scratch map, so one
-/// instance must not be shared across threads.
+/// Reusable builder holding the global->local scratch map. Rebindable to
+/// DAGs of any size via ensure(); one instance must not be shared across
+/// threads.
 class egonet_builder {
  public:
-  explicit egonet_builder(vertex n);
+  egonet_builder() = default;
+  explicit egonet_builder(vertex n) { ensure(n); }
+
+  /// Grows the global->local map to cover vertex ids below `n`. Cheap when
+  /// already large enough — callers invoke it once per (re)bind.
+  void ensure(vertex n);
 
   /// Builds into `out` the egonet of N+(u) ∩ N+(v) for DAG arc u -> v, with
   /// all members labeled `levels` (the enumerator's top level, p - 2).
@@ -45,4 +51,4 @@ class egonet_builder {
   std::vector<vertex> touched_;         ///< entries of local_id_ to reset
 };
 
-}  // namespace dcl::local
+}  // namespace dcl::enumkernel

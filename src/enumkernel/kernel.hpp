@@ -1,0 +1,347 @@
+#pragma once
+// The shared clique-enumeration kernel: one arena-backed kClist pipeline
+// (DAG orientation -> per-arc egonets -> iterative shrink-and-restore DFS)
+// behind every enumerator in the repo — the CONGEST cluster listers, the
+// shared-memory local engine, the baselines, and the graph-layer adapters
+// in graph/clique_enum.hpp.
+//
+// Design contract (DESIGN.md §7):
+//   * enum_scratch owns every buffer the pipeline touches. It is default-
+//     constructed (so runtime::scratch_arena::get<enum_scratch>() works),
+//     grows to the largest problem it has seen, and is reused across calls
+//     — repeated enumerations on a warm scratch are allocation-free.
+//   * Sinks are template parameters, never std::function: the hot loop
+//     inlines the emission. A sink receives each p-clique exactly once as
+//     an ascending std::span<const vertex> valid only during the call.
+//   * Determinism: the DAG orientation, the egonet member order, and the
+//     DFS candidate order are all id/rank-deterministic, so the emission
+//     sequence is a pure function of (input, p, policy) — independent of
+//     scratch history, thread placement, or allocator state.
+//   * Kernel entry points are not reentrant on one scratch: a sink must
+//     not call back into the kernel with the same enum_scratch.
+//
+// Iterative DFS core loop after Danisch et al. (WWW'18): rooted at a DAG
+// arc (u, v), every p-clique whose two lowest-rank vertices are {u, v}
+// corresponds to a (p-2)-clique of the egonet on N+(u) ∩ N+(v); the
+// enumerator walks those with an explicit per-level stack — no recursion,
+// no allocation after warm-up — using the label/degree shrink-and-restore
+// discipline: descending a level relabels the chosen vertex's live
+// neighbors and compacts each of their adjacency prefixes, returning
+// restores both in O(|sub-egonet|).
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "enumkernel/egonet.hpp"
+#include "enumkernel/limits.hpp"
+#include "enumkernel/orient.hpp"
+#include "graph/clique_enum.hpp"
+#include "support/check.hpp"
+
+namespace dcl::enumkernel {
+
+/// Reusable workspace for every kernel entry point. One per worker (keyed
+/// in its scratch_arena, usually embedded in a call site's scratch struct);
+/// never shared between threads.
+struct enum_scratch {
+  // Orientation (graph and edge-list entries both orient into `d`).
+  orient_scratch orient_ws;
+  dag d;
+
+  // Enumerator state: per-root egonet + per-level DFS stack.
+  egonet_builder builder;
+  egonet ego;
+  std::vector<std::vector<std::int32_t>> cand;  ///< candidates per level
+  std::vector<std::size_t> pos;                 ///< loop cursor per level
+  std::vector<std::int32_t> prefix;             ///< chosen local ids
+
+  // Edge-list entry: canonicalized edges, dense remap, local CSR.
+  edge_list canon;                     ///< deduped edges, local ids
+  std::vector<vertex> members;         ///< local id -> caller vertex id
+  std::vector<std::int64_t> csr_offsets;
+  std::vector<vertex> csr_adj;
+  std::vector<std::int64_t> csr_cursor;
+};
+
+/// Per-arc enumerator bound to one DAG and one scratch. Constructing a
+/// binding is cheap (a few resizes on a warm scratch); the parallel local
+/// engine builds one per chunk against its worker's arena scratch.
+class arc_enumerator {
+ public:
+  /// p in [3, kMaxCliqueArity]; `d` and `ws` must outlive the binding.
+  arc_enumerator(const dag& d, int p, enum_scratch& ws)
+      : dag_(d), p_(p), top_(p - 2), ws_(ws) {
+    DCL_EXPECTS(p >= 3 && p <= kMaxCliqueArity,
+                "arc_enumerator supports p in [3, kMaxCliqueArity]");
+    ws.builder.ensure(d.n);
+    if (std::int32_t(ws.cand.size()) < top_ + 1)
+      ws.cand.resize(size_t(top_) + 1);
+    ws.pos.assign(size_t(top_) + 1, 0);
+    ws.prefix.clear();
+    ws.prefix.reserve(size_t(top_));
+  }
+
+  int arity() const { return p_; }
+
+  /// Calls sink(clique) for every p-clique rooted at arc `arc_index`
+  /// (index into the flat arc order: source ascending, targets ascending
+  /// within a source); `clique` is an ascending p-tuple of DAG vertex ids,
+  /// valid only during the sink call. Returns the number of cliques.
+  template <typename Sink>
+  std::int64_t list_arc(std::int64_t arc_index, Sink&& sink) {
+    vertex u, v;
+    arc_endpoints(arc_index, &u, &v);
+    return list_root(u, v, sink);
+  }
+
+  /// Chunk path used by parallel drivers: every p-clique rooted at arcs
+  /// [begin, end), resolving each arc's source incrementally (one binary
+  /// search per chunk, not per arc). Returns cliques emitted.
+  template <typename Sink>
+  std::int64_t list_range(std::int64_t begin, std::int64_t end, Sink&& sink) {
+    if (begin >= end) return 0;
+    DCL_EXPECTS(begin >= 0 && end <= dag_.num_arcs(),
+                "arc range out of range");
+    vertex u = arc_source(begin);
+    std::int64_t total = 0;
+    for (std::int64_t arc = begin; arc < end; ++arc) {
+      while (dag_.offsets[size_t(u) + 1] <= arc) ++u;
+      total += list_root(u, dag_.adj[size_t(arc)], sink);
+    }
+    return total;
+  }
+
+  /// Counting-only variants — same traversal, no tuple assembly.
+  std::int64_t count_arc(std::int64_t arc_index) {
+    vertex u, v;
+    arc_endpoints(arc_index, &u, &v);
+    return run(u, v, [](const std::int32_t*, int) {});
+  }
+
+  std::int64_t count_range(std::int64_t begin, std::int64_t end) {
+    if (begin >= end) return 0;
+    DCL_EXPECTS(begin >= 0 && end <= dag_.num_arcs(),
+                "arc range out of range");
+    vertex u = arc_source(begin);
+    std::int64_t total = 0;
+    for (std::int64_t arc = begin; arc < end; ++arc) {
+      while (dag_.offsets[size_t(u) + 1] <= arc) ++u;
+      total += run(u, dag_.adj[size_t(arc)], [](const std::int32_t*, int) {});
+    }
+    return total;
+  }
+
+ private:
+  vertex arc_source(std::int64_t arc_index) const {
+    const auto it = std::upper_bound(dag_.offsets.begin(),
+                                     dag_.offsets.end(), arc_index);
+    return vertex(it - dag_.offsets.begin() - 1);
+  }
+
+  void arc_endpoints(std::int64_t arc_index, vertex* u, vertex* v) const {
+    DCL_EXPECTS(arc_index >= 0 && arc_index < dag_.num_arcs(),
+                "arc index out of range");
+    *u = arc_source(arc_index);
+    *v = dag_.adj[size_t(arc_index)];
+  }
+
+  /// Assembles the full global-id tuple around each emitted egonet clique.
+  template <typename Sink>
+  std::int64_t list_root(vertex u, vertex v, Sink& sink) {
+    return run(u, v, [&](const std::int32_t* extra, int n_extra) {
+      vertex tuple[kMaxCliqueArity];
+      int k = 0;
+      tuple[k++] = u;
+      tuple[k++] = v;
+      for (const std::int32_t a : ws_.prefix)
+        tuple[k++] = ws_.ego.members[size_t(a)];
+      for (int i = 0; i < n_extra; ++i)
+        tuple[k++] = ws_.ego.members[size_t(extra[i])];
+      DCL_ENSURE(k == p_, "emitted tuple arity mismatch");
+      std::sort(tuple, tuple + k);
+      sink(std::span<const vertex>(tuple, size_t(k)));
+    });
+  }
+
+  /// The iterative DFS. Emit receives (extra local ids, count) completing
+  /// the clique {u, v} ∪ members[prefix] ∪ members[extra].
+  template <typename Emit>
+  std::int64_t run(vertex u, vertex v, Emit&& emit) {
+    ws_.builder.build(dag_, u, v, top_, ws_.ego);
+    egonet& ego = ws_.ego;
+    if (ego.n == 0) return 0;
+
+    if (top_ == 1) {  // p == 3: every member closes a triangle with (u, v).
+      for (std::int32_t w = 0; w < ego.n; ++w) {
+        const std::int32_t extra[1] = {w};
+        emit(extra, 1);
+      }
+      return ego.n;
+    }
+
+    const std::int32_t n = ego.n;
+    auto deg = [&](std::int32_t level, std::int32_t x) -> std::int32_t& {
+      return ego.deg[size_t(level) * size_t(n) + size_t(x)];
+    };
+
+    std::int64_t total = 0;
+    auto& top_cands = ws_.cand[size_t(top_)];
+    top_cands.resize(size_t(n));
+    for (std::int32_t i = 0; i < n; ++i) top_cands[size_t(i)] = i;
+    ws_.prefix.clear();
+    std::int32_t l = top_;
+    ws_.pos[size_t(l)] = 0;
+
+    for (;;) {
+      bool frame_done = false;
+      if (l == 2) {
+        // Base: every live arc (a -> w) inside the label-2 prefix closes one
+        // clique with the roots and the DFS prefix.
+        for (const std::int32_t a : ws_.cand[2]) {
+          const std::int32_t off = std::int32_t(ego.offsets[size_t(a)]);
+          const std::int32_t da = deg(2, a);
+          for (std::int32_t j = 0; j < da; ++j) {
+            const std::int32_t extra[2] = {a, ego.adj[size_t(off + j)]};
+            emit(extra, 2);
+          }
+          total += da;
+        }
+        frame_done = true;
+      } else if (ws_.pos[size_t(l)] == ws_.cand[size_t(l)].size()) {
+        frame_done = true;
+      }
+
+      if (frame_done) {
+        if (l == top_) break;
+        ++l;
+        // Undo the descent: the child candidates go back to being live at
+        // this level; their compacted degrees at l-1 simply become stale.
+        for (const std::int32_t w : ws_.cand[size_t(l) - 1])
+          ego.label[size_t(w)] = l;
+        ws_.prefix.pop_back();
+        continue;
+      }
+
+      const std::int32_t a = ws_.cand[size_t(l)][ws_.pos[size_t(l)]++];
+      auto& child = ws_.cand[size_t(l) - 1];
+      child.clear();
+      const std::int32_t off = std::int32_t(ego.offsets[size_t(a)]);
+      const std::int32_t da = deg(l, a);
+      for (std::int32_t j = 0; j < da; ++j) {
+        const std::int32_t w = ego.adj[size_t(off + j)];
+        ego.label[size_t(w)] = l - 1;
+        child.push_back(w);
+      }
+      if (child.empty()) continue;
+      // Compact each child's live adjacency into a prefix for the next
+      // level.
+      for (const std::int32_t w : child) {
+        std::int32_t d2 = 0;
+        const std::int32_t offw = std::int32_t(ego.offsets[size_t(w)]);
+        const std::int32_t dl = deg(l, w);
+        for (std::int32_t j = 0; j < dl; ++j) {
+          const std::int32_t x = ego.adj[size_t(offw + j)];
+          if (ego.label[size_t(x)] == l - 1)
+            std::swap(ego.adj[size_t(offw + j)],
+                      ego.adj[size_t(offw + d2++)]);
+        }
+        deg(l - 1, w) = d2;
+      }
+      ws_.prefix.push_back(a);
+      --l;
+      ws_.pos[size_t(l)] = 0;
+    }
+    return total;
+  }
+
+  const dag& dag_;
+  const int p_;
+  const std::int32_t top_;  ///< egonet levels = p - 2
+  enum_scratch& ws_;
+};
+
+namespace detail {
+
+/// Canonicalizes `edges` into ws.canon (self-loops dropped, duplicates
+/// merged) and remaps endpoints to dense local ids 0..n_local-1 via
+/// ws.members (ascending, so the remap is monotone). Returns n_local.
+vertex remap_edges_dense(const edge_list& edges, enum_scratch& ws);
+
+/// Builds the local CSR over ws.canon (which must hold local-id edges) into
+/// ws.csr_offsets / ws.csr_adj. Adjacency comes out ascending because the
+/// canonical edge order is lexicographic.
+csr_view build_local_csr(enum_scratch& ws, vertex n_local);
+
+}  // namespace detail
+
+/// Enumerates every p-clique of `g` (p in [2, kMaxCliqueArity]), calling
+/// sink(clique) exactly once per clique with an ascending p-tuple span
+/// valid only during the call. Returns the clique count. Deterministic for
+/// a fixed (g, p, policy) regardless of scratch history.
+template <typename Sink>
+std::int64_t enumerate_cliques(
+    const graph& g, int p, enum_scratch& ws, Sink&& sink,
+    orientation_policy policy = orientation_policy::degeneracy) {
+  DCL_EXPECTS(p >= 2 && p <= kMaxCliqueArity,
+              "clique arity must lie in [2, kMaxCliqueArity]");
+  if (p == 2) {
+    for (const auto& e : g.edges()) {
+      const vertex tuple[2] = {e.u, e.v};
+      sink(std::span<const vertex>(tuple, 2));
+    }
+    return g.num_edges();
+  }
+  orient_into(g.view(), policy, ws.orient_ws, ws.d);
+  arc_enumerator en(ws.d, p, ws);
+  return en.list_range(0, ws.d.num_arcs(), sink);
+}
+
+/// Counting-only twin of enumerate_cliques — no tuple assembly at all.
+std::int64_t count_cliques(
+    const graph& g, int p, enum_scratch& ws,
+    orientation_policy policy = orientation_policy::degeneracy);
+
+/// Enumerates every p-clique of an explicit edge set (not a full graph) —
+/// the cluster-local hot path: every CONGEST cluster finishes by listing
+/// the cliques of the edge set it learned. The edge list may contain
+/// duplicates and self-loops; vertex ids are arbitrary non-negative values
+/// and are remapped densely internally (no throwaway parent graph), so
+/// sparse billion-scale ids cost nothing. Sink contract and determinism as
+/// in enumerate_cliques; emitted tuples use the caller's original ids.
+template <typename Sink>
+std::int64_t enumerate_cliques_in_edges(const edge_list& edges, int p,
+                                        enum_scratch& ws, Sink&& sink) {
+  DCL_EXPECTS(p >= 2 && p <= kMaxCliqueArity,
+              "clique arity must lie in [2, kMaxCliqueArity]");
+  const vertex n_local = detail::remap_edges_dense(edges, ws);
+  if (n_local == 0) return 0;
+  if (p == 2) {
+    for (const auto& e : ws.canon) {
+      const vertex tuple[2] = {ws.members[size_t(e.u)],
+                               ws.members[size_t(e.v)]};
+      sink(std::span<const vertex>(tuple, 2));
+    }
+    return std::int64_t(ws.canon.size());
+  }
+  const csr_view local = detail::build_local_csr(ws, n_local);
+  orient_into(local, orientation_policy::degeneracy, ws.orient_ws, ws.d);
+  arc_enumerator en(ws.d, p, ws);
+  return en.list_range(
+      0, ws.d.num_arcs(), [&](std::span<const vertex> local_clique) {
+        // ws.members is ascending, so the monotone remap keeps the tuple
+        // ascending.
+        vertex tuple[kMaxCliqueArity];
+        for (std::size_t i = 0; i < local_clique.size(); ++i)
+          tuple[i] = ws.members[size_t(local_clique[i])];
+        sink(std::span<const vertex>(tuple, local_clique.size()));
+      });
+}
+
+/// Convenience wrapper collecting the edge-set cliques into a normalized
+/// clique_set (what the CONGEST listers historically returned).
+clique_set cliques_in_edge_set(const edge_list& edges, int p,
+                               enum_scratch& ws);
+
+}  // namespace dcl::enumkernel

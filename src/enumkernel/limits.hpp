@@ -1,0 +1,14 @@
+#pragma once
+// The one shared bound on clique arity. Every enumeration entry point —
+// the kernel itself, the graph-layer adapters, the local engine, and the
+// facade's validate_options — checks p against this constant, so an
+// oversized arity is rejected at the API boundary instead of deep inside
+// the enumerator.
+
+namespace dcl::enumkernel {
+
+/// Largest supported clique arity (the enumerator's per-level state and
+/// emitted-tuple buffers are statically bounded by it).
+inline constexpr int kMaxCliqueArity = 32;
+
+}  // namespace dcl::enumkernel

@@ -1,10 +1,14 @@
 #pragma once
-// DAG orientation for shared-memory k-clique listing (kClist; Danisch,
-// Balalau, Sozio — WWW'18). Orienting each edge from lower to higher rank
-// in a degeneracy (or degree) order turns the undirected input into an
-// acyclic digraph whose maximum out-degree is the degeneracy c(G); every
-// k-clique then appears exactly once, rooted at its lowest-rank vertex
-// (or edge), which is what makes the DFS enumerator duplicate-free.
+// DAG orientation for k-clique listing (kClist; Danisch, Balalau, Sozio —
+// WWW'18). Orienting each edge from lower to higher rank in a degeneracy
+// (or degree) order turns the undirected input into an acyclic digraph
+// whose maximum out-degree is the degeneracy c(G); every k-clique then
+// appears exactly once, rooted at its lowest-rank vertex (or edge), which
+// is what makes the kernel's DFS enumerator duplicate-free.
+//
+// The core entry point (orient_into) works on a csr_view and writes into a
+// caller-owned dag, so repeated orientations — one per cluster task, say —
+// reuse their buffers instead of reallocating.
 
 #include <cstdint>
 #include <span>
@@ -12,7 +16,7 @@
 
 #include "graph/graph.hpp"
 
-namespace dcl::local {
+namespace dcl::enumkernel {
 
 /// Vertex-order rule used to direct the edges.
 enum class orientation_policy {
@@ -43,12 +47,26 @@ struct dag {
   std::int64_t num_arcs() const { return std::int64_t(adj.size()); }
 };
 
-/// Computes the chosen vertex order and orients every edge low-rank ->
-/// high-rank. O(n + m) for both policies (bucket peeling / counting sort).
+/// Reusable workspace for orient_into (peeling buckets, cursors). One per
+/// enum_scratch; all buffers keep their capacity across calls.
+struct orient_scratch {
+  std::vector<std::int32_t> deg;
+  std::vector<std::int64_t> bin;
+  std::vector<std::int64_t> pos;
+  std::vector<std::int64_t> next;
+};
+
+/// Computes the chosen vertex order over `g` and orients every edge
+/// low-rank -> high-rank into `out`, reusing its storage. O(n + m) for the
+/// degeneracy policy (bucket peeling); the degree policy sorts.
+void orient_into(const csr_view& g, orientation_policy policy,
+                 orient_scratch& ws, dag& out);
+
+/// Convenience wrapper allocating fresh storage.
 dag orient(const graph& g, orientation_policy policy);
 
 /// Core numbers (max k such that v survives in the k-core); by-product of
 /// the degeneracy order, exposed for diagnostics and tests.
 std::vector<std::int32_t> core_numbers(const graph& g);
 
-}  // namespace dcl::local
+}  // namespace dcl::enumkernel

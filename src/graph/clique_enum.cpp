@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "graph/algorithms.hpp"
+#include "enumkernel/kernel.hpp"
 #include "support/check.hpp"
 
 namespace dcl {
@@ -116,99 +116,39 @@ void for_each_triangle(const graph& g,
   }
 }
 
-namespace {
-
-void clique_dfs(const graph& g, int p, std::vector<vertex>& current,
-                std::vector<vertex>& candidates,
-                const std::function<void(std::span<const vertex>)>& cb) {
-  if (int(current.size()) == p) {
-    cb(current);
-    return;
-  }
-  const int need = p - int(current.size());
-  if (int(candidates.size()) < need) return;
-  // Iterate a copy: candidates shrinks in recursive calls.
-  const std::vector<vertex> cands = candidates;
-  for (std::size_t i = 0; i < cands.size(); ++i) {
-    if (int(cands.size() - i) < need) break;
-    const vertex v = cands[i];
-    current.push_back(v);
-    std::vector<vertex> next;
-    const auto nv = g.neighbors(v);
-    // Next candidates: those after v in cands that are adjacent to v.
-    std::span<const vertex> tail(cands.data() + i + 1, cands.size() - i - 1);
-    next = sorted_intersection(tail, nv);
-    clique_dfs(g, p, current, next, cb);
-    current.pop_back();
-  }
-}
-
-}  // namespace
+// ---- Thin adapters over the shared enumeration kernel (enumkernel/).
+// The recursive DFS that used to live here is gone: every entry point below
+// delegates to the arena-backed kClist kernel, constructing a call-local
+// enum_scratch. Hot paths that enumerate repeatedly (cluster listers, the
+// local engine) call the kernel directly with a per-worker scratch instead
+// of going through these conveniences.
 
 void for_each_clique(const graph& g, int p,
                      const std::function<void(std::span<const vertex>)>& cb) {
-  DCL_EXPECTS(p >= 2, "clique arity must be at least 2");
-  if (p == 3) {
-    for_each_triangle(g, [&](vertex u, vertex v, vertex w) {
-      const vertex t[3] = {u, v, w};
-      cb(std::span<const vertex>(t, 3));
-    });
-    return;
-  }
-  std::vector<vertex> current;
-  for (vertex v = 0; v < g.num_vertices(); ++v) {
-    current.push_back(v);
-    const auto nv = g.neighbors(v);
-    const auto first_gt =
-        std::upper_bound(nv.begin(), nv.end(), v) - nv.begin();
-    std::vector<vertex> cands(nv.begin() + first_gt, nv.end());
-    clique_dfs(g, p, current, cands, cb);
-    current.pop_back();
-  }
+  DCL_EXPECTS(p >= 2 && p <= enumkernel::kMaxCliqueArity,
+              "clique arity must lie in [2, kMaxCliqueArity]");
+  enumkernel::enum_scratch ws;
+  enumkernel::enumerate_cliques(g, p, ws,
+                                [&](std::span<const vertex> c) { cb(c); });
 }
 
 std::int64_t count_cliques(const graph& g, int p) {
-  std::int64_t count = 0;
-  for_each_clique(g, p, [&](std::span<const vertex>) { ++count; });
-  return count;
+  enumkernel::enum_scratch ws;
+  return enumkernel::count_cliques(g, p, ws);
 }
 
 clique_set collect_cliques(const graph& g, int p) {
+  enumkernel::enum_scratch ws;
   clique_set out(p);
-  for_each_clique(g, p, [&](std::span<const vertex> c) { out.add(c); });
+  enumkernel::enumerate_cliques(
+      g, p, ws, [&](std::span<const vertex> c) { out.add_flat(c, true); });
   out.normalize();
   return out;
 }
 
 clique_set cliques_in_edge_set(const edge_list& edges, int p) {
-  edge_list canon;
-  canon.reserve(edges.size());
-  for (const auto& e : edges) {
-    if (e.u == e.v) continue;
-    canon.push_back(make_edge(e.u, e.v));
-  }
-  std::sort(canon.begin(), canon.end());
-  canon.erase(std::unique(canon.begin(), canon.end()), canon.end());
-  if (canon.empty()) return clique_set(p);
-
-  // Remap to dense local ids.
-  vertex max_v = 0;
-  for (const auto& e : canon) max_v = std::max(max_v, e.v);
-  edge_induced_subgraph sub = [&] {
-    // Build a throwaway parent graph wrapper: induce_by_edges only needs the
-    // vertex-count upper bound for its to_local map.
-    graph parent(max_v + 1, {});
-    return induce_by_edges(parent, canon);
-  }();
-  clique_set out(p);
-  for_each_clique(sub.g, p, [&](std::span<const vertex> c) {
-    std::vector<vertex> mapped(c.size());
-    for (std::size_t i = 0; i < c.size(); ++i)
-      mapped[i] = sub.to_parent[size_t(c[i])];
-    out.add(mapped);
-  });
-  out.normalize();
-  return out;
+  enumkernel::enum_scratch ws;
+  return enumkernel::cliques_in_edge_set(edges, p, ws);
 }
 
 }  // namespace dcl

@@ -1,7 +1,11 @@
 #pragma once
-// Sequential exact clique enumeration — the ground truth every distributed
-// listing run is checked against, and itself a baseline (§1.3 discusses the
-// centralized view). Cliques are canonical sorted p-tuples.
+// Canonical clique storage (clique_set) plus convenience adapters over the
+// shared enumeration kernel (enumkernel/kernel.hpp) — the ground truth
+// every distributed listing run is checked against, and itself a baseline
+// (§1.3 discusses the centralized view). Cliques are canonical sorted
+// p-tuples. The adapters construct a call-local kernel scratch; hot paths
+// that enumerate repeatedly use the kernel directly with a reused
+// enum_scratch instead.
 
 #include <functional>
 #include <vector>
@@ -58,8 +62,9 @@ class clique_set {
 void for_each_triangle(const graph& g,
                        const std::function<void(vertex, vertex, vertex)>& cb);
 
-/// Calls cb with each p-clique as an ascending tuple. Ordered DFS over
-/// common-neighborhood suffixes; p >= 2.
+/// Calls cb with each p-clique exactly once as an ascending tuple, via the
+/// shared kClist kernel; p in [2, enumkernel::kMaxCliqueArity]. The span is
+/// valid only during the callback.
 void for_each_clique(const graph& g, int p,
                      const std::function<void(std::span<const vertex>)>& cb);
 
@@ -69,7 +74,8 @@ clique_set collect_cliques(const graph& g, int p);
 
 /// Enumerate p-cliques of an explicit edge set (not a full graph) — used by
 /// listers that have learned a partial edge set. The edge list may contain
-/// duplicates; vertices are arbitrary ids.
+/// duplicates and self-loops; vertices are arbitrary (possibly huge,
+/// sparse) non-negative ids — they are remapped densely inside the kernel.
 clique_set cliques_in_edge_set(const edge_list& edges, int p);
 
 }  // namespace dcl

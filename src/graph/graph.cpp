@@ -62,9 +62,40 @@ std::int32_t graph::degree_into(vertex v, std::span<const vertex> into) const {
   return std::int32_t(sorted_intersection_size(neighbors(v), into));
 }
 
-std::int64_t sorted_intersection_size(std::span<const vertex> a,
-                                      std::span<const vertex> b) {
-  std::int64_t count = 0;
+namespace {
+
+/// First index >= start whose element is >= key: doubles an exponential
+/// probe from `start`, then binary-searches the bracketed window. Ranges in
+/// this codebase are ascending, so consecutive gallops advance a cursor.
+std::size_t gallop_to(std::span<const vertex> v, std::size_t start,
+                      vertex key) {
+  std::size_t offset = 1;
+  while (start + offset < v.size() && v[start + offset] < key) offset <<= 1;
+  const auto first = v.begin() + std::ptrdiff_t(start);
+  const auto last =
+      v.begin() + std::ptrdiff_t(std::min(v.size(), start + offset + 1));
+  return std::size_t(std::lower_bound(first, last, key) - v.begin());
+}
+
+/// Calls on_match(x) for every common element, ascending. Dispatches to the
+/// galloping walk when the length skew crosses kGallopFactor.
+template <typename OnMatch>
+void intersect_sorted(std::span<const vertex> a, std::span<const vertex> b,
+                      OnMatch&& on_match) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.empty()) return;
+  if (b.size() >= a.size() * kGallopFactor) {
+    std::size_t j = 0;
+    for (const vertex x : a) {
+      j = gallop_to(b, j, x);
+      if (j == b.size()) break;
+      if (b[j] == x) {
+        on_match(x);
+        ++j;
+      }
+    }
+    return;
+  }
   std::size_t i = 0, j = 0;
   while (i < a.size() && j < b.size()) {
     if (a[i] < b[j]) {
@@ -72,29 +103,26 @@ std::int64_t sorted_intersection_size(std::span<const vertex> a,
     } else if (a[i] > b[j]) {
       ++j;
     } else {
-      ++count;
+      on_match(a[i]);
       ++i;
       ++j;
     }
   }
+}
+
+}  // namespace
+
+std::int64_t sorted_intersection_size(std::span<const vertex> a,
+                                      std::span<const vertex> b) {
+  std::int64_t count = 0;
+  intersect_sorted(a, b, [&](vertex) { ++count; });
   return count;
 }
 
 std::vector<vertex> sorted_intersection(std::span<const vertex> a,
                                         std::span<const vertex> b) {
   std::vector<vertex> out;
-  std::size_t i = 0, j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] < b[j]) {
-      ++i;
-    } else if (a[i] > b[j]) {
-      ++j;
-    } else {
-      out.push_back(a[i]);
-      ++i;
-      ++j;
-    }
-  }
+  intersect_sorted(a, b, [&](vertex x) { out.push_back(x); });
   return out;
 }
 

@@ -29,6 +29,25 @@ constexpr edge make_edge(vertex a, vertex b) {
 
 using edge_list = std::vector<edge>;
 
+/// Non-owning CSR adjacency view: n vertices, offsets of size n+1, flat
+/// ascending adjacency. The enumeration kernel orients over views, so a
+/// full `graph` (which also owns a canonical edge list) never has to be
+/// materialized for a scratch subproblem like a cluster's learned edges.
+struct csr_view {
+  vertex n = 0;
+  std::span<const std::int64_t> offsets;
+  std::span<const vertex> adj;
+
+  std::int32_t degree(vertex v) const {
+    return std::int32_t(offsets[size_t(v) + 1] - offsets[size_t(v)]);
+  }
+
+  std::span<const vertex> neighbors(vertex v) const {
+    return {adj.data() + offsets[size_t(v)],
+            adj.data() + offsets[size_t(v) + 1]};
+  }
+};
+
 class graph {
  public:
   graph() = default;
@@ -55,6 +74,9 @@ class graph {
 
   bool has_edge(vertex u, vertex v) const;
 
+  /// CSR view of the adjacency (valid while the graph is alive).
+  csr_view view() const { return {n_, offsets_, adj_}; }
+
   /// All edges in canonical (u < v), lexicographic order.
   const edge_list& edges() const { return edges_; }
 
@@ -70,6 +92,12 @@ class graph {
   std::vector<vertex> adj_;
   edge_list edges_;
 };
+
+/// When one range is at least this many times longer than the other, the
+/// intersection routines switch from the linear merge walk to a galloping
+/// (exponential-search) walk over the longer range — O(s·log(l/s)) instead
+/// of O(s + l), a measurable win on skewed egonets and two-hop exchanges.
+inline constexpr std::size_t kGallopFactor = 32;
 
 /// Size of the intersection of two ascending-sorted ranges.
 std::int64_t sorted_intersection_size(std::span<const vertex> a,

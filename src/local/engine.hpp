@@ -9,19 +9,29 @@
 //   opt.num_threads = 8;
 //   auto cliques = dcl::local::list_cliques_local(g, opt);
 //
-// Pipeline: orient (degeneracy DAG, orient.hpp) -> per-arc egonets
-// (egonet.hpp) -> iterative DFS enumeration (kclist.hpp) -> edge-parallel
-// thread-pool driver with deterministic merge (parallel.hpp). Entry points
-// are anchored in parallel.cpp.
+// The engine is a driver over the shared enumeration kernel
+// (src/enumkernel/): it orients the input once, then fans the DAG arcs out
+// over the runtime thread pool, each worker enumerating through the
+// arena-backed kernel scratch with a deterministic merge (parallel.hpp).
+// The enumeration machinery itself — orientation, egonets, the iterative
+// DFS — lives in the kernel, shared with the CONGEST cluster listers and
+// the baselines.
 
 #include <cstdint>
 
+#include "enumkernel/kernel.hpp"
 #include "graph/clique_enum.hpp"
-#include "local/kclist.hpp"
-#include "local/orient.hpp"
 #include "local/parallel.hpp"
 
 namespace dcl::local {
+
+/// Kernel names re-exported where the engine's options and tests use them;
+/// the definitions live in the shared kernel layer.
+using enumkernel::core_numbers;
+using enumkernel::dag;
+using enumkernel::kMaxCliqueArity;
+using enumkernel::orient;
+using enumkernel::orientation_policy;
 
 struct engine_options {
   int p = 3;  ///< clique arity, [2, kMaxCliqueArity]

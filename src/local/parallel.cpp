@@ -2,26 +2,32 @@
 
 #include <algorithm>
 #include <chrono>
-#include <memory>
 
 #include "core/listing/collector.hpp"
+#include "enumkernel/kernel.hpp"
 #include "local/engine.hpp"
-#include "local/kclist.hpp"
 #include "support/check.hpp"
 
 namespace dcl::local {
 
+namespace {
+
+/// Per-worker kernel workspace, keyed in the worker's runtime arena so the
+/// egonet/DFS buffers warm up once and are reused by every chunk (and every
+/// later engine run on the same pool).
+struct engine_worker_scratch {
+  enumkernel::enum_scratch enum_ws;
+};
+
+}  // namespace
+
 // ------------------------------------------------------- parallel driver
 
-clique_set list_cliques_parallel(const dag& d, int p, thread_pool& pool,
-                                 std::int64_t grain,
+clique_set list_cliques_parallel(const enumkernel::dag& d, int p,
+                                 thread_pool& pool, std::int64_t grain,
                                  parallel_listing_stats* stats) {
   DCL_EXPECTS(p >= 3, "parallel lister handles p >= 3");
   const int t = pool.size();
-  std::vector<std::unique_ptr<kclist_enumerator>> enums;
-  enums.reserve(size_t(t));
-  for (int i = 0; i < t; ++i)
-    enums.push_back(std::make_unique<kclist_enumerator>(d, p));
   std::vector<std::vector<vertex>> buffers(static_cast<size_t>(t));
   std::vector<std::int64_t> roots(static_cast<size_t>(t), 0);
   std::vector<std::int64_t> found(static_cast<size_t>(t), 0);
@@ -29,8 +35,13 @@ clique_set list_cliques_parallel(const dag& d, int p, thread_pool& pool,
   pool.for_each_chunk(
       d.num_arcs(), grain,
       [&](int w, std::int64_t begin, std::int64_t end) {
+        auto& ws = pool.arena(w).get<engine_worker_scratch>().enum_ws;
+        enumkernel::arc_enumerator en(d, p, ws);
+        auto& buf = buffers[size_t(w)];
         found[size_t(w)] +=
-            enums[size_t(w)]->list_range(begin, end, buffers[size_t(w)]);
+            en.list_range(begin, end, [&](std::span<const vertex> c) {
+              buf.insert(buf.end(), c.begin(), c.end());
+            });
         roots[size_t(w)] += end - begin;
       });
 
@@ -52,22 +63,20 @@ clique_set list_cliques_parallel(const dag& d, int p, thread_pool& pool,
   return out;
 }
 
-std::int64_t count_cliques_parallel(const dag& d, int p, thread_pool& pool,
-                                    std::int64_t grain,
+std::int64_t count_cliques_parallel(const enumkernel::dag& d, int p,
+                                    thread_pool& pool, std::int64_t grain,
                                     parallel_listing_stats* stats) {
   DCL_EXPECTS(p >= 3, "parallel counter handles p >= 3");
   const int t = pool.size();
-  std::vector<std::unique_ptr<kclist_enumerator>> enums;
-  enums.reserve(size_t(t));
-  for (int i = 0; i < t; ++i)
-    enums.push_back(std::make_unique<kclist_enumerator>(d, p));
   std::vector<std::int64_t> roots(static_cast<size_t>(t), 0);
   std::vector<std::int64_t> found(static_cast<size_t>(t), 0);
 
   pool.for_each_chunk(
       d.num_arcs(), grain,
       [&](int w, std::int64_t begin, std::int64_t end) {
-        found[size_t(w)] += enums[size_t(w)]->count_range(begin, end);
+        auto& ws = pool.arena(w).get<engine_worker_scratch>().enum_ws;
+        enumkernel::arc_enumerator en(d, p, ws);
+        found[size_t(w)] += en.count_range(begin, end);
         roots[size_t(w)] += end - begin;
       });
 
@@ -115,7 +124,7 @@ clique_set list_cliques_local(const graph& g, const engine_options& opt,
     return out;
   }
   const auto t0 = std::chrono::steady_clock::now();
-  const dag d = orient(g, opt.orientation);
+  const enumkernel::dag d = orient(g, opt.orientation);
   const double orient_s = seconds_since(t0);
 
   thread_pool pool(opt.num_threads);
@@ -144,7 +153,7 @@ std::int64_t count_cliques_local(const graph& g, const engine_options& opt,
     return g.num_edges();
   }
   const auto t0 = std::chrono::steady_clock::now();
-  const dag d = orient(g, opt.orientation);
+  const enumkernel::dag d = orient(g, opt.orientation);
   const double orient_s = seconds_since(t0);
 
   thread_pool pool(opt.num_threads);

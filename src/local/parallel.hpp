@@ -3,16 +3,17 @@
 // DAG arcs (each arc roots one egonet); the shared runtime worker pool
 // (src/runtime/) pulls dynamically-sized chunks off an atomic cursor, so
 // skewed roots (hubs in power-law graphs) cannot serialize the run. Each
-// worker lists into a private flat buffer; buffers are merged through
-// clique_collector in worker-index order, and its normalize() sorts
-// canonically — the final clique_set is identical for every thread count
-// and schedule.
+// worker enumerates through the kernel (src/enumkernel/) with the
+// enum_scratch held in its arena, listing into a private flat buffer;
+// buffers are merged through clique_collector in worker-index order, and
+// its normalize() sorts canonically — the final clique_set is identical
+// for every thread count and schedule.
 
 #include <cstdint>
 #include <vector>
 
+#include "enumkernel/orient.hpp"
 #include "graph/clique_enum.hpp"
-#include "local/orient.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace dcl::local {
@@ -32,13 +33,13 @@ struct parallel_listing_stats {
 /// Lists every p-clique of the DAG's underlying graph (p >= 3). The result
 /// is normalized (sorted canonical tuples) and deterministic across thread
 /// counts and schedules.
-clique_set list_cliques_parallel(const dag& d, int p, thread_pool& pool,
-                                 std::int64_t grain,
+clique_set list_cliques_parallel(const enumkernel::dag& d, int p,
+                                 thread_pool& pool, std::int64_t grain,
                                  parallel_listing_stats* stats = nullptr);
 
 /// Counting-only twin of list_cliques_parallel — no buffers, no merge.
-std::int64_t count_cliques_parallel(const dag& d, int p, thread_pool& pool,
-                                    std::int64_t grain,
+std::int64_t count_cliques_parallel(const enumkernel::dag& d, int p,
+                                    thread_pool& pool, std::int64_t grain,
                                     parallel_listing_stats* stats = nullptr);
 
 }  // namespace dcl::local

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "core/api/list_cliques.hpp"
+#include "enumkernel/limits.hpp"
 #include "graph/generators.hpp"
 #include "support/check.hpp"
 
@@ -45,10 +46,27 @@ TEST(OptionsValidation, LocalEnginePRange) {
   opt.engine = listing_engine::local_kclist;
   opt.p = 12;  // beyond congest_sim's range, fine for the local engine
   EXPECT_NO_THROW(validate_options(opt));
-  opt.p = 33;
+  opt.p = enumkernel::kMaxCliqueArity + 1;
   EXPECT_THROW(validate_options(opt), precondition_error);
   opt.p = 2;
   EXPECT_THROW(validate_options(opt), precondition_error);
+}
+
+TEST(OptionsValidation, SharedKernelArityBoundCoversBothBackends) {
+  // Both backends bottom out in the shared kernel; no engine may accept an
+  // arity past enumkernel::kMaxCliqueArity. The rejection happens at the
+  // facade, not deep inside the enumerator.
+  for (const auto engine :
+       {listing_engine::congest_sim, listing_engine::local_kclist}) {
+    listing_options opt;
+    opt.engine = engine;
+    opt.p = enumkernel::kMaxCliqueArity + 1;
+    EXPECT_THROW(validate_options(opt), precondition_error);
+  }
+  listing_options widest;
+  widest.engine = listing_engine::local_kclist;
+  widest.p = enumkernel::kMaxCliqueArity;
+  EXPECT_NO_THROW(validate_options(widest));
 }
 
 TEST(OptionsValidation, EpsilonRange) {

@@ -4,6 +4,7 @@
 
 #include "graph/clique_enum.hpp"
 #include "graph/generators.hpp"
+#include "support/check.hpp"
 
 namespace dcl {
 namespace {
@@ -124,6 +125,46 @@ TEST(CliquesInEdgeSet, HandlesDuplicatesAndLoops) {
 
 TEST(CliquesInEdgeSet, EmptyInput) {
   EXPECT_EQ(cliques_in_edge_set({}, 4).size(), 0);
+}
+
+TEST(CliquesInEdgeSet, MatchesGraphEnumerationForAllArities) {
+  const auto g = gen::gnp(32, 0.4, 17);
+  for (int p = 3; p <= 7; ++p) {
+    EXPECT_TRUE(collect_cliques(g, p) == cliques_in_edge_set(g.edges(), p))
+        << "p=" << p;
+  }
+}
+
+TEST(CliquesInEdgeSet, SparseHugeIdsAreRemappedDensely) {
+  // A K5 living on ids near 2^30: the kernel remaps endpoints densely, so
+  // the id magnitude must be irrelevant (the pre-kernel path built a
+  // throwaway parent graph with max_id vertices and would not survive
+  // this).
+  const vertex base = 1 << 30;
+  std::vector<vertex> ids;
+  for (int i = 0; i < 5; ++i) ids.push_back(base + 7919 * i);
+  edge_list edges;
+  for (int i = 0; i < 5; ++i)
+    for (int j = i + 1; j < 5; ++j) edges.push_back({ids[i], ids[j]});
+  for (int p = 3; p <= 5; ++p) {
+    const auto s = cliques_in_edge_set(edges, p);
+    EXPECT_EQ(s.size(), choose(5, p)) << "p=" << p;
+  }
+  const vertex k5[5] = {ids[0], ids[1], ids[2], ids[3], ids[4]};
+  EXPECT_TRUE(
+      cliques_in_edge_set(edges, 5).contains(std::span<const vertex>(k5, 5)));
+}
+
+TEST(CliquesInEdgeSet, ArityTwoReturnsDedupedEdges) {
+  edge_list edges{{4, 1}, {1, 4}, {2, 2}, {1, 2}};
+  const auto s = cliques_in_edge_set(edges, 2);
+  EXPECT_EQ(s.size(), 2);
+}
+
+TEST(KCliques, ArityAboveKernelLimitIsRejectedAtEntry) {
+  const auto g = gen::complete(5);
+  EXPECT_THROW(count_cliques(g, 33), precondition_error);
+  EXPECT_THROW(cliques_in_edge_set(g.edges(), 33), precondition_error);
 }
 
 }  // namespace

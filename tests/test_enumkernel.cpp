@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "enumkernel/kernel.hpp"
+#include "graph/generators.hpp"
+#include "runtime/scratch.hpp"
+
+namespace dcl {
+namespace {
+
+// ---------------------------------------------------------------------
+// Naive reference enumerator: the recursive candidate-intersection DFS
+// that the kernel replaced, kept here (test-only) as the differential
+// oracle. Deliberately simple — correctness over speed.
+
+void naive_dfs(const graph& g, int p, std::vector<vertex>& current,
+               const std::vector<vertex>& candidates, clique_set& out) {
+  if (int(current.size()) == p) {
+    out.add(current);
+    return;
+  }
+  const int need = p - int(current.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (int(candidates.size() - i) < need) break;
+    const vertex v = candidates[i];
+    current.push_back(v);
+    const std::span<const vertex> tail(candidates.data() + i + 1,
+                                       candidates.size() - i - 1);
+    const auto next = sorted_intersection(tail, g.neighbors(v));
+    naive_dfs(g, p, current, next, out);
+    current.pop_back();
+  }
+}
+
+clique_set naive_collect(const graph& g, int p) {
+  clique_set out(p);
+  std::vector<vertex> current;
+  for (vertex v = 0; v < g.num_vertices(); ++v) {
+    current.push_back(v);
+    const auto nv = g.neighbors(v);
+    const auto first_gt =
+        std::upper_bound(nv.begin(), nv.end(), v) - nv.begin();
+    const std::vector<vertex> cands(nv.begin() + first_gt, nv.end());
+    naive_dfs(g, p, current, cands, out);
+    current.pop_back();
+  }
+  out.normalize();
+  return out;
+}
+
+/// Naive edge-set oracle: dense remap through a std::map, naive listing,
+/// map back. Tolerates duplicates, self-loops, and arbitrary sparse ids.
+clique_set naive_in_edge_set(const edge_list& edges, int p) {
+  edge_list canon;
+  for (const auto& e : edges) {
+    if (e.u == e.v) continue;
+    canon.push_back(make_edge(e.u, e.v));
+  }
+  std::sort(canon.begin(), canon.end());
+  canon.erase(std::unique(canon.begin(), canon.end()), canon.end());
+  std::map<vertex, vertex> to_local;
+  std::vector<vertex> to_global;
+  for (const auto& e : canon)
+    for (const vertex v : {e.u, e.v})
+      if (to_local.emplace(v, vertex(to_local.size())).second)
+        to_global.push_back(v);
+  std::sort(to_global.begin(), to_global.end());
+  for (std::size_t i = 0; i < to_global.size(); ++i)
+    to_local[to_global[i]] = vertex(i);
+  edge_list local;
+  for (const auto& e : canon)
+    local.push_back(make_edge(to_local[e.u], to_local[e.v]));
+  std::sort(local.begin(), local.end());
+  const auto found =
+      naive_collect(graph(vertex(to_global.size()), local), p);
+  clique_set out(p);
+  std::vector<vertex> mapped;
+  for (std::int64_t i = 0; i < found.size(); ++i) {
+    mapped.clear();
+    for (const vertex v : found[i]) mapped.push_back(to_global[size_t(v)]);
+    out.add(mapped);
+  }
+  out.normalize();
+  return out;
+}
+
+clique_set kernel_collect(const graph& g, int p,
+                          enumkernel::enum_scratch& ws,
+                          enumkernel::orientation_policy policy =
+                              enumkernel::orientation_policy::degeneracy) {
+  clique_set out(p);
+  enumkernel::enumerate_cliques(
+      g, p, ws, [&](std::span<const vertex> c) { out.add_flat(c, true); },
+      policy);
+  out.normalize();
+  return out;
+}
+
+// ---------------------------------------------------------------------
+
+TEST(EnumKernel, DifferentialSweepGnp) {
+  enumkernel::enum_scratch ws;
+  for (const auto& [n, prob, seed] :
+       {std::tuple{40, 0.35, 11}, {24, 0.6, 12}, {50, 0.2, 13}}) {
+    const auto g = gen::gnp(vertex(n), prob, std::uint64_t(seed));
+    for (int p = 3; p <= 7; ++p) {
+      const auto want = naive_collect(g, p);
+      EXPECT_TRUE(kernel_collect(g, p, ws) == want)
+          << "n=" << n << " prob=" << prob << " p=" << p;
+      EXPECT_EQ(enumkernel::count_cliques(g, p, ws), want.size());
+    }
+  }
+}
+
+TEST(EnumKernel, DifferentialSweepKneser) {
+  // K(12, 2): c-cliques exist iff 2c <= 12, so p = 7 is a sharp negative.
+  const auto g = gen::kneser(12, 2);
+  enumkernel::enum_scratch ws;
+  for (int p = 3; p <= 7; ++p) {
+    const auto want = naive_collect(g, p);
+    EXPECT_TRUE(kernel_collect(g, p, ws) == want) << "p=" << p;
+  }
+  EXPECT_EQ(enumkernel::count_cliques(g, 7, ws), 0);
+  // K(14, 2) holds K7s: one per perfect matching of K_14 restricted to 7
+  // disjoint pairs = 14! / (2^7 7!) = 135135.
+  EXPECT_EQ(enumkernel::count_cliques(gen::kneser(14, 2), 7, ws), 135135);
+}
+
+TEST(EnumKernel, DifferentialRawEdgeLists) {
+  // Adversarial raw edge sets: duplicates, self-loops, and huge sparse ids
+  // (the kernel's dense remap must not allocate by id universe; the old
+  // path built a throwaway parent graph of max_id vertices).
+  const auto base = gen::gnp(32, 0.4, 21);
+  edge_list raw;
+  const auto spread = [](vertex v) {
+    return vertex(1'000'000'000 + 37 * std::int64_t(v) * std::int64_t(v));
+  };
+  for (const auto& e : base.edges()) {
+    raw.push_back({spread(e.u), spread(e.v)});
+    raw.push_back({spread(e.v), spread(e.u)});  // duplicate, reversed
+    if (e.u % 3 == 0) raw.push_back({spread(e.u), spread(e.u)});  // loop
+    if (e.v % 5 == 0) raw.push_back({spread(e.u), spread(e.v)});  // dup
+  }
+  enumkernel::enum_scratch ws;
+  for (int p = 3; p <= 7; ++p) {
+    const auto want = naive_in_edge_set(raw, p);
+    EXPECT_TRUE(enumkernel::cliques_in_edge_set(raw, p, ws) == want)
+        << "p=" << p;
+  }
+}
+
+TEST(EnumKernel, EdgeEntryArityTwoListsTheDedupedEdges) {
+  const edge_list raw{{7, 3}, {3, 7}, {3, 3}, {9, 7}, {7, 9}};
+  enumkernel::enum_scratch ws;
+  const auto s = enumkernel::cliques_in_edge_set(raw, 2, ws);
+  ASSERT_EQ(s.size(), 2);
+  const vertex a[2] = {3, 7};
+  const vertex b[2] = {7, 9};
+  EXPECT_TRUE(s.contains(std::span<const vertex>(a, 2)));
+  EXPECT_TRUE(s.contains(std::span<const vertex>(b, 2)));
+}
+
+TEST(EnumKernel, EmptyAndTinyInputs) {
+  enumkernel::enum_scratch ws;
+  EXPECT_EQ(enumkernel::cliques_in_edge_set({}, 4, ws).size(), 0);
+  EXPECT_EQ(enumkernel::cliques_in_edge_set({{5, 5}}, 3, ws).size(), 0);
+  const auto singleton = enumkernel::cliques_in_edge_set({{2, 8}}, 3, ws);
+  EXPECT_EQ(singleton.size(), 0);
+}
+
+TEST(EnumKernel, ScratchReuseIsStateless) {
+  // Back-to-back calls on ONE scratch — mixed graphs, arities, and entry
+  // points — must produce exactly what a fresh scratch produces: scratch
+  // history can never leak into results.
+  const auto g1 = gen::gnp(36, 0.4, 31);
+  const auto g2 = gen::kneser(10, 2);
+  const auto g3 = gen::planted_cliques(50, 0.05, 2, 6, 33);
+  enumkernel::enum_scratch warm;
+  // Warm the scratch on the largest problem first, then sweep down and
+  // back up so every buffer is reused both shrinking and growing.
+  const auto sequence = [&](enumkernel::enum_scratch& ws) {
+    std::vector<clique_set> outs;
+    outs.push_back(kernel_collect(g3, 5, ws));
+    outs.push_back(kernel_collect(g1, 4, ws));
+    outs.push_back(enumkernel::cliques_in_edge_set(g2.edges(), 3, ws));
+    outs.push_back(kernel_collect(g1, 6, ws));
+    outs.push_back(enumkernel::cliques_in_edge_set(g1.edges(), 4, ws));
+    outs.push_back(kernel_collect(g3, 5, ws));
+    return outs;
+  };
+  const auto with_warm = sequence(warm);
+  for (std::size_t i = 0; i < with_warm.size(); ++i) {
+    enumkernel::enum_scratch fresh;
+    const auto lone = sequence(fresh);
+    EXPECT_TRUE(with_warm[i] == lone[i]) << "call #" << i;
+  }
+  // And immediate repetition on the warm scratch is bit-identical.
+  EXPECT_TRUE(kernel_collect(g1, 4, warm) == kernel_collect(g1, 4, warm));
+}
+
+TEST(EnumKernel, WorksOutOfARuntimeArena) {
+  // The cluster tasks key the kernel workspace in their worker's arena;
+  // the arena hands back the same instance every time, warm.
+  runtime::scratch_arena arena;
+  auto& ws = arena.get<enumkernel::enum_scratch>();
+  const auto g = gen::gnp(30, 0.4, 41);
+  const auto first = kernel_collect(g, 4, ws);
+  auto& again = arena.get<enumkernel::enum_scratch>();
+  EXPECT_EQ(&ws, &again);
+  EXPECT_TRUE(kernel_collect(g, 4, again) == first);
+}
+
+TEST(EnumKernel, OrientationPoliciesAgree) {
+  const auto g = gen::power_law(120, 2.5, 8.0, 51);
+  enumkernel::enum_scratch ws;
+  const auto degen = kernel_collect(
+      g, 4, ws, enumkernel::orientation_policy::degeneracy);
+  const auto degree = kernel_collect(
+      g, 4, ws, enumkernel::orientation_policy::degree);
+  EXPECT_TRUE(degen == degree);
+  EXPECT_TRUE(degen == naive_collect(g, 4));
+}
+
+TEST(EnumKernel, ArcEnumeratorRangesCompose) {
+  // Listing arc-by-arc, in one range, and counting must all agree.
+  const auto g = gen::gnp(40, 0.3, 61);
+  enumkernel::enum_scratch ws;
+  enumkernel::orient_into(g.view(),
+                          enumkernel::orientation_policy::degeneracy,
+                          ws.orient_ws, ws.d);
+  const auto d = ws.d;  // keep a stable copy; ws.d is scratch
+  enumkernel::arc_enumerator en(d, 4, ws);
+  clique_set whole(4);
+  const std::int64_t listed = en.list_range(
+      0, d.num_arcs(),
+      [&](std::span<const vertex> c) { whole.add_flat(c, true); });
+  whole.normalize();
+  EXPECT_EQ(listed, whole.size());  // kernel never duplicates
+
+  clique_set stitched(4);
+  std::int64_t counted = 0;
+  for (std::int64_t arc = 0; arc < d.num_arcs(); ++arc) {
+    en.list_arc(arc, [&](std::span<const vertex> c) {
+      stitched.add_flat(c, true);
+    });
+    counted += en.count_arc(arc);
+  }
+  stitched.normalize();
+  EXPECT_TRUE(stitched == whole);
+  EXPECT_EQ(counted, listed);
+  EXPECT_EQ(en.count_range(0, d.num_arcs()), listed);
+  EXPECT_TRUE(whole == naive_collect(g, 4));
+}
+
+}  // namespace
+}  // namespace dcl

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <iterator>
+#include <vector>
+
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
@@ -59,6 +63,44 @@ TEST(Graph, SortedIntersection) {
   EXPECT_EQ(sorted_intersection_size(a, b), 2);
   const auto i = sorted_intersection(a, b);
   EXPECT_EQ(i, (std::vector<vertex>{3, 7}));
+}
+
+TEST(Graph, SortedIntersectionGallopingPathMatchesMerge) {
+  // Skew past kGallopFactor so the galloping branch runs, and compare
+  // against std::set_intersection on adversarial shapes: hits bunched at
+  // the front, the back, spread evenly, and absent entirely.
+  const auto reference = [](const std::vector<vertex>& a,
+                            const std::vector<vertex>& b) {
+    std::vector<vertex> out;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(out));
+    return out;
+  };
+  std::vector<vertex> big;
+  for (vertex v = 0; v < 4096; ++v) big.push_back(3 * v);  // multiples of 3
+  const std::vector<std::vector<vertex>> smalls = {
+      {0, 3, 6},                          // all hits at the front
+      {12276, 12279, 12282},              // all hits at the back
+      {1, 2, 4, 5},                       // no hits
+      {0, 5000, 9999, 12285},             // spread, mixed hit/miss
+      {3, 3000, 6000, 9000, 12000},       // evenly spaced hits
+      {},                                 // empty short side
+  };
+  for (const auto& small : smalls) {
+    ASSERT_TRUE(small.empty() ||
+                big.size() >= small.size() * kGallopFactor);
+    const auto want = reference(small, big);
+    EXPECT_EQ(sorted_intersection(small, big), want);
+    EXPECT_EQ(sorted_intersection(big, small), want);  // order-agnostic
+    EXPECT_EQ(sorted_intersection_size(small, big),
+              std::int64_t(want.size()));
+    EXPECT_EQ(sorted_intersection_size(big, small),
+              std::int64_t(want.size()));
+  }
+  // Just below the skew threshold the merge path runs; results agree.
+  std::vector<vertex> medium;
+  for (vertex v = 0; v < 200; ++v) medium.push_back(5 * v);
+  EXPECT_EQ(sorted_intersection(medium, big), reference(medium, big));
 }
 
 TEST(Algorithms, ConnectedComponents) {
