@@ -35,9 +35,11 @@ void BM_RouterTrees(benchmark::State& state) {
                           g.num_vertices()))),
                       0, 0, 0});
   route_stats stats;
+  message_batch io;
   for (auto _ : state) {
-    std::vector<message> out;
-    stats = router.route(msgs, &out);
+    io.clear();
+    for (const auto& m : msgs) io.push(m);
+    stats = router.route(io);
   }
   state.counters["rounds"] = double(stats.rounds);
   state.counters["max_edge_load"] = double(stats.max_edge_load);

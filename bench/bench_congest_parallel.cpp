@@ -5,7 +5,9 @@
 // bit-identical to the single-threaded run — the determinism invariant the
 // runtime refactor must preserve (DESIGN.md §6).
 //
-//   ./bench_congest_parallel [max_threads] [out.json]
+//   ./bench_congest_parallel [--smoke] [max_threads] [out.json]
+//
+// --smoke shrinks every family (CI smoke runs — sanity, not timing).
 //
 // Emits one JSON document to stdout AND to the output file (default
 // BENCH_congest_parallel.json) so the perf trajectory is tracked across
@@ -35,9 +37,18 @@ struct workload {
 
 int main(int argc, char** argv) {
   using namespace dcl;
-  const int max_threads = argc > 1 ? std::atoi(argv[1]) : 8;
+  bool smoke = false;
+  std::vector<const char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke")
+      smoke = true;
+    else
+      pos.push_back(argv[i]);
+  }
+  const int max_threads =
+      pos.size() > 0 ? std::atoi(pos[0]) : (smoke ? 2 : 8);
   const std::string out_path =
-      argc > 2 ? argv[2] : "BENCH_congest_parallel.json";
+      pos.size() > 1 ? pos[1] : "BENCH_congest_parallel.json";
 
   // Multi-cluster families (ring_of_cliques, weakly linked planted
   // partitions) decompose into many clusters per level — the parallelism
@@ -45,13 +56,19 @@ int main(int argc, char** argv) {
   // controls: they measure the runtime's overhead when there is nothing to
   // parallelize.
   std::vector<workload> workloads;
-  workloads.push_back({"ring_of_cliques_k3", gen::ring_of_cliques(16, 20), 3});
-  workloads.push_back({"planted_partition_k3",
-                       gen::planted_partition(8, 30, 0.5, 0.002, 11), 3});
-  workloads.push_back({"planted_partition_k4",
-                       gen::planted_partition(5, 50, 0.6, 0.003, 23), 4});
-  workloads.push_back({"gnp_k3", gen::gnp(260, 0.08, 7), 3});
-  workloads.push_back({"kneser_k3", gen::kneser(9, 3), 3});
+  if (smoke) {
+    workloads.push_back({"ring_of_cliques_k3", gen::ring_of_cliques(4, 8), 3});
+    workloads.push_back({"gnp_k3", gen::gnp(60, 0.12, 7), 3});
+  } else {
+    workloads.push_back({"ring_of_cliques_k3", gen::ring_of_cliques(16, 20),
+                         3});
+    workloads.push_back({"planted_partition_k3",
+                         gen::planted_partition(8, 30, 0.5, 0.002, 11), 3});
+    workloads.push_back({"planted_partition_k4",
+                         gen::planted_partition(5, 50, 0.6, 0.003, 23), 4});
+    workloads.push_back({"gnp_k3", gen::gnp(260, 0.08, 7), 3});
+    workloads.push_back({"kneser_k3", gen::kneser(9, 3), 3});
+  }
 
   std::ostringstream js;
   js << "{\n  \"benchmark\": \"congest_parallel\",\n"

@@ -5,7 +5,9 @@
 // deletion. Emits one JSON document on stdout AND to BENCH_enum_kernel.json
 // via the shared checked emitter:
 //
-//   ./bench_enum_kernel [out.json]
+//   ./bench_enum_kernel [--smoke] [out.json]
+//
+// --smoke shrinks every case (CI smoke runs — sanity, not timing).
 //
 // Every case cross-checks legacy and kernel clique counts before timing;
 // a mismatch aborts. The "speedup" field is legacy_seconds/kernel_seconds —
@@ -136,8 +138,14 @@ struct case_result {
 
 int main(int argc, char** argv) {
   using namespace dcl;
-  const std::string out_path =
-      argc > 1 ? argv[1] : "BENCH_enum_kernel.json";
+  bool smoke = false;
+  std::string out_path = "BENCH_enum_kernel.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke")
+      smoke = true;
+    else
+      out_path = argv[i];
+  }
 
   enumkernel::enum_scratch ws;  // warm kernel scratch shared by all cases
   std::vector<case_result> results;
@@ -188,14 +196,20 @@ int main(int argc, char** argv) {
   // Clique-dense inputs: enumeration work dominates, which is the regime
   // the cluster listers live in (a learned edge set is a dense subset by
   // construction — it was shipped precisely because it closes cliques).
-  graph_case("gnp_p3", gen::gnp(500, 0.08, 7), 3);
-  graph_case("gnp_p4", gen::gnp(200, 0.35, 7), 4);
-  graph_case("gnp_p5", gen::gnp(120, 0.45, 7), 5);
-  graph_case("gnp_p6", gen::gnp(90, 0.55, 7), 6);
-  graph_case("kneser_p5", gen::kneser(13, 2), 5);
-  graph_case("kneser_p6", gen::kneser(13, 2), 6);
-  edges_case("edges_gnp_p4", gen::gnp(200, 0.35, 9), 4);
-  edges_case("edges_gnp_p5", gen::gnp(120, 0.50, 9), 5);
+  if (smoke) {
+    graph_case("gnp_p3", gen::gnp(120, 0.08, 7), 3);
+    graph_case("gnp_p4", gen::gnp(60, 0.3, 7), 4);
+    edges_case("edges_gnp_p4", gen::gnp(60, 0.3, 9), 4);
+  } else {
+    graph_case("gnp_p3", gen::gnp(500, 0.08, 7), 3);
+    graph_case("gnp_p4", gen::gnp(200, 0.35, 7), 4);
+    graph_case("gnp_p5", gen::gnp(120, 0.45, 7), 5);
+    graph_case("gnp_p6", gen::gnp(90, 0.55, 7), 6);
+    graph_case("kneser_p5", gen::kneser(13, 2), 5);
+    graph_case("kneser_p6", gen::kneser(13, 2), 6);
+    edges_case("edges_gnp_p4", gen::gnp(200, 0.35, 9), 4);
+    edges_case("edges_gnp_p5", gen::gnp(120, 0.50, 9), 5);
+  }
 
   std::ostringstream js;
   js << "{\n"

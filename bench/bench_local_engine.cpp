@@ -2,7 +2,10 @@
 // JSON document on stdout AND to a BENCH_local_engine.json file so the perf
 // trajectory can be tracked across commits without parsing human tables:
 //
-//   ./bench_local_engine [n] [edge_prob] [p] [max_threads] [out.json]
+//   ./bench_local_engine [--smoke] [n] [edge_prob] [p] [max_threads] [out.json]
+//
+// --smoke replaces the default workload with a tiny one (CI smoke runs —
+// sanity, not timing).
 //
 // Defaults reproduce the canonical workload: triangles of G(2000, 0.1),
 // thread counts 1, 2, 4, ..., max_threads (default 8). Both count-mode
@@ -30,12 +33,22 @@ using dcl::bench::best_seconds;
 
 int main(int argc, char** argv) {
   using namespace dcl;
-  const vertex n = argc > 1 ? vertex(std::atoi(argv[1])) : 2000;
-  const double prob = argc > 2 ? std::atof(argv[2]) : 0.1;
-  const int p = argc > 3 ? std::atoi(argv[3]) : 3;
-  const int max_threads = argc > 4 ? std::atoi(argv[4]) : 8;
+  bool smoke = false;
+  std::vector<const char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke")
+      smoke = true;
+    else
+      pos.push_back(argv[i]);
+  }
+  const vertex n = pos.size() > 0 ? vertex(std::atoi(pos[0]))
+                                  : (smoke ? 200 : 2000);
+  const double prob = pos.size() > 1 ? std::atof(pos[1]) : 0.1;
+  const int p = pos.size() > 2 ? std::atoi(pos[2]) : 3;
+  const int max_threads = pos.size() > 3 ? std::atoi(pos[3])
+                                         : (smoke ? 2 : 8);
   const std::string out_path =
-      argc > 5 ? argv[5] : "BENCH_local_engine.json";
+      pos.size() > 4 ? pos[4] : "BENCH_local_engine.json";
 
   const auto g = gen::gnp(n, prob, /*seed=*/7);
   local::engine_options base;

@@ -1,21 +1,92 @@
-// E7 (Theorem 6 substitute): measured store-and-forward routing rounds on
-// φ-clusters as the per-vertex load L grows, against tree depth,
-// conductance, and the CS20 closed-form model.
+// E7 (Theorem 6 substitute) + the transport-layer old-vs-new comparison.
+//
+// Two measurements per (cluster family, per-vertex load L):
+//
+//  * exchange — the per-batch overhead of a one-hop network::exchange. The
+//    pre-transport implementation (per-message binary-searched endpoint
+//    validation, a sorted key vector for one_hop_rounds, a full
+//    comparison sort into receiver order on a by-value vector) is kept
+//    verbatim below (namespace legacy) so the comparison stays
+//    reproducible; the new path is the arc-indexed, bucket-sorting,
+//    in-place transport. Outputs and charged rounds are cross-checked for
+//    bit-identity before timing — a mismatch aborts.
+//
+//  * route — measured store-and-forward routing rounds on φ-clusters as L
+//    grows, against tree depth, conductance, and the CS20 closed-form
+//    model (the original E7 content).
+//
+// Emits one JSON document on stdout AND to BENCH_routing.json via the
+// shared checked emitter:
+//
+//   ./bench_routing [--smoke] [out.json]
+//
+// --smoke shrinks every case for CI smoke runs (no timing assertions).
+// Self-contained on purpose: no google-benchmark dependency.
 
-#include "bench_common.hpp"
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
 
-#include <numeric>
+#include "bench_json.hpp"
 
+#include "congest/network.hpp"
 #include "congest/router.hpp"
 #include "expander/cost_model.hpp"
 #include "graph/generators.hpp"
 #include "graph/spectral.hpp"
 #include "support/prng.hpp"
 
+namespace legacy {
+
+using namespace dcl;
+
+// ---- verbatim pre-transport implementation (congest/network.cpp @ PR 3).
+
+std::int64_t one_hop_rounds(const std::vector<message>& msgs) {
+  if (msgs.empty()) return 0;
+  std::vector<std::uint64_t> keys;
+  keys.reserve(msgs.size());
+  for (const auto& m : msgs)
+    keys.push_back((std::uint64_t(std::uint32_t(m.src)) << 32) |
+                   std::uint32_t(m.dst));
+  std::sort(keys.begin(), keys.end());
+  std::int64_t best = 0, run = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    run = (i > 0 && keys[i] == keys[i - 1]) ? run + 1 : 1;
+    best = std::max(best, run);
+  }
+  return best;
+}
+
+std::vector<message> exchange(const graph& g, cost_ledger& ledger,
+                              std::vector<message> msgs,
+                              std::string_view phase) {
+  for (const auto& m : msgs) {
+    if (!(m.src >= 0 && m.src < g.num_vertices() && m.dst >= 0 &&
+          m.dst < g.num_vertices()))
+      std::abort();
+    const auto nb = g.neighbors(m.src);
+    if (!std::binary_search(nb.begin(), nb.end(), m.dst)) std::abort();
+  }
+  ledger.charge(phase, one_hop_rounds(msgs), std::int64_t(msgs.size()));
+  std::sort(msgs.begin(), msgs.end(), message_order);
+  return msgs;
+}
+
+}  // namespace legacy
+
 namespace dcl {
 namespace {
 
-graph make_cluster(int kind) {
+graph make_cluster(int kind, bool smoke) {
+  if (smoke) {
+    switch (kind) {
+      case 0: return gen::hypercube(5);
+      case 1: return gen::circulant(32, {1, 3, 9});
+      default: return gen::gnp(32, 8.0 / 32.0, 3);
+    }
+  }
   switch (kind) {
     case 0:
       return gen::hypercube(8);                       // 256, phi ~ 1/8
@@ -29,42 +100,134 @@ const char* kind_name(int k) {
   return k == 0 ? "hypercube" : k == 1 ? "circulant" : "gnp";
 }
 
-void BM_Routing(benchmark::State& state) {
-  const auto kind = int(state.range(0));
-  const auto load = std::int64_t(state.range(1));
-  const auto g = make_cluster(kind);
-  cluster_router router(g, 8);
-  prng rng(17);
-  std::vector<message> msgs;
-  for (vertex v = 0; v < g.num_vertices(); ++v)
-    for (std::int64_t l = 0; l < load; ++l)
-      msgs.push_back({v,
-                      vertex(rng.next_below(std::uint64_t(
-                          g.num_vertices()))),
-                      0, std::uint64_t(l), 0});
-  route_stats stats;
-  for (auto _ : state) {
-    std::vector<message> out;
-    stats = router.route(msgs, &out);
-  }
-  const auto spec = second_eigen(g);
-  state.counters["rounds"] = double(stats.rounds);
-  state.counters["max_edge_load"] = double(stats.max_edge_load);
-  state.counters["tree_depth"] = double(router.tree_depth());
-  state.counters["phi_cert"] = spec.phi_lower;
-  state.counters["cs20_model"] = double(
-      cs20_routing_rounds(load, spec.phi_lower, g.num_vertices()));
-  state.SetLabel(kind_name(kind));
-  bench::slope_store::instance().add(kind_name(kind), double(load),
-                                     double(stats.rounds));
-}
+struct case_result {
+  std::string cluster;
+  std::int64_t load = 0;
+  std::int64_t batch = 0;
+  double legacy_exchange_seconds = 0;
+  double transport_exchange_seconds = 0;
+  double route_seconds = 0;
+  std::int64_t route_rounds = 0;
+  std::int64_t max_edge_load = 0;
+  std::int32_t tree_depth = 0;
+  double phi_cert = 0;
+  double cs20_model = 0;
+};
 
 }  // namespace
 }  // namespace dcl
 
-BENCHMARK(dcl::BM_Routing)
-    ->ArgsProduct({{0, 1, 2}, {1, 4, 16, 64}})
-    ->Unit(benchmark::kMillisecond)
-    ->Iterations(1);
+int main(int argc, char** argv) {
+  using namespace dcl;
+  bool smoke = false;
+  std::string out_path = "BENCH_routing.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke")
+      smoke = true;
+    else
+      out_path = arg;
+  }
+  const std::vector<std::int64_t> loads =
+      smoke ? std::vector<std::int64_t>{1, 4}
+            : std::vector<std::int64_t>{1, 4, 16, 64};
 
-DCL_BENCH_MAIN("E7: expander routing — rounds vs per-vertex load L")
+  std::vector<case_result> results;
+  for (int kind = 0; kind < 3; ++kind) {
+    const auto g = make_cluster(kind, smoke);
+    cluster_router router(g, 8);
+    const auto spec = second_eigen(g);
+    for (const auto load : loads) {
+      case_result r;
+      r.cluster = kind_name(kind);
+      r.load = load;
+
+      // ---- exchange: one-hop batch (random neighbor per message).
+      prng rng(17);
+      std::vector<message> one_hop;
+      for (vertex v = 0; v < g.num_vertices(); ++v)
+        for (std::int64_t l = 0; l < load; ++l) {
+          const auto nb = g.neighbors(v);
+          one_hop.push_back(
+              {v, nb[size_t(rng.next_below(nb.size()))], 0,
+               std::uint64_t(l), 0});
+        }
+      r.batch = std::int64_t(one_hop.size());
+      cost_ledger legacy_ledger, transport_ledger;
+      network net(g, transport_ledger);
+      message_batch io;
+      // Cross-check: delivered order and charged rounds bit-identical.
+      {
+        const auto want = legacy::exchange(g, legacy_ledger, one_hop, "x");
+        io.clear();
+        for (const auto& m : one_hop) io.push(m);
+        net.exchange(io, "x");
+        if (io.vec() != want) std::abort();
+        if (legacy_ledger.rounds() != transport_ledger.rounds())
+          std::abort();
+      }
+      const int reps = smoke ? 2 : 10;
+      r.legacy_exchange_seconds = bench::best_seconds([&] {
+        for (int i = 0; i < reps; ++i)
+          (void)legacy::exchange(g, legacy_ledger, one_hop, "x");
+      }) / reps;
+      r.transport_exchange_seconds = bench::best_seconds([&] {
+        for (int i = 0; i < reps; ++i) {
+          io.clear();
+          for (const auto& m : one_hop) io.push(m);
+          net.exchange(io, "x");
+        }
+      }) / reps;
+
+      // ---- route: multi-hop all-to-random load (the original E7).
+      prng rng2(17);
+      std::vector<message> multi_hop;
+      for (vertex v = 0; v < g.num_vertices(); ++v)
+        for (std::int64_t l = 0; l < load; ++l)
+          multi_hop.push_back(
+              {v, vertex(rng2.next_below(std::uint64_t(g.num_vertices()))),
+               0, std::uint64_t(l), 0});
+      route_stats stats;
+      r.route_seconds = bench::best_seconds([&] {
+        io.clear();
+        for (const auto& m : multi_hop) io.push(m);
+        stats = router.route(io);
+      });
+      r.route_rounds = stats.rounds;
+      r.max_edge_load = stats.max_edge_load;
+      r.tree_depth = router.tree_depth();
+      r.phi_cert = spec.phi_lower;
+      r.cs20_model =
+          double(cs20_routing_rounds(load, spec.phi_lower,
+                                     g.num_vertices()));
+      results.push_back(r);
+    }
+  }
+
+  std::ostringstream js;
+  js << "{\n"
+     << "  \"bench\": \"routing\",\n"
+     << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+     << "  \"cases\": [\n";
+  bool first = true;
+  for (const auto& r : results) {
+    if (!first) js << ",\n";
+    first = false;
+    js << "    {\"cluster\": \"" << r.cluster << "\", \"load\": " << r.load
+       << ", \"batch\": " << r.batch
+       << ", \"legacy_exchange_seconds\": " << r.legacy_exchange_seconds
+       << ", \"transport_exchange_seconds\": "
+       << r.transport_exchange_seconds << ", \"exchange_speedup\": "
+       << (r.transport_exchange_seconds > 0
+               ? r.legacy_exchange_seconds / r.transport_exchange_seconds
+               : 0.0)
+       << ", \"route_seconds\": " << r.route_seconds
+       << ", \"route_rounds\": " << r.route_rounds
+       << ", \"max_edge_load\": " << r.max_edge_load
+       << ", \"tree_depth\": " << r.tree_depth
+       << ", \"phi_cert\": " << r.phi_cert
+       << ", \"cs20_model\": " << r.cs20_model << "}";
+  }
+  js << "\n  ]\n}\n";
+  return dcl::bench::emit_json(out_path, js.str());
+}

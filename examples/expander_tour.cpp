@@ -49,14 +49,14 @@ int main() {
   }();
   cluster_router router(sub, 8);
   prng rng(9);
-  std::vector<message> msgs;
+  message_batch msgs;
   for (vertex v = 0; v < sub.num_vertices(); ++v)
-    msgs.push_back({v, vertex(rng.next_below(std::uint64_t(
-                           sub.num_vertices()))),
-                    0, 0, 0});
-  std::vector<message> delivered;
-  const auto stats = router.route(msgs, &delivered);
-  std::cout << "\nrouting " << msgs.size() << " messages: " << stats.rounds
+    msgs.push({v, vertex(rng.next_below(std::uint64_t(
+                      sub.num_vertices()))),
+               0, 0, 0});
+  const auto sent = msgs.size();
+  const auto stats = router.route(msgs);  // in place: msgs -> delivered
+  std::cout << "\nrouting " << sent << " messages: " << stats.rounds
             << " measured rounds (max path " << stats.max_path
             << ", max edge load " << stats.max_edge_load << ")\n";
   std::cout << "CS20 Thm 6 model for the same load: "

@@ -36,8 +36,10 @@ dlp12_result dlp12_list_cliques(const graph& g, int p) {
   res.tuples = std::int64_t(tuples.size());
 
   // Each canonical edge is held by its lower endpoint; ship it to every
-  // tuple owner whose tuple contains both endpoint groups.
-  std::vector<message> batch;
+  // tuple owner whose tuple contains both endpoint groups. The batch
+  // stages in the clique's transport outbox and is delivered in place.
+  message_batch& batch = net.shared_transport().outbox(0);
+  batch.clear();
   std::vector<edge_list> learned(tuples.size());
   for (const auto& e : g.edges()) {
     const std::int64_t gu = group_of(e.u), gv = group_of(e.v);
@@ -48,10 +50,11 @@ dlp12_result dlp12_list_cliques(const graph& g, int p) {
       if (!has_u || !has_v) continue;
       learned[t].push_back(e);
       const vertex owner = vertex(std::int64_t(t) % n);
-      if (owner != e.u) batch.push_back({e.u, owner, 0, 0, 0});
+      if (owner != e.u) batch.emplace(e.u, owner);
     }
   }
-  net.exchange(std::move(batch), "dlp12/ship");
+  net.exchange(batch, "dlp12/ship");
+  batch.clear();
 
   enumkernel::enum_scratch ws;  // one warm kernel workspace across owners
   std::vector<std::int64_t> gs;

@@ -35,7 +35,8 @@ cluster_comm::cluster_comm(network& net, std::vector<vertex> vertices,
   local_edges.erase(std::unique(local_edges.begin(), local_edges.end()),
                     local_edges.end());
   local_ = graph(vertex(to_parent_.size()), local_edges);
-  router_ = std::make_unique<cluster_router>(local_, num_trees);
+  router_ = std::make_unique<cluster_router>(local_, num_trees,
+                                             &net.shared_transport());
 }
 
 vertex cluster_comm::to_local(vertex parent) const {
@@ -52,19 +53,15 @@ std::string cluster_comm::phase(std::string_view sub) const {
   return out;
 }
 
-std::vector<message> cluster_comm::route(std::vector<message> msgs,
-                                         std::string_view sub) {
-  std::vector<message> delivered;
-  last_stats_ = router_->route(msgs, &delivered);
+void cluster_comm::route(message_batch& io, std::string_view sub) {
+  last_stats_ = router_->route(io);
   net_->ledger().charge(phase(sub), last_stats_.rounds, last_stats_.messages);
-  return delivered;
 }
 
-route_stats cluster_comm::route_discard(message_batch& batch,
+route_stats cluster_comm::route_discard(message_batch& io,
                                         std::string_view sub) {
-  last_stats_ = router_->route(batch.vec(), /*delivered=*/nullptr);
+  last_stats_ = router_->route_discard(io);
   net_->ledger().charge(phase(sub), last_stats_.rounds, last_stats_.messages);
-  batch.clear();
   return last_stats_;
 }
 
@@ -88,7 +85,9 @@ std::int64_t cluster_comm::allgather(
     const std::vector<std::int64_t>& items_per_vertex, std::string_view sub) {
   DCL_EXPECTS(vertex(items_per_vertex.size()) == size(),
               "items_per_vertex size mismatch");
-  message_batch to_leader;
+  // outbox(1): leaves outbox(0) to any producer staging around this call.
+  message_batch& to_leader = outbox(1);
+  to_leader.clear();
   std::int64_t total = 0;
   for (vertex v = 0; v < size(); ++v) {
     total += items_per_vertex[size_t(v)];

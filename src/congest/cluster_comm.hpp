@@ -3,6 +3,9 @@
 // the closed-form tree primitives (pipelined broadcast / convergecast).
 // Everything charges into the owning network's ledger under a phase prefix,
 // so per-cluster and per-phase costs are separable in benchmark output.
+// The cluster shares its parent network's transport: staging outboxes and
+// delivery buffers stay capacity-warm across every exchange the cluster's
+// producers issue.
 
 #include <memory>
 #include <string>
@@ -29,15 +32,24 @@ class cluster_comm {
   vertex to_local(vertex parent) const;
   std::span<const vertex> parent_vertices() const { return to_parent_; }
 
-  /// Multi-hop routed batch (local ids). Simulated; charges measured rounds.
-  std::vector<message> route(std::vector<message> msgs, std::string_view sub);
+  /// Multi-hop routed batch (local ids), in place: `io` is replaced by the
+  /// delivered messages in deterministic receiver order. Simulated; charges
+  /// measured rounds.
+  void route(message_batch& io, std::string_view sub);
 
   /// Accounting-only routed batch: routes and charges like route(), but
-  /// never materializes the delivered messages, and clears `batch` in place
+  /// never materializes the delivered messages, and clears `io` in place
   /// with its capacity kept. The fast path for senders that model receipt
-  /// analytically — combined with a scratch-arena batch it makes repeated
+  /// analytically — combined with a transport outbox it makes repeated
   /// exchanges allocation-free.
-  route_stats route_discard(message_batch& batch, std::string_view sub);
+  route_stats route_discard(message_batch& io, std::string_view sub);
+
+  /// Staging batch from the shared transport (capacity-warm across
+  /// clusters when the network's transport is arena-parked). Producers
+  /// clear() before filling; two outboxes cover request/reply staging.
+  message_batch& outbox(std::size_t i = 0) {
+    return net_->shared_transport().outbox(i);
+  }
 
   /// Leader (local id 0 = minimum parent id) sends `num_words` words to all
   /// cluster vertices along the primary BFS tree; exact pipelined cost

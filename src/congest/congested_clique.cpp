@@ -6,31 +6,22 @@
 
 namespace dcl {
 
-congested_clique::congested_clique(vertex n, cost_ledger& ledger)
-    : n_(n), ledger_(&ledger) {
+congested_clique::congested_clique(vertex n, cost_ledger& ledger,
+                                   transport* tp)
+    : n_(n), ledger_(&ledger), tp_(tp != nullptr ? tp : &owned_tp_) {
   DCL_EXPECTS(n >= 2, "congested clique needs at least two vertices");
 }
 
-std::vector<message> congested_clique::exchange(std::vector<message> msgs,
-                                                std::string_view phase) {
-  std::vector<std::uint64_t> keys;
-  keys.reserve(msgs.size());
-  for (const auto& m : msgs) {
+std::int64_t congested_clique::exchange(message_batch& io,
+                                        std::string_view phase) {
+  for (const auto& m : io)
     DCL_EXPECTS(m.src >= 0 && m.src < n_ && m.dst >= 0 && m.dst < n_ &&
                     m.src != m.dst,
                 "invalid clique message endpoints");
-    keys.push_back((std::uint64_t(std::uint32_t(m.src)) << 32) |
-                   std::uint32_t(m.dst));
-  }
-  std::sort(keys.begin(), keys.end());
-  std::int64_t rounds = 0, run = 0;
-  for (std::size_t i = 0; i < keys.size(); ++i) {
-    run = (i > 0 && keys[i] == keys[i - 1]) ? run + 1 : 1;
-    rounds = std::max(rounds, run);
-  }
-  ledger_->charge(phase, rounds, std::int64_t(msgs.size()));
-  std::sort(msgs.begin(), msgs.end(), message_order);
-  return msgs;
+  tp_->deliver(io, n_);
+  const auto rounds = transport::max_pair_multiplicity(io);
+  ledger_->charge(phase, rounds, std::int64_t(io.size()));
+  return rounds;
 }
 
 }  // namespace dcl

@@ -4,6 +4,7 @@
 // is exactly what the paper's algorithms ship per message.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -32,9 +33,11 @@ inline bool message_order(const message& x, const message& y) {
 
 /// Flat staging buffer for one exchange/route batch. clear() keeps the
 /// allocation, so a worker reuses one batch (usually parked in its
-/// runtime::scratch_arena) across many exchanges instead of constructing a
-/// fresh vector per call — the message layer's hot loops stay allocation-
-/// free after warm-up.
+/// runtime::scratch_arena, or handed out by a transport) across many
+/// exchanges instead of constructing a fresh vector per call — the message
+/// layer's hot loops stay allocation-free after warm-up. Producers only
+/// append; reordering is the transport's job (it swaps buffers rather than
+/// copying), so there is no mutable element access outside the transport.
 class message_batch {
  public:
   void clear() { msgs_.clear(); }
@@ -48,10 +51,23 @@ class message_batch {
     return msgs_.emplace_back(message{src, dst, tag, a, b});
   }
 
-  std::vector<message>& vec() { return msgs_; }
+  /// O(1) buffer exchange — the primitive behind the transport's
+  /// double-buffered delivery and the router's delivered-batch handback.
+  void swap(message_batch& other) noexcept { msgs_.swap(other.msgs_); }
+
+  std::span<const message> span() const { return msgs_; }
+  const message& operator[](std::size_t i) const { return msgs_[i]; }
+  auto begin() const { return msgs_.begin(); }
+  auto end() const { return msgs_.end(); }
+
+  /// Read-only view of the backing vector, for tests and assertions. The
+  /// mutable escape hatch is gone on purpose: hot-path callers go through
+  /// push/emplace and the transport.
   const std::vector<message>& vec() const { return msgs_; }
 
  private:
+  friend class transport;  // in-place delivery permutes the buffer
+
   std::vector<message> msgs_;
 };
 

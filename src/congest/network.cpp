@@ -7,10 +7,10 @@
 
 namespace dcl {
 
-network::network(const graph& g, cost_ledger& ledger)
-    : g_(&g), ledger_(&ledger) {}
+network::network(const graph& g, cost_ledger& ledger, transport* tp)
+    : g_(&g), ledger_(&ledger), tp_(tp != nullptr ? tp : &owned_tp_) {}
 
-std::int64_t one_hop_rounds(const std::vector<message>& msgs) {
+std::int64_t one_hop_rounds(std::span<const message> msgs) {
   if (msgs.empty()) return 0;
   std::vector<std::uint64_t> keys;
   keys.reserve(msgs.size());
@@ -26,19 +26,30 @@ std::int64_t one_hop_rounds(const std::vector<message>& msgs) {
   return best;
 }
 
-std::vector<message> network::exchange(std::vector<message> msgs,
-                                       std::string_view phase) {
-  for (const auto& m : msgs) {
-    DCL_EXPECTS(m.src >= 0 && m.src < g_->num_vertices() && m.dst >= 0 &&
-                    m.dst < g_->num_vertices(),
-                "message endpoint out of range");
-    DCL_EXPECTS(g_->has_edge(m.src, m.dst),
-                "one-hop message requires an edge between src and dst");
+std::int64_t network::exchange(message_batch& io, std::string_view phase) {
+  const graph& g = *g_;
+  if (std::int64_t(arc_count_.size()) < g.num_arcs())
+    arc_count_.assign(size_t(g.num_arcs()), 0);
+  std::int64_t rounds = 0;
+  for (const auto& m : io) {
+    const auto arc = g.arc_id(m.src, m.dst);
+    if (arc < 0) {
+      // Leave the counters clean before reporting the bad message, so a
+      // caller that catches the error can keep using this network.
+      for (const auto a : arc_touched_) arc_count_[size_t(a)] = 0;
+      arc_touched_.clear();
+      DCL_EXPECTS(arc >= 0,
+                  "one-hop message requires an edge between src and dst");
+    }
+    const auto mult = ++arc_count_[size_t(arc)];
+    if (mult == 1) arc_touched_.push_back(arc);
+    rounds = std::max<std::int64_t>(rounds, mult);
   }
-  ledger_->charge(phase, one_hop_rounds(msgs),
-                  std::int64_t(msgs.size()));
-  std::sort(msgs.begin(), msgs.end(), message_order);
-  return msgs;
+  for (const auto a : arc_touched_) arc_count_[size_t(a)] = 0;
+  arc_touched_.clear();
+  ledger_->charge(phase, rounds, std::int64_t(io.size()));
+  tp_->deliver(io, g.num_vertices());
+  return rounds;
 }
 
 void network::charge(std::string_view phase, std::int64_t rounds,
@@ -47,6 +58,10 @@ void network::charge(std::string_view phase, std::int64_t rounds,
 }
 
 std::int64_t network::charge_gather_all_edges(std::string_view phase) {
+  if (gather_cached_) {
+    ledger_->charge(phase, gather_rounds_, gather_messages_);
+    return gather_rounds_;
+  }
   const graph& g = *g_;
   const auto comps = connected_components(g);
   // Leader of each component: its minimum-id vertex (first seen).
@@ -85,6 +100,9 @@ std::int64_t network::charge_gather_all_edges(std::string_view phase) {
     // Pipelined: bounded by per-edge congestion plus tree depth.
     worst_rounds = std::max(worst_rounds, congestion + t.depth);
   }
+  gather_cached_ = true;
+  gather_rounds_ = worst_rounds;
+  gather_messages_ = total_messages;
   ledger_->charge(phase, worst_rounds, total_messages);
   return worst_rounds;
 }

@@ -1,29 +1,44 @@
 #pragma once
 // Single-hop CONGEST exchange on the edges of a graph, with exact round
 // accounting: a batch of point-to-point messages over existing edges needs
-// exactly max_{directed edge e} (#messages on e) rounds.
+// exactly max_{directed arc a} (#messages on a) rounds. Exchanges are
+// in-place over message_batch — the transport permutes the caller's buffer
+// into receiver order; no message vector is ever passed or returned by
+// value.
 
+#include <span>
 #include <vector>
 
 #include "congest/cost.hpp"
 #include "congest/message.hpp"
+#include "congest/transport.hpp"
 #include "graph/graph.hpp"
 
 namespace dcl {
 
 class network {
  public:
-  /// The network aliases `g` and `ledger`; both must outlive it.
-  network(const graph& g, cost_ledger& ledger);
+  /// The network aliases `g` and `ledger`; both must outlive it. When `tp`
+  /// is given (e.g. a worker's arena-parked transport) its buffers are
+  /// shared with this network, keeping delivery scratch warm across
+  /// per-cluster network instances; otherwise the network owns one.
+  network(const graph& g, cost_ledger& ledger, transport* tp = nullptr);
+
+  // tp_ may point at the network's own owned_tp_, so a memberwise copy
+  // would alias (then dangle into) the source object's buffers.
+  network(const network&) = delete;
+  network& operator=(const network&) = delete;
 
   const graph& topology() const { return *g_; }
   cost_ledger& ledger() { return *ledger_; }
+  transport& shared_transport() { return *tp_; }
 
-  /// Delivers a batch of one-hop messages. Every (src, dst) must be an edge.
-  /// Charges rounds = max per-directed-edge multiplicity. The returned batch
-  /// is in deterministic receiver order.
-  std::vector<message> exchange(std::vector<message> msgs,
-                                std::string_view phase);
+  /// Delivers a batch of one-hop messages in place: every (src, dst) must
+  /// be an edge (validated in O(1) via the graph's arc index). Charges
+  /// rounds = max per-directed-arc multiplicity, counted on reusable arc
+  /// counters, and reorders `io` into deterministic receiver order.
+  /// Returns the charged rounds.
+  std::int64_t exchange(message_batch& io, std::string_view phase);
 
   /// Analytic charge for costs known in closed form (tree pipelining etc.).
   void charge(std::string_view phase, std::int64_t rounds,
@@ -32,15 +47,28 @@ class network {
   /// Cost of gathering one message per edge to a per-component leader along
   /// BFS trees (exact tree congestion: max over tree edges of the number of
   /// messages crossing it, plus pipelining depth). Used by the base-case
-  /// fallback that collects a small residual graph centrally.
+  /// fallback that collects a small residual graph centrally. The graph is
+  /// immutable, so the BFS forest walk runs once per network and the result
+  /// is cached — repeated calls only re-charge the ledger.
   std::int64_t charge_gather_all_edges(std::string_view phase);
 
  private:
   const graph* g_;
   cost_ledger* ledger_;
+  transport* tp_;
+  transport owned_tp_;  // used when no shared transport was injected
+
+  std::vector<std::int32_t> arc_count_;   // per-arc multiplicity scratch
+  std::vector<std::int64_t> arc_touched_; // arcs to reset after a batch
+
+  bool gather_cached_ = false;
+  std::int64_t gather_rounds_ = 0;
+  std::int64_t gather_messages_ = 0;
 };
 
-/// Computes the exact round cost of a one-hop batch (exposed for tests).
-std::int64_t one_hop_rounds(const std::vector<message>& msgs);
+/// Reference implementation of the exact one-hop round cost (max directed
+/// pair multiplicity) via a key sort — the spec the arc-counter fast path
+/// in exchange() is differentially tested against.
+std::int64_t one_hop_rounds(std::span<const message> msgs);
 
 }  // namespace dcl

@@ -9,28 +9,12 @@
 
 namespace dcl {
 
-namespace {
-
-/// Directed edge id of (u -> v): position of v within u's adjacency list,
-/// offset by the CSR prefix. Requires the edge to exist.
-std::int64_t directed_edge_id(const graph& g, vertex u, vertex v,
-                              const std::vector<std::int64_t>& offsets) {
-  const auto nb = g.neighbors(u);
-  const auto it = std::lower_bound(nb.begin(), nb.end(), v);
-  DCL_ENSURE(it != nb.end() && *it == v, "routing across a non-edge");
-  return offsets[size_t(u)] + (it - nb.begin());
-}
-
-}  // namespace
-
-cluster_router::cluster_router(const graph& cluster, int num_trees)
-    : g_(&cluster) {
+cluster_router::cluster_router(const graph& cluster, int num_trees,
+                               transport* tp)
+    : g_(&cluster), tp_(tp != nullptr ? tp : &owned_tp_) {
   DCL_EXPECTS(num_trees >= 1, "need at least one tree");
   DCL_EXPECTS(cluster.num_vertices() >= 1, "empty cluster");
   const vertex n = cluster.num_vertices();
-  offsets_.assign(size_t(n) + 1, 0);
-  for (vertex v = 0; v < n; ++v)
-    offsets_[size_t(v) + 1] = offsets_[size_t(v)] + cluster.degree(v);
   if (n == 1) return;  // no routing possible or needed
   DCL_EXPECTS(connected_components(cluster).count == 1,
               "cluster_router requires a connected cluster");
@@ -65,61 +49,95 @@ cluster_router::cluster_router(const graph& cluster, int num_trees)
   }
   for (vertex r : roots) {
     const auto t = bfs_from(cluster, r);
+    // Per tree, cache the arc toward the parent and its reverse once, so
+    // path expansion during routing is pure table lookups.
+    std::vector<std::int64_t> up(size_t(n), -1), down(size_t(n), -1);
+    for (vertex v = 0; v < n; ++v)
+      if (t.parent[size_t(v)] != -1) {
+        const auto a = cluster.arc_id(v, t.parent[size_t(v)]);
+        DCL_ENSURE(a >= 0, "BFS tree edge missing from the cluster");
+        up[size_t(v)] = a;
+        down[size_t(v)] = cluster.reverse_arc(a);
+      }
     parents_.push_back(t.parent);
     depths_.push_back(t.dist);
+    up_arcs_.push_back(std::move(up));
+    down_arcs_.push_back(std::move(down));
     max_depth_ = std::max(max_depth_, t.depth);
   }
 }
 
-void cluster_router::tree_path(int t, vertex src, vertex dst,
-                               std::vector<vertex>& out,
-                               std::vector<vertex>& down) const {
+void cluster_router::tree_path_arcs(int t, vertex src, vertex dst,
+                                    std::vector<std::int64_t>& out,
+                                    std::vector<std::int64_t>& down) const {
   const auto& parent = parents_[size_t(t)];
   const auto& depth = depths_[size_t(t)];
-  out.clear();
+  const auto& up_arc = up_arcs_[size_t(t)];
+  const auto& down_arc = down_arcs_[size_t(t)];
   down.clear();
   vertex a = src, b = dst;
   while (depth[size_t(a)] > depth[size_t(b)]) {
-    out.push_back(a);
+    out.push_back(up_arc[size_t(a)]);
     a = parent[size_t(a)];
   }
   while (depth[size_t(b)] > depth[size_t(a)]) {
-    down.push_back(b);
+    down.push_back(down_arc[size_t(b)]);
     b = parent[size_t(b)];
   }
   while (a != b) {
-    out.push_back(a);
+    out.push_back(up_arc[size_t(a)]);
     a = parent[size_t(a)];
-    down.push_back(b);
+    down.push_back(down_arc[size_t(b)]);
     b = parent[size_t(b)];
   }
-  out.push_back(a);  // the LCA
   out.insert(out.end(), down.rbegin(), down.rend());
 }
 
-route_stats cluster_router::route(std::span<const message> msgs,
-                                  std::vector<message>* delivered) {
+route_stats cluster_router::route(message_batch& io) {
+  const auto stats = route_impl(io.span(), /*deliver=*/true);
+  // Hand the delivered batch back through the buffer pair: io's storage
+  // becomes the next route's done-buffer, no copy.
+  tp_->deliver(ws_.done, g_->num_vertices());
+  io.swap(ws_.done);
+  ws_.done.clear();
+  return stats;
+}
+
+route_stats cluster_router::route_discard(message_batch& io) {
+  const auto stats = route_impl(io.span(), /*deliver=*/false);
+  io.clear();
+  return stats;
+}
+
+route_stats cluster_router::route_impl(std::span<const message> msgs,
+                                       bool deliver) {
   route_stats stats;
   const graph& g = *g_;
   const vertex n = g.num_vertices();
-  const std::int64_t num_dir_edges = offsets_[size_t(n)];
+  const std::int64_t num_arcs = g.num_arcs();
   workspace& ws = ws_;
   ws.done.clear();
 
-  // Assign each message a tree and materialize its edge-id path in the
+  // Assign each message a tree and materialize its arc-id path in the
   // flattened path pool. The workspace vectors are sized on first use and
   // recycled afterwards — steady-state route() calls allocate nothing.
   ws.flights.clear();
   if (ws.flights.capacity() < msgs.size()) ws.flights.reserve(msgs.size());
   ws.path_pool.clear();
-  ws.edge_load.assign(size_t(num_dir_edges), 0);
+  if (std::int64_t(ws.edge_load.size()) < num_arcs)
+    ws.edge_load.assign(size_t(num_arcs), 0);
   ws.tree_load.assign(parents_.size(), 0);
   ws.lens.resize(parents_.size());
   for (const auto& m : msgs) {
-    DCL_EXPECTS(m.src >= 0 && m.src < n && m.dst >= 0 && m.dst < n,
-                "route endpoint out of local range");
+    if (!(m.src >= 0 && m.src < n && m.dst >= 0 && m.dst < n)) {
+      // Leave the per-arc counters clean before reporting the bad message,
+      // so a caller that catches the error can keep using this router.
+      for (const auto aid : ws.edge_touched) ws.edge_load[size_t(aid)] = 0;
+      ws.edge_touched.clear();
+      DCL_EXPECTS(false, "route endpoint out of local range");
+    }
     if (m.src == m.dst) {
-      if (delivered != nullptr) ws.done.push_back(m);  // local delivery, free
+      if (deliver) ws.done.push(m);  // local delivery, free
       continue;
     }
     // Candidate trees: shortest path length, within slack 2 of the best.
@@ -148,29 +166,31 @@ route_stats cluster_router::route(std::span<const message> msgs,
     }
     workspace::in_flight f;
     f.msg = m;
-    tree_path(chosen, m.src, m.dst, ws.path, ws.path_down);
     f.path_begin = std::int64_t(ws.path_pool.size());
-    for (std::size_t i = 0; i + 1 < ws.path.size(); ++i) {
-      const auto eid =
-          directed_edge_id(g, ws.path[i], ws.path[i + 1], offsets_);
-      ws.path_pool.push_back(eid);
-      ++ws.edge_load[size_t(eid)];
-    }
+    tree_path_arcs(chosen, m.src, m.dst, ws.path_pool, ws.path_down);
     f.path_len = std::int64_t(ws.path_pool.size()) - f.path_begin;
+    for (std::int64_t i = f.path_begin; i < f.path_begin + f.path_len; ++i) {
+      const auto aid = ws.path_pool[size_t(i)];
+      if (++ws.edge_load[size_t(aid)] == 1) ws.edge_touched.push_back(aid);
+    }
     stats.messages += f.path_len;
     stats.max_path = std::max(stats.max_path, f.path_len);
     ws.tree_load[size_t(chosen)] += f.path_len;
     ws.flights.push_back(f);
   }
-  for (std::int64_t l : ws.edge_load)
-    stats.max_edge_load = std::max(stats.max_edge_load, l);
+  for (const auto aid : ws.edge_touched) {
+    stats.max_edge_load =
+        std::max(stats.max_edge_load, ws.edge_load[size_t(aid)]);
+    ws.edge_load[size_t(aid)] = 0;  // sparse reset: zero between routes
+  }
+  ws.edge_touched.clear();
 
   // Synchronous store-and-forward: per round each directed edge forwards the
   // front of its FIFO queue. Arrivals are buffered so a message moves at
   // most one hop per round. All queues are empty again once every message
   // is delivered, so the queue array can persist across route() calls.
-  if (ws.queue.size() < size_t(num_dir_edges))
-    ws.queue.resize(size_t(num_dir_edges));
+  if (ws.queue.size() < size_t(num_arcs))
+    ws.queue.resize(size_t(num_arcs));
   ws.active.clear();
   auto enqueue = [&ws](std::int64_t eid, std::int32_t flight_idx) {
     if (ws.queue[size_t(eid)].empty()) ws.active.push_back(eid);
@@ -195,7 +215,7 @@ route_stats cluster_router::route(std::span<const message> msgs,
       auto& f = ws.flights[size_t(fi)];
       ++f.next;
       if (f.next == f.path_len) {
-        if (delivered != nullptr) ws.done.push_back(f.msg);
+        if (deliver) ws.done.push(f.msg);
         --remaining;
       } else {
         ws.arrivals.emplace_back(
@@ -212,10 +232,6 @@ route_stats cluster_router::route(std::span<const message> msgs,
                "router stalled with undelivered messages");
   }
 
-  if (delivered != nullptr) {
-    std::sort(ws.done.begin(), ws.done.end(), message_order);
-    delivered->insert(delivered->end(), ws.done.begin(), ws.done.end());
-  }
   return stats;
 }
 

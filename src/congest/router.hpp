@@ -3,7 +3,10 @@
 // stand-in for the deterministic expander routing of [CS20, Thm 6] (see
 // DESIGN.md §2). Messages travel along a small set of BFS trees; delivery is
 // simulated synchronously, one message per directed edge per round, so the
-// returned round count is a *measured* CONGEST cost, not a model.
+// returned round count is a *measured* CONGEST cost, not a model. Arc ids
+// along every tree path are precomputed at construction (via the graph's
+// arc index and reverse-arc table), so routing a batch performs no
+// per-message adjacency searches.
 
 #include <cstdint>
 #include <deque>
@@ -12,6 +15,7 @@
 #include <vector>
 
 #include "congest/message.hpp"
+#include "congest/transport.hpp"
 #include "graph/graph.hpp"
 
 namespace dcl {
@@ -27,30 +31,46 @@ class cluster_router {
  public:
   /// `cluster` must be connected; vertices are the cluster's local ids.
   /// `num_trees` BFS trees are rooted at deterministically chosen,
-  /// well-spread, high-degree vertices.
-  explicit cluster_router(const graph& cluster, int num_trees = 8);
+  /// well-spread, high-degree vertices. When `tp` is given, delivered
+  /// batches reorder through its (shared, capacity-warm) buffers.
+  explicit cluster_router(const graph& cluster, int num_trees = 8,
+                          transport* tp = nullptr);
 
-  /// Routes a batch of point-to-point messages (local ids). Appends the
-  /// delivered messages to `delivered` in deterministic receiver order
-  /// (pass nullptr for accounting-only callers) and returns the measured
-  /// cost of the batch. Repeated calls on one router reuse an internal
-  /// workspace — no per-call allocation after the first batch.
-  route_stats route(std::span<const message> msgs,
-                    std::vector<message>* delivered);
+  // tp_ may point at the router's own owned_tp_, so a memberwise copy
+  // would alias (then dangle into) the source object's buffers.
+  cluster_router(const cluster_router&) = delete;
+  cluster_router& operator=(const cluster_router&) = delete;
+
+  /// Routes `io`'s point-to-point messages (local ids) and replaces its
+  /// contents in place with the delivered messages in deterministic
+  /// receiver order. Returns the measured cost of the batch. Repeated
+  /// calls reuse an internal workspace — no per-call allocation after the
+  /// first batch.
+  route_stats route(message_batch& io);
+
+  /// Accounting-only variant: same measured cost, but the delivered
+  /// messages are never materialized; `io` is cleared with its capacity
+  /// kept. The fast path for senders that model receipt analytically.
+  route_stats route_discard(message_batch& io);
 
   std::int32_t tree_depth() const { return max_depth_; }
   int num_trees() const { return int(parents_.size()); }
 
  private:
-  /// Full tree path src -> ... -> dst through the LCA in tree t; `down` is
-  /// caller-provided scratch for the dst-side half.
-  void tree_path(int t, vertex src, vertex dst, std::vector<vertex>& out,
-                 std::vector<vertex>& down) const;
+  route_stats route_impl(std::span<const message> msgs, bool deliver);
+
+  /// Appends the arc ids of the full tree path src -> ... -> dst through
+  /// the LCA in tree t to `out`; `down` is recycled scratch for the
+  /// dst-side half.
+  void tree_path_arcs(int t, vertex src, vertex dst,
+                      std::vector<std::int64_t>& out,
+                      std::vector<std::int64_t>& down) const;
 
   /// Recycled per-route state; sized once per router, reset cheaply. All
   /// message paths live flattened in one shared pool (each flight keeps an
-  /// offset/length into it), so repeated route() calls allocate nothing
-  /// once the workspace capacity has warmed up.
+  /// offset/length into it), and per-arc loads reset sparsely through the
+  /// touched list, so repeated route() calls allocate nothing once the
+  /// workspace capacity has warmed up.
   struct workspace {
     struct in_flight {
       std::int64_t path_begin = 0;  // offset into path_pool
@@ -58,15 +78,15 @@ class cluster_router {
       std::int64_t next = 0;        // hops already taken
       message msg;
     };
-    std::vector<std::int64_t> path_pool;  // directed edge ids, flattened
-    std::vector<message> done;
+    std::vector<std::int64_t> path_pool;  // directed arc ids, flattened
+    message_batch done;                   // delivered half of the buffer pair
     std::vector<in_flight> flights;
-    std::vector<std::int64_t> edge_load;
+    std::vector<std::int64_t> edge_load;     // per-arc; zero between routes
+    std::vector<std::int64_t> edge_touched;  // arcs to reset after a route
     std::vector<std::int64_t> tree_load;
     std::vector<int> lens;
     std::vector<int> candidates;
-    std::vector<vertex> path;
-    std::vector<vertex> path_down;
+    std::vector<std::int64_t> path_down;
     std::vector<std::deque<std::int32_t>> queue;  // empty between routes
     std::vector<std::int64_t> active;
     std::vector<std::int64_t> still_active;
@@ -74,9 +94,12 @@ class cluster_router {
   };
 
   const graph* g_;
-  std::vector<std::int64_t> offsets_;  // CSR prefix for directed edge ids
+  transport* tp_;
+  transport owned_tp_;
   std::vector<std::vector<vertex>> parents_;       // per tree
   std::vector<std::vector<std::int32_t>> depths_;  // per tree
+  std::vector<std::vector<std::int64_t>> up_arcs_;   // v -> parent_t(v)
+  std::vector<std::vector<std::int64_t>> down_arcs_; // parent_t(v) -> v
   std::int32_t max_depth_ = 0;
   workspace ws_;
 };

@@ -1,0 +1,70 @@
+#include "congest/transport.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace dcl {
+
+namespace {
+
+/// message_order restricted to one dst bucket (dst already equal).
+inline bool same_dst_order(const message& x, const message& y) {
+  if (x.src != y.src) return x.src < y.src;
+  if (x.tag != y.tag) return x.tag < y.tag;
+  if (x.a != y.a) return x.a < y.a;
+  return x.b < y.b;
+}
+
+}  // namespace
+
+void transport::deliver(message_batch& io, vertex n) {
+  auto& in = io.msgs_;
+  const std::size_t m = in.size();
+  if (m <= 1) {
+    if (m == 1)
+      DCL_EXPECTS(in[0].dst >= 0 && in[0].dst < n,
+                  "message dst outside receiver space");
+    return;
+  }
+  offsets_.assign(std::size_t(n) + 1, 0);
+  for (const auto& msg : in) {
+    DCL_EXPECTS(msg.dst >= 0 && msg.dst < n,
+                "message dst outside receiver space");
+    ++offsets_[std::size_t(msg.dst) + 1];
+  }
+  for (vertex d = 0; d < n; ++d)
+    offsets_[std::size_t(d) + 1] += offsets_[std::size_t(d)];
+
+  auto& out = spare_.msgs_;
+  out.resize(m);
+  // Stable scatter: offsets_[d] walks from the bucket's start to its end,
+  // so after this pass offsets_[d] is the end of bucket d (== the start of
+  // bucket d + 1 before the pass).
+  for (const auto& msg : in)
+    out[std::size_t(offsets_[std::size_t(msg.dst)]++)] = msg;
+  std::int64_t begin = 0;
+  for (vertex d = 0; d < n; ++d) {
+    const std::int64_t end = offsets_[std::size_t(d)];
+    if (end - begin > 1)
+      std::sort(out.begin() + begin, out.begin() + end, same_dst_order);
+    begin = end;
+  }
+  io.swap(spare_);  // spare_ now holds the old buffer for the next call
+}
+
+std::int64_t transport::max_pair_multiplicity(
+    const message_batch& delivered) {
+  std::int64_t best = 0, run = 0;
+  const message* prev = nullptr;
+  for (const auto& m : delivered.span()) {
+    run = (prev != nullptr && prev->dst == m.dst && prev->src == m.src)
+              ? run + 1
+              : 1;
+    best = std::max(best, run);
+    prev = &m;
+  }
+  return best;
+}
+
+}  // namespace dcl

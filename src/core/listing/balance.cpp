@@ -24,21 +24,20 @@ void amplified_allgather(cluster_comm& cc, std::span<const vertex> pool,
   const std::int64_t beta = ceil_root(k * k, 3);  // ~ k^{2/3}
   const std::int64_t y = ceil_div(k, beta);
 
-  std::vector<message> fanout;
+  // Receipt is modeled analytically, so both steps stage into the shared
+  // transport outbox and route accounting-only — no delivered batch is
+  // ever materialized, and the staging capacity survives across calls.
+  message_batch& batch = cc.outbox(0);
+  batch.clear();
   for (std::int64_t j = 0; j < m_items; ++j) {
     DCL_EXPECTS(holder[size_t(j)] >= 0 && holder[size_t(j)] < k,
                 "item holder outside pool");
-    for (std::int64_t t = 0; t < y; ++t) {
-      message m;
-      m.src = pool[size_t(holder[size_t(j)])];
-      m.dst = pool[size_t((j * y + t) % k)];
-      m.a = std::uint64_t(j);
-      fanout.push_back(m);
-    }
+    for (std::int64_t t = 0; t < y; ++t)
+      batch.emplace(pool[size_t(holder[size_t(j)])],
+                    pool[size_t((j * y + t) % k)], 0, std::uint64_t(j));
   }
-  cc.route(std::move(fanout), p1);
+  cc.route_discard(batch, p1);
 
-  std::vector<message> deliver;
   for (std::int64_t j = 0; j < m_items; ++j) {
     for (std::int64_t t = 0; t < y; ++t) {
       const vertex member = pool[size_t((j * y + t) % k)];
@@ -46,15 +45,11 @@ void amplified_allgather(cluster_comm& cc, std::span<const vertex> pool,
       const std::int64_t hi = std::min(k, (t + 1) * beta);
       for (std::int64_t i = lo; i < hi; ++i) {
         if (pool[size_t(i)] == member) continue;  // already local
-        message m;
-        m.src = member;
-        m.dst = pool[size_t(i)];
-        m.a = std::uint64_t(j);
-        deliver.push_back(m);
+        batch.emplace(member, pool[size_t(i)], 0, std::uint64_t(j));
       }
     }
   }
-  cc.route(std::move(deliver), p2);
+  cc.route_discard(batch, p2);
 }
 
 std::vector<vertex> degree_balanced_assignment(
@@ -82,19 +77,19 @@ std::vector<vertex> degree_balanced_assignment(
     return assignment;
   }
 
-  // Step 1: re-spread items so item j sits at pool vertex floor(j/c).
+  // Step 1: re-spread items so item j sits at pool vertex floor(j/c). One
+  // transport outbox stages every routed step of this function; receipt is
+  // modeled, so routes are accounting-only and the buffer is reused.
+  message_batch& batch = cc.outbox(0);
+  batch.clear();
   const std::int64_t c = ceil_div(m_items, k);
-  std::vector<message> respread;
   auto step1_holder = [&](std::int64_t j) { return vertex(j / c); };
   for (std::int64_t j = 0; j < m_items; ++j) {
     if (holder[size_t(j)] == step1_holder(j)) continue;
-    message m;
-    m.src = pool[size_t(holder[size_t(j)])];
-    m.dst = pool[size_t(step1_holder(j))];
-    m.a = std::uint64_t(j);
-    respread.push_back(m);
+    batch.emplace(pool[size_t(holder[size_t(j)])],
+                  pool[size_t(step1_holder(j))], 0, std::uint64_t(j));
   }
-  cc.route(std::move(respread), std::string(phase) + "/respread");
+  cc.route_discard(batch, std::string(phase) + "/respread");
 
   // Step 2: run Algorithm 1 through the Theorem 11 simulation.
   balance_messages_algorithm alg(m_items, total_deg, k);
@@ -116,7 +111,7 @@ std::vector<vertex> degree_balanced_assignment(
 
   // Step 3: deliver each vertex its interval, then route item requests and
   // replies. The interval tokens live at simulator vertices.
-  std::vector<message> interval_msgs;
+  batch.clear();
   std::int64_t covered = 0;
   struct slot { std::int64_t first, last; vertex v; };
   std::vector<slot> slots;
@@ -125,16 +120,11 @@ std::vector<vertex> degree_balanced_assignment(
     const auto v = vertex(t.at(0));
     slots.push_back({std::int64_t(t.at(1)), std::int64_t(t.at(2)), v});
     covered = std::max(covered, std::int64_t(t.at(2)));
-    if (out.holder[i] != v) {
-      message m;
-      m.src = pool[size_t(out.holder[i])];
-      m.dst = pool[size_t(v)];
-      m.a = std::uint64_t(t.at(1));
-      m.b = std::uint64_t(t.at(2));
-      interval_msgs.push_back(m);
-    }
+    if (out.holder[i] != v)
+      batch.emplace(pool[size_t(out.holder[i])], pool[size_t(v)], 0,
+                    std::uint64_t(t.at(1)), std::uint64_t(t.at(2)));
   }
-  cc.route(std::move(interval_msgs), std::string(phase) + "/intervals");
+  cc.route_discard(batch, std::string(phase) + "/intervals");
 
   if (covered < m_items) {
     // The half-average filter left messages unallocated (possible only on
@@ -142,7 +132,11 @@ std::vector<vertex> degree_balanced_assignment(
     for (std::int64_t j = covered; j < m_items; ++j)
       assignment[size_t(j)] = vertex(j % k);
   }
-  std::vector<message> requests, replies;
+  // Requests and replies stage simultaneously, one direction per outbox.
+  message_batch& requests = cc.outbox(0);
+  message_batch& replies = cc.outbox(1);
+  requests.clear();
+  replies.clear();
   for (const auto& s : slots) {
     for (std::int64_t num = s.first; num <= s.last; ++num) {
       const std::int64_t j = num - 1;  // message numbers are 1-based
@@ -150,20 +144,14 @@ std::vector<vertex> degree_balanced_assignment(
       assignment[size_t(j)] = s.v;
       const vertex h = step1_holder(j);
       if (h == s.v) continue;
-      message req;
-      req.src = pool[size_t(s.v)];
-      req.dst = pool[size_t(h)];
-      req.a = std::uint64_t(j);
-      requests.push_back(req);
-      message rep_m;
-      rep_m.src = pool[size_t(h)];
-      rep_m.dst = pool[size_t(s.v)];
-      rep_m.a = std::uint64_t(j);
-      replies.push_back(rep_m);
+      requests.emplace(pool[size_t(s.v)], pool[size_t(h)], 0,
+                       std::uint64_t(j));
+      replies.emplace(pool[size_t(h)], pool[size_t(s.v)], 0,
+                      std::uint64_t(j));
     }
   }
-  cc.route(std::move(requests), std::string(phase) + "/requests");
-  cc.route(std::move(replies), std::string(phase) + "/replies");
+  cc.route_discard(requests, std::string(phase) + "/requests");
+  cc.route_discard(replies, std::string(phase) + "/replies");
 
   for (std::int64_t j = 0; j < m_items; ++j)
     DCL_ENSURE(assignment[size_t(j)] >= 0, "item left unassigned");

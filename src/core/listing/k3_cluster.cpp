@@ -78,11 +78,10 @@ k3_tree_build build_baseline_tree(cluster_comm& cc,
 
 namespace {
 
-/// Recycled staging for the two Lemma 34 learn exchanges plus the kernel
-/// workspace of the per-leaf local listing; keyed per worker in the runtime
-/// arena so capacity survives across clusters.
+/// Recycled kernel workspace of the per-leaf local listing; keyed per
+/// worker in the runtime arena so capacity survives across clusters. The
+/// learn-exchange staging batches moved to the shared transport outboxes.
 struct k3_learn_scratch {
-  message_batch requests, replies;
   enumkernel::enum_scratch enum_ws;
 };
 
@@ -102,13 +101,11 @@ cluster_listing_stats list_k3_in_cluster(network& net_c, const graph& g,
   for (vertex v : a.v_cluster)
     if (!a.in_v_minus(v)) low_local.push_back(cc.to_local(v));
   {
-    network local_net(cc.local_graph(), net_c.ledger());
-    enumkernel::enum_scratch* two_hop_ws =
-        scratch != nullptr ? &scratch->get<k3_learn_scratch>().enum_ws
-                           : nullptr;
+    network local_net(cc.local_graph(), net_c.ledger(),
+                      &net_c.shared_transport());
     two_hop_listing(local_net, cc.local_graph(), low_local, a.delta, 3, out,
                     std::string(phase) + "/twohop", cc.parent_vertices(),
-                    two_hop_ws);
+                    scratch);
   }
 
   // ---- High-degree side: triangles inside V−_C via a partition tree.
@@ -138,8 +135,11 @@ cluster_listing_stats list_k3_in_cluster(network& net_c, const graph& g,
   k3_learn_scratch local_ws;
   k3_learn_scratch& ws =
       scratch != nullptr ? scratch->get<k3_learn_scratch>() : local_ws;
-  ws.requests.clear();
-  ws.replies.clear();
+  // Request and reply traffic stage simultaneously, one per outbox.
+  message_batch& requests = cc.outbox(0);
+  message_batch& replies = cc.outbox(1);
+  requests.clear();
+  replies.clear();
   std::vector<edge_list> learned(tb.leaf_parts.size());
   std::set<vertex> lister_set;
   std::map<vertex, std::int64_t> recv_words;
@@ -154,8 +154,8 @@ cluster_listing_stats list_k3_in_cluster(network& net_c, const graph& g,
       for (std::int64_t posu = ulo; posu < uhi; ++posu) {
         const vertex u = pool[size_t(posu)];
         if (u != lister) {
-          ws.requests.emplace(lister, u);
-          ws.requests.emplace(lister, u);  // two interval-endpoint words
+          requests.emplace(lister, u);
+          requests.emplace(lister, u);  // two interval-endpoint words
         }
         const auto nb = tb.h.neighbors(vertex(posu));
         for (std::size_t wi = 0; wi < chain.size(); ++wi) {
@@ -168,7 +168,7 @@ cluster_listing_stats list_k3_in_cluster(network& net_c, const graph& g,
           for (auto it = lo_it; it != hi_it; ++it) {
             learned[li].push_back(make_edge(vertex(posu), *it));
             ++recv_words[lister];
-            if (u != lister) ws.replies.emplace(u, lister);
+            if (u != lister) replies.emplace(u, lister);
           }
         }
       }
@@ -181,8 +181,8 @@ cluster_listing_stats list_k3_in_cluster(network& net_c, const graph& g,
       stats.max_normalized_load =
           std::max(stats.max_normalized_load, double(words) / double(deg));
   }
-  cc.route_discard(ws.requests, std::string(phase) + "/learn_req");
-  cc.route_discard(ws.replies, std::string(phase) + "/learn_rep");
+  cc.route_discard(requests, std::string(phase) + "/learn_req");
+  cc.route_discard(replies, std::string(phase) + "/learn_rep");
 
   for (std::size_t li = 0; li < tb.leaf_parts.size(); ++li) {
     auto& le = learned[li];

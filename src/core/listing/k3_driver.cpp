@@ -92,7 +92,10 @@ clique_set list_triangles_congest(const graph& g, const listing_options& opt,
           detail::cluster_outcome oc(3);
           const auto& a = anatomy[size_t(ci)];
           if (a.e_minus.empty()) return oc;
-          network net_c(cur, oc.ledger);
+          // The worker's arena-parked transport keeps delivery scratch and
+          // staging outboxes capacity-warm across this worker's clusters.
+          network net_c(cur, oc.ledger,
+                        &pool.arena(worker).get<transport>());
           oc.stats = list_k3_in_cluster(
               net_c, cur, a, opt.lb, splitmix64(opt.seed + std::uint64_t(ci)),
               oc.cliques, "cluster" + std::to_string(ci),

@@ -57,11 +57,10 @@ void leaves_needing_edge(const partition_tree& tree, int pi, bool a_is_v2,
   }
 }
 
-/// Recycled staging for the per-p′ learn exchange plus the kernel workspace
-/// of the per-leaf local listing; keyed per worker in the runtime arena so
-/// capacity survives across clusters.
+/// Recycled kernel workspace of the per-leaf local listing; keyed per
+/// worker in the runtime arena so capacity survives across clusters. The
+/// learn-exchange staging batch moved to the shared transport outbox.
 struct kp_learn_scratch {
-  message_batch traffic;
   enumkernel::enum_scratch enum_ws;
 };
 
@@ -164,7 +163,8 @@ cluster_listing_stats list_kp_in_cluster(
     kp_learn_scratch local_ws;
     kp_learn_scratch& ws =
         scratch != nullptr ? scratch->get<kp_learn_scratch>() : local_ws;
-    ws.traffic.clear();
+    message_batch& traffic = cc.outbox(0);
+    traffic.clear();
     std::vector<std::int64_t> hit_leaves;
     auto ship = [&](bool a_is_v2, std::int64_t pa, bool b_is_v2,
                     std::int64_t pb, edge orig, vertex holder_local) {
@@ -177,7 +177,7 @@ cluster_listing_stats list_kp_in_cluster(
       for (const auto lid : hit_leaves) {
         learned[size_t(lid)].push_back(orig);
         const vertex lister = pool[size_t(assignment[size_t(lid)])];
-        if (lister != holder_local) ws.traffic.emplace(holder_local, lister);
+        if (lister != holder_local) traffic.emplace(holder_local, lister);
       }
     };
     for (const auto& e : in.e1)
@@ -194,7 +194,7 @@ cluster_listing_stats list_kp_in_cluster(
            make_edge(v2_list[size_t(e.u)], v2_list[size_t(e.v)]),
            pool[size_t(tb.v2_owner[size_t(e.u)])]);
     }
-    cc.route_discard(ws.traffic,
+    cc.route_discard(traffic,
                      std::string(phase) + "/learn" + std::to_string(p_prime));
 
     std::set<vertex> listers;

@@ -219,7 +219,10 @@ clique_set list_kp_congest(const graph& g, const listing_options& opt,
           const auto& a = anatomy[size_t(ci)];
           if (a.v_minus.size() < 2) return oc;
           oc.considered = true;
-          network net_c(cur, oc.ledger);
+          // The worker's arena-parked transport keeps delivery scratch and
+          // staging outboxes capacity-warm across this worker's clusters.
+          network net_c(cur, oc.ledger,
+                        &pool.arena(worker).get<transport>());
           const std::string cl = "cluster" + std::to_string(ci);
 
           const auto del =

@@ -3,16 +3,29 @@
 #include <algorithm>
 
 #include "enumkernel/kernel.hpp"
+#include "runtime/scratch.hpp"
 #include "support/check.hpp"
 
 namespace dcl {
+
+namespace {
+
+/// Recycled per-worker workspace: kernel scratch plus the learned-edge and
+/// tuple staging buffers that used to be reallocated per call.
+struct two_hop_scratch {
+  enumkernel::enum_scratch enum_ws;
+  std::vector<vertex> tuple;
+  edge_list learned;
+};
+
+}  // namespace
 
 two_hop_stats two_hop_listing(network& net, const graph& g,
                               std::span<const vertex> targets,
                               std::int64_t alpha, int p,
                               clique_collector& out, std::string_view phase,
                               std::span<const vertex> id_map,
-                              enumkernel::enum_scratch* scratch) {
+                              runtime::scratch_arena* arena) {
   DCL_EXPECTS(p >= 3, "clique arity must be at least 3");
   DCL_EXPECTS(id_map.empty() || vertex(id_map.size()) == g.num_vertices(),
               "id_map must cover all vertices");
@@ -52,10 +65,11 @@ two_hop_stats two_hop_listing(network& net, const graph& g,
   // enumerated on the shared kernel (one warm scratch across all targets).
   // To avoid emitting the same clique once per contained target, a clique
   // is emitted only by its minimum-id target member.
-  enumkernel::enum_scratch local_ws;
-  enumkernel::enum_scratch& ws = scratch != nullptr ? *scratch : local_ws;
-  std::vector<vertex> tuple;
-  edge_list learned;
+  two_hop_scratch local_ws;
+  two_hop_scratch& ws =
+      arena != nullptr ? arena->get<two_hop_scratch>() : local_ws;
+  std::vector<vertex>& tuple = ws.tuple;
+  edge_list& learned = ws.learned;
   for (vertex v : targets) {
     const auto nv = g.neighbors(v);
     learned.clear();
@@ -65,7 +79,7 @@ two_hop_stats two_hop_listing(network& net, const graph& g,
       }
     }
     enumkernel::enumerate_cliques_in_edges(
-        learned, p - 1, ws, [&](std::span<const vertex> c) {
+        learned, p - 1, ws.enum_ws, [&](std::span<const vertex> c) {
           bool v_is_min_target = true;
           for (vertex u : c)
             if (is_target[size_t(u)] && u < v) {

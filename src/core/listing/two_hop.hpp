@@ -11,8 +11,8 @@
 #include "congest/network.hpp"
 #include "core/listing/collector.hpp"
 
-namespace dcl::enumkernel {
-struct enum_scratch;
+namespace dcl::runtime {
+class scratch_arena;
 }
 
 namespace dcl {
@@ -29,14 +29,15 @@ struct two_hop_stats {
 /// the round cost is the max per-directed-edge load of the two exchanges.
 /// If `id_map` is non-empty, emitted vertex ids are translated through it
 /// (used when g is a cluster-local subgraph). The per-target local listing
-/// runs on the shared enumeration kernel; passing a warm `scratch` (e.g.
-/// from the worker's runtime arena) makes the per-target enumerations
-/// allocation-free, a call-local workspace is used otherwise.
+/// runs on the shared enumeration kernel; passing the worker's runtime
+/// `arena` keys a persistent workspace (kernel scratch, learned-edge and
+/// tuple buffers) there, making the per-target enumerations allocation-
+/// free across clusters — a call-local workspace is used otherwise.
 two_hop_stats two_hop_listing(network& net, const graph& g,
                               std::span<const vertex> targets,
                               std::int64_t alpha, int p,
                               clique_collector& out, std::string_view phase,
                               std::span<const vertex> id_map = {},
-                              enumkernel::enum_scratch* scratch = nullptr);
+                              runtime::scratch_arena* arena = nullptr);
 
 }  // namespace dcl

@@ -137,29 +137,27 @@ split_tree_build build_split_tree(cluster_comm& cc,
   // Route every Ē/E′ edge to the chain owner of its tail (both copies for
   // E′ — Lemma 38 ships both directions).
   {
-    std::vector<message> moves;
+    // Receipt is modeled (owners read the position-space inputs locally),
+    // so the move batch stages in the shared outbox and routes
+    // accounting-only.
+    message_batch& moves = cc.outbox(0);
+    moves.clear();
     for (std::size_t j = 0; j < in.e2.size(); ++j) {
       const auto& e = in.e2[j];
       const vertex holder = pool[size_t(in.e2_holder[j])];
       for (const auto tail : {e.u, e.v}) {
         const vertex owner = pool[size_t(out.v2_owner[size_t(tail)])];
         if (owner == holder) continue;
-        message m;
-        m.src = holder;
-        m.dst = owner;
-        moves.push_back(m);
+        moves.emplace(holder, owner);
       }
     }
     for (const auto& e : in.e12) {
       const vertex holder = pool[size_t(e.u)];  // the V1 head holds Ē
       const vertex owner = pool[size_t(out.v2_owner[size_t(e.v)])];
       if (owner == holder) continue;
-      message m;
-      m.src = holder;
-      m.dst = owner;
-      moves.push_back(m);
+      moves.emplace(holder, owner);
     }
-    cc.route(std::move(moves), std::string(phase) + "/thm31");
+    cc.route_discard(moves, std::string(phase) + "/thm31");
   }
 
   // ---- Layers (Lemma 30): one Algorithm 2 machine per pending node.

@@ -104,9 +104,13 @@ pp_sim_report pp_simulate(cluster_comm& cc, std::span<const vertex> pool,
     r.done = false;  // even empty streams run finish()
   }
 
-  // ---- Phase 1: ship main tokens to chain vertices.
+  // ---- Phase 1: ship main tokens to chain vertices. Receipt is modeled
+  // (the runners read their segments directly), so every batch of this
+  // simulation stages into the shared transport outbox and routes
+  // accounting-only.
+  message_batch& batch = cc.outbox(0);
   {
-    std::vector<message> batch;
+    batch.clear();
     for (auto& r : runners) {
       for (vertex i = 0; i < k; ++i) {
         const vertex chain_vertex =
@@ -114,16 +118,12 @@ pp_sim_report pp_simulate(cluster_comm& cc, std::span<const vertex> pool,
                                                   eff_lambda - 1))];
         if (chain_vertex == i) continue;  // already local
         for (const auto& entry : r.segments[size_t(i)]) {
-          for (std::int64_t c = 0; c < entry.main.message_cost(); ++c) {
-            message m;
-            m.src = pool[size_t(i)];
-            m.dst = pool[size_t(chain_vertex)];
-            batch.push_back(m);
-          }
+          for (std::int64_t c = 0; c < entry.main.message_cost(); ++c)
+            batch.emplace(pool[size_t(i)], pool[size_t(chain_vertex)]);
         }
       }
     }
-    cc.route(std::move(batch), p1);
+    cc.route_discard(batch, p1);
     report.phase1_rounds = cc.last_route_stats().rounds;
   }
 
@@ -218,7 +218,7 @@ pp_sim_report pp_simulate(cluster_comm& cc, std::span<const vertex> pool,
   };
 
   for (;;) {
-    std::vector<message> batch;
+    batch.clear();
     for (auto& r : runners) {
       if (r.done) continue;
       // Keep advancing this runner; it may emit several hops in one global
@@ -230,7 +230,7 @@ pp_sim_report pp_simulate(cluster_comm& cc, std::span<const vertex> pool,
         for (std::int64_t c = 0; c < ceil_div(words, 2); ++c) {
           message m = *hop;
           m.tag = 0;
-          batch.push_back(m);
+          batch.push(m);
         }
       }
     }
@@ -241,7 +241,7 @@ pp_sim_report pp_simulate(cluster_comm& cc, std::span<const vertex> pool,
       continue;  // some runners finished without hops this wave
     }
     ++report.hop_batches;
-    cc.route(std::move(batch), p2);
+    cc.route_discard(batch, p2);
     report.phase2_rounds += cc.last_route_stats().rounds;
   }
 

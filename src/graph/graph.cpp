@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/check.hpp"
+#include "support/prng.hpp"
 
 namespace dcl {
 
@@ -33,6 +34,52 @@ graph::graph(vertex n, const edge_list& edges) : n_(n) {
   }
   edges_ = edges;
   std::sort(edges_.begin(), edges_.end());
+  build_arc_index();
+}
+
+void graph::build_arc_index() {
+  // Reverse arcs in O(m): sweep rows in ascending u. For a fixed v the
+  // sweep meets its in-neighbors u in ascending order, which is exactly
+  // the order of adj_[offsets_[v]..] — one cursor per vertex pairs them.
+  reverse_arc_.resize(adj_.size());
+  std::vector<std::int64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (vertex u = 0; u < n_; ++u)
+    for (std::int64_t a = offsets_[size_t(u)]; a < offsets_[size_t(u) + 1];
+         ++a)
+      reverse_arc_[size_t(a)] = cursor[size_t(adj_[size_t(a)])]++;
+
+  // Hash index: open addressing with linear probing at load <= 1/2.
+  if (adj_.empty()) return;
+  std::size_t cap = 16;
+  while (cap < adj_.size() * 2) cap <<= 1;
+  arc_mask_ = std::uint64_t(cap) - 1;
+  arc_keys_.assign(cap, 0);
+  arc_vals_.assign(cap, -1);
+  for (vertex u = 0; u < n_; ++u)
+    for (std::int64_t a = offsets_[size_t(u)]; a < offsets_[size_t(u) + 1];
+         ++a) {
+      const std::uint64_t key = (std::uint64_t(std::uint32_t(u)) << 32) |
+                                std::uint32_t(adj_[size_t(a)]);
+      std::uint64_t slot = splitmix64(key) & arc_mask_;
+      while (arc_keys_[size_t(slot)] != 0) slot = (slot + 1) & arc_mask_;
+      arc_keys_[size_t(slot)] = key + 1;
+      arc_vals_[size_t(slot)] = a;
+    }
+}
+
+std::int64_t graph::arc_id(vertex u, vertex v) const {
+  if (std::uint32_t(u) >= std::uint32_t(n_) ||
+      std::uint32_t(v) >= std::uint32_t(n_) || arc_keys_.empty())
+    return -1;
+  const std::uint64_t key =
+      (std::uint64_t(std::uint32_t(u)) << 32) | std::uint32_t(v);
+  std::uint64_t slot = splitmix64(key) & arc_mask_;
+  for (;;) {
+    const std::uint64_t k = arc_keys_[size_t(slot)];
+    if (k == 0) return -1;
+    if (k == key + 1) return arc_vals_[size_t(slot)];
+    slot = (slot + 1) & arc_mask_;
+  }
 }
 
 graph graph::from_unsorted(vertex n, edge_list edges) {
@@ -45,11 +92,6 @@ graph graph::from_unsorted(vertex n, edge_list edges) {
   std::sort(canon.begin(), canon.end());
   canon.erase(std::unique(canon.begin(), canon.end()), canon.end());
   return graph(n, canon);
-}
-
-bool graph::has_edge(vertex u, vertex v) const {
-  const auto nb = neighbors(u);
-  return std::binary_search(nb.begin(), nb.end(), v);
 }
 
 std::int64_t graph::volume(std::span<const vertex> vs) const {

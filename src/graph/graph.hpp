@@ -4,6 +4,7 @@
 // queries and linear-time sorted-intersection (the workhorse of clique
 // enumeration and of the two-hop exchange in Lemma 35).
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <utility>
@@ -46,6 +47,17 @@ struct csr_view {
     return {adj.data() + offsets[size_t(v)],
             adj.data() + offsets[size_t(v) + 1]};
   }
+
+  /// Directed-arc id of (u -> v): the position of v in the flat adjacency,
+  /// i.e. offsets[u] + index of v within the sorted row. -1 when (u, v) is
+  /// not an edge. O(log deg(u)); a full `graph` answers the same query in
+  /// O(1) through its hashed arc index.
+  std::int64_t arc_id(vertex u, vertex v) const {
+    const auto nb = neighbors(u);
+    const auto it = std::lower_bound(nb.begin(), nb.end(), v);
+    if (it == nb.end() || *it != v) return -1;
+    return offsets[size_t(u)] + (it - nb.begin());
+  }
 };
 
 class graph {
@@ -72,7 +84,24 @@ class graph {
             adj_.data() + offsets_[size_t(v) + 1]};
   }
 
-  bool has_edge(vertex u, vertex v) const;
+  bool has_edge(vertex u, vertex v) const { return arc_id(u, v) >= 0; }
+
+  /// Total number of directed arcs (2|E|). Arc ids index the flat CSR
+  /// adjacency: arc a points from its row's vertex to adj()[a].
+  std::int64_t num_arcs() const { return std::int64_t(adj_.size()); }
+
+  /// Directed-arc id of (u -> v): the position of v in the flat adjacency,
+  /// or -1 when (u, v) is not an edge (out-of-range endpoints included).
+  /// O(1) via a hashed arc index built at construction — this is what the
+  /// transport layer's per-arc round counters and endpoint validation key
+  /// on.
+  std::int64_t arc_id(vertex u, vertex v) const;
+
+  /// Arc of the opposite direction, cached at construction:
+  /// reverse_arc(arc_id(u, v)) == arc_id(v, u).
+  std::int64_t reverse_arc(std::int64_t arc) const {
+    return reverse_arc_[size_t(arc)];
+  }
 
   /// CSR view of the adjacency (valid while the graph is alive).
   csr_view view() const { return {n_, offsets_, adj_}; }
@@ -87,10 +116,19 @@ class graph {
   std::int32_t degree_into(vertex v, std::span<const vertex> into) const;
 
  private:
+  void build_arc_index();
+
   vertex n_ = 0;
   std::vector<std::int64_t> offsets_ = {0};
   std::vector<vertex> adj_;
   edge_list edges_;
+  // Directed-arc index: open-addressed hash of (u << 32 | v) -> arc id,
+  // sized to load factor <= 1/2, plus the reverse-arc table. Both are
+  // built once in the constructor — the graph is immutable.
+  std::vector<std::uint64_t> arc_keys_;  // stored as key + 1; 0 = empty
+  std::vector<std::int64_t> arc_vals_;
+  std::uint64_t arc_mask_ = 0;
+  std::vector<std::int64_t> reverse_arc_;
 };
 
 /// When one range is at least this many times longer than the other, the

@@ -15,6 +15,13 @@
 namespace dcl {
 namespace {
 
+/// Test helper: a message_batch filled from a list of messages.
+message_batch make_batch(std::initializer_list<message> ms) {
+  message_batch b;
+  for (const auto& m : ms) b.push(m);
+  return b;
+}
+
 TEST(CostLedger, ChargeAndPhases) {
   cost_ledger l;
   l.charge("a", 3, 10);
@@ -129,12 +136,13 @@ TEST(Network, OneHopRoundsIsMaxEdgeLoad) {
   msgs.push_back({1, 0, 0, 0, 0});  // reverse direction is independent
   msgs.push_back({2, 3, 0, 0, 0});
   EXPECT_EQ(one_hop_rounds(msgs), 2);
-  EXPECT_EQ(one_hop_rounds({}), 0);
+  EXPECT_EQ(one_hop_rounds(std::span<const message>{}), 0);
 }
 
 TEST(Network, OneHopRoundsEdgeCases) {
   // Single message: one round.
-  EXPECT_EQ(one_hop_rounds({{0, 1, 0, 0, 0}}), 1);
+  const std::vector<message> single = {{0, 1, 0, 0, 0}};
+  EXPECT_EQ(one_hop_rounds(single), 1);
   // Duplicates of one directed edge, interleaved with others in arbitrary
   // order: the max multiplicity wins regardless of input order.
   std::vector<message> interleaved = {
@@ -159,8 +167,10 @@ TEST(Network, ExchangeRequiresEdges) {
   const auto g = gen::grid(2, 2);  // 0-1, 0-2, 1-3, 2-3
   cost_ledger l;
   network net(g, l);
-  EXPECT_THROW(net.exchange({{0, 3, 0, 0, 0}}, "p"), precondition_error);
-  const auto out = net.exchange({{0, 1, 7, 1, 2}}, "p");
+  auto bad = make_batch({{0, 3, 0, 0, 0}});
+  EXPECT_THROW(net.exchange(bad, "p"), precondition_error);
+  auto out = make_batch({{0, 1, 7, 1, 2}});
+  net.exchange(out, "p");
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].tag, 7u);
   EXPECT_EQ(l.rounds(), 1);
@@ -171,9 +181,8 @@ TEST(Network, ExchangeDeterministicOrder) {
   const auto g = gen::complete(4);
   cost_ledger l;
   network net(g, l);
-  std::vector<message> batch = {
-      {3, 1, 0, 9, 0}, {0, 1, 0, 5, 0}, {2, 0, 0, 1, 0}};
-  const auto out = net.exchange(batch, "p");
+  auto out = make_batch({{3, 1, 0, 9, 0}, {0, 1, 0, 5, 0}, {2, 0, 0, 1, 0}});
+  net.exchange(out, "p");
   EXPECT_EQ(out[0].dst, 0);
   EXPECT_EQ(out[1].src, 0);
   EXPECT_EQ(out[2].src, 3);
@@ -213,8 +222,9 @@ TEST(Router, DeliversEverythingOnExpander) {
     m.a = std::uint64_t(i);
     msgs.push_back(m);
   }
-  std::vector<message> out;
-  const auto stats = r.route(msgs, &out);
+  message_batch out;
+  for (const auto& m : msgs) out.push(m);
+  const auto stats = r.route(out);
   EXPECT_EQ(out.size(), msgs.size());
   EXPECT_GE(stats.rounds, 1);
   EXPECT_GE(stats.messages, stats.rounds);
@@ -228,8 +238,8 @@ TEST(Router, DeliversEverythingOnExpander) {
 TEST(Router, SelfMessagesAreFree) {
   const auto g = gen::complete(4);
   cluster_router r(g);
-  std::vector<message> out;
-  const auto stats = r.route(std::vector<message>{{2, 2, 0, 42, 0}}, &out);
+  auto out = make_batch({{2, 2, 0, 42, 0}});
+  const auto stats = r.route(out);
   EXPECT_EQ(stats.rounds, 0);
   EXPECT_EQ(stats.messages, 0);
   ASSERT_EQ(out.size(), 1u);
@@ -240,10 +250,9 @@ TEST(Router, RoundsAtLeastCongestionLowerBound) {
   // Single edge: L messages across it need exactly L rounds.
   const graph g(2, {{0, 1}});
   cluster_router r(g, 2);
-  std::vector<message> msgs;
-  for (int i = 0; i < 17; ++i) msgs.push_back({0, 1, 0, std::uint64_t(i), 0});
-  std::vector<message> out;
-  const auto stats = r.route(msgs, &out);
+  message_batch out;
+  for (int i = 0; i < 17; ++i) out.push({0, 1, 0, std::uint64_t(i), 0});
+  const auto stats = r.route(out);
   EXPECT_EQ(stats.rounds, 17);
   EXPECT_EQ(out.size(), 17u);
 }
@@ -252,8 +261,8 @@ TEST(Router, PathGraphSequential) {
   // Path of 5: a message end-to-end takes >= 4 rounds.
   const graph g(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
   cluster_router r(g, 2);
-  std::vector<message> out;
-  const auto stats = r.route(std::vector<message>{{0, 4, 0, 1, 0}}, &out);
+  auto out = make_batch({{0, 4, 0, 1, 0}});
+  const auto stats = r.route(out);
   EXPECT_EQ(stats.rounds, 4);
   EXPECT_EQ(stats.messages, 4);
 }
@@ -269,11 +278,13 @@ TEST(Router, DeterministicRounds) {
   std::vector<message> msgs;
   for (vertex v = 0; v < 40; ++v)
     msgs.push_back({v, vertex((v * 7 + 3) % 40), 0, std::uint64_t(v), 0});
-  std::vector<message> a, b;
-  const auto s1 = r.route(msgs, &a);
-  const auto s2 = r.route(msgs, &b);
+  message_batch a, b;
+  for (const auto& m : msgs) a.push(m);
+  for (const auto& m : msgs) b.push(m);
+  const auto s1 = r.route(a);
+  const auto s2 = r.route(b);
   EXPECT_EQ(s1.rounds, s2.rounds);
-  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.vec(), b.vec());
 }
 
 TEST(ClusterComm, LocalIdsAndMaps) {
@@ -294,7 +305,8 @@ TEST(ClusterComm, RouteChargesLedgerWithPhasePrefix) {
   cost_ledger l;
   network net(g, l);
   cluster_comm cc(net, {0, 1, 2}, {{0, 1}, {1, 2}, {0, 2}}, "cX");
-  cc.route({{0, 2, 0, 11, 0}}, "step1");
+  auto b1 = make_batch({{0, 2, 0, 11, 0}});
+  cc.route(b1, "step1");
   EXPECT_GE(l.rounds(), 1);
   EXPECT_TRUE(l.phases().contains("cX/step1"));
 }
@@ -334,13 +346,14 @@ TEST(ClusterComm, AllgatherCharges) {
 TEST(CongestedClique, ExchangeRounds) {
   cost_ledger l;
   congested_clique cq(8, l);
-  std::vector<message> msgs;
-  for (int i = 0; i < 5; ++i) msgs.push_back({0, 1, 0, std::uint64_t(i), 0});
-  msgs.push_back({3, 4, 0, 0, 0});
+  message_batch msgs;
+  for (int i = 0; i < 5; ++i) msgs.push({0, 1, 0, std::uint64_t(i), 0});
+  msgs.push({3, 4, 0, 0, 0});
   cq.exchange(msgs, "step");
   EXPECT_EQ(l.rounds(), 5);
   EXPECT_EQ(l.messages(), 6);
-  EXPECT_THROW(cq.exchange({{1, 1, 0, 0, 0}}, "bad"), precondition_error);
+  auto bad = make_batch({{1, 1, 0, 0, 0}});
+  EXPECT_THROW(cq.exchange(bad, "bad"), precondition_error);
 }
 
 }  // namespace

@@ -49,8 +49,12 @@ TEST(FailureInjection, NetworkRejectsNonEdgeTraffic) {
   const auto g = gen::grid(2, 2);
   cost_ledger l;
   network net(g, l);
-  EXPECT_THROW(net.exchange({{0, 3, 0, 0, 0}}, "p"), precondition_error);
-  EXPECT_THROW(net.exchange({{0, 9, 0, 0, 0}}, "p"), precondition_error);
+  message_batch non_edge;
+  non_edge.emplace(0, 3);
+  EXPECT_THROW(net.exchange(non_edge, "p"), precondition_error);
+  message_batch out_of_range;
+  out_of_range.emplace(0, 9);
+  EXPECT_THROW(net.exchange(out_of_range, "p"), precondition_error);
 }
 
 TEST(FailureInjection, ClusterCommValidation) {
@@ -72,8 +76,12 @@ TEST(FailureInjection, CongestedCliqueValidation) {
   cost_ledger l;
   EXPECT_THROW(congested_clique(1, l), precondition_error);
   congested_clique cq(4, l);
-  EXPECT_THROW(cq.exchange({{0, 0, 0, 0, 0}}, "p"), precondition_error);
-  EXPECT_THROW(cq.exchange({{0, 7, 0, 0, 0}}, "p"), precondition_error);
+  message_batch self_loop;
+  self_loop.emplace(0, 0);
+  EXPECT_THROW(cq.exchange(self_loop, "p"), precondition_error);
+  message_batch out_of_range;
+  out_of_range.emplace(0, 7);
+  EXPECT_THROW(cq.exchange(out_of_range, "p"), precondition_error);
 }
 
 TEST(FailureInjection, PartitionValidation) {

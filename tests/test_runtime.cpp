@@ -161,7 +161,7 @@ void expect_sim_threads_invariant(const graph& g, int p) {
   const auto want = collect_cliques(g, p);
   EXPECT_TRUE(base.cliques == want)
       << "p=" << p << ": sequential run is not exact";
-  for (const int t : {2, 8}) {
+  for (const int t : {2, 4, 8}) {
     opt.sim_threads = t;
     const auto run = list_cliques(g, opt);
     EXPECT_TRUE(run.cliques == base.cliques)
