@@ -77,7 +77,7 @@ void BM_PhiScheduleListing(benchmark::State& state) {
   const auto g = gen::planted_partition(8, 40, 0.4, 0.01, 9);
   listing_report rep;
   for (auto _ : state) {
-    listing_options opt;
+    listing_query opt;
     opt.epsilon = 1.0 / double(inv_eps);
     list_triangles_congest(g, opt, &rep);
   }

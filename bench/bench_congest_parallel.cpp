@@ -14,6 +14,7 @@
 // commits. Self-contained on purpose: no google-benchmark dependency.
 
 #include <cstdlib>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -45,8 +46,20 @@ int main(int argc, char** argv) {
     else
       pos.push_back(argv[i]);
   }
-  const int max_threads =
-      pos.size() > 0 ? std::atoi(pos[0]) : (smoke ? 2 : 8);
+  int max_threads = smoke ? 2 : 8;
+  if (pos.size() > 0) {
+    max_threads = std::atoi(pos[0]);
+    if (max_threads < 1) {
+      // A non-numeric first positional (e.g. a filename) atoi's to 0 and
+      // would silently skip every timed run AND the determinism
+      // cross-check while still exiting 0 — reject it loudly instead.
+      std::cerr << "usage: bench_congest_parallel [--smoke] [max_threads]"
+                   " [out.json]\n       max_threads must be a positive"
+                   " integer, got '"
+                << pos[0] << "'\n";
+      return 2;
+    }
+  }
   const std::string out_path =
       pos.size() > 1 ? pos[1] : "BENCH_congest_parallel.json";
 
@@ -77,13 +90,13 @@ int main(int argc, char** argv) {
 
   bool first_family = true;
   for (const auto& w : workloads) {
-    listing_options base;
-    base.p = w.p;
-    base.sim_threads = 1;
+    listing_query q;
+    q.p = w.p;
     listing_report ref_report;
     clique_set ref((w.p));
     {
-      auto res = list_cliques(w.g, base);
+      listing_session ref_session(w.g, {.threads = 1});
+      auto res = ref_session.run(q);
       ref = std::move(res.cliques);
       ref_report = std::move(res.report);
     }
@@ -105,10 +118,11 @@ int main(int argc, char** argv) {
     double t1 = 0.0;
     bool first_t = true;
     for (int threads = 1; threads <= max_threads; threads *= 2) {
-      listing_options opt = base;
-      opt.sim_threads = threads;
+      // One session per worker-pool size; the timed loop measures warm
+      // per-query latency, which is the session API's serving shape.
+      listing_session session(w.g, {.threads = threads});
       const double secs = best_seconds([&] {
-        const auto res = list_cliques(w.g, opt);
+        const auto res = session.run(q);
         // Determinism cross-check: clique set and total simulated cost
         // must match the single-threaded reference exactly.
         if (!(res.cliques == ref) ||

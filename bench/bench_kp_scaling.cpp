@@ -22,7 +22,7 @@ void BM_KpListing(benchmark::State& state) {
   listing_report rep;
   clique_set got(p);
   for (auto _ : state) {
-    listing_options opt;
+    listing_query opt;
     opt.p = p;
     got = list_kp_congest(g, opt, &rep);
   }

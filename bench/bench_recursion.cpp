@@ -20,7 +20,7 @@ void BM_RecursionDepth(benchmark::State& state) {
                              : gen::gnp(n, 10.0 / double(n), 23);
   listing_report rep;
   for (auto _ : state) {
-    listing_options opt;
+    listing_query opt;
     opt.epsilon = 1.0 / double(inv_eps);
     list_triangles_congest(g, opt, &rep);
   }

@@ -35,7 +35,7 @@ void BM_TriangleListing(benchmark::State& state) {
   listing_report rep;
   clique_set got(3);
   for (auto _ : state) {
-    listing_options opt;
+    listing_query opt;
     opt.lb = engine == 0   ? lb_engine::deterministic
                  : engine == 1 ? lb_engine::randomized
                                : lb_engine::unbalanced;

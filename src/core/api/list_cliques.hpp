@@ -2,26 +2,37 @@
 // Public facade of the library: deterministic near-optimal distributed
 // clique listing (Censor-Hillel, Leitersdorf, Vulakh — PODC 2022).
 //
-//   #include "core/api/list_cliques.hpp"
-//   dcl::listing_options opt;
-//   opt.p = 3;                             // clique size (3..6 simulated)
-//   auto res = dcl::list_cliques(graph, opt);
-//   res.cliques    — every K_p, exactly once, as sorted tuples
-//   res.report     — simulated CONGEST rounds/messages, per-phase ledger,
-//                    per-level recursion stats, CS20-model charges
+// The primary API is the session (core/api/session.hpp, re-exported here):
+// bind a graph once, then serve many differently-shaped queries —
+// collect / count / stream output modes plus edge-scoped queries — with
+// all query-independent setup (orientation, arc index, worker pool, warm
+// scratch) amortized across runs:
 //
-// `opt.engine` selects the execution backend:
+//   #include "core/api/list_cliques.hpp"
+//   dcl::listing_session session(g, {.engine = ..., .threads = 8});
+//   dcl::listing_query q;
+//   q.p = 3;                               // clique size
+//   auto res = session.run(q);             // res.cliques, res.count,
+//                                          // res.report (fresh per run)
+//
+// dcl::list_cliques(g, opt) survives as the one-shot back-compat wrapper:
+// it binds a temporary session, runs a single collect query, and returns
+// outputs bit-identical to the pre-session facade (cliques AND the full
+// listing_report ledger) — at the cost of rebuilding the session per call.
+//
+// `engine` selects the execution backend:
 //   listing_engine::congest_sim  — the paper's simulated CONGEST algorithms
 //                                  (default; full round/message report);
 //   listing_engine::local_kclist — the shared-memory kClist engine in
 //                                  src/local/ (degeneracy-DAG egonet DFS,
-//                                  thread-parallel via opt.local_threads,
-//                                  p up to 32, empty ledger). Both backends
-//                                  return byte-identical clique sets.
-// Under congest_sim, `opt.lb` further selects the load-balancing engine
-// (the paper's deterministic partition trees, the randomized baseline, or
-// the unbalanced id-range baseline) — see core/listing/driver.hpp.
+//                                  thread-parallel, p up to 32, empty
+//                                  ledger). Both backends return
+//                                  byte-identical clique sets.
+// Under congest_sim, `lb` further selects the load-balancing engine (the
+// paper's deterministic partition trees, the randomized baseline, or the
+// unbalanced id-range baseline) — see core/listing/driver.hpp.
 
+#include "core/api/session.hpp"
 #include "core/listing/driver.hpp"
 
 namespace dcl {
@@ -37,11 +48,14 @@ struct clique_listing_result {
 /// gamma positive, max_levels >= 1, base_case_edges >= 0. Thread counts are
 /// never rejected (<= 0 selects the hardware concurrency). list_cliques
 /// runs this itself; callers that build options programmatically can call
-/// it early to fail fast.
+/// it early to fail fast. Equivalent to validate_query(opt.query(),
+/// opt.engine).
 void validate_options(const listing_options& opt);
 
-/// Lists all K_p of g. Validates `opt` first (see validate_options); under
-/// congest_sim, p in [3, 6].
+/// One-shot wrapper: lists all K_p of g through a temporary
+/// listing_session (collect mode). The returned report is freshly
+/// constructed per call. Repeated calls on one graph rebuild the session
+/// every time — bind a listing_session instead for query traffic.
 clique_listing_result list_cliques(const graph& g,
                                    const listing_options& opt);
 

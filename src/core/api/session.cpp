@@ -1,0 +1,234 @@
+#include "core/api/session.hpp"
+
+#include <string>
+#include <utility>
+
+#include "congest/transport.hpp"
+#include "core/listing/collector.hpp"
+#include "enumkernel/kernel.hpp"
+#include "enumkernel/limits.hpp"
+#include "local/parallel.hpp"
+#include "support/check.hpp"
+
+namespace dcl {
+
+namespace {
+
+[[noreturn]] void reject(const std::string& what) {
+  throw precondition_error("listing_query: " + what);
+}
+
+// Every backend bottoms out in the shared enumeration kernel, so no
+// backend may accept an arity the kernel cannot enumerate.
+static_assert(kCongestMaxP <= enumkernel::kMaxCliqueArity,
+              "congest_sim arity bound exceeds the shared kernel limit");
+
+/// The query knobs that are engine-independent (everything but p's range).
+void validate_common(const listing_query& q) {
+  if (q.epsilon < 0.0 || q.epsilon >= 1.0)
+    reject("epsilon = " + std::to_string(q.epsilon) +
+           " must lie in [0, 1) (0 selects the paper's default)");
+  if (q.beta <= 0.0)
+    reject("beta = " + std::to_string(q.beta) +
+           " must be positive (V−_C degree threshold factor)");
+  if (q.gamma <= 0.0)
+    reject("gamma = " + std::to_string(q.gamma) +
+           " must be positive (overloaded-cluster threshold)");
+  if (q.max_levels < 1)
+    reject("max_levels = " + std::to_string(q.max_levels) +
+           " must be at least 1");
+  if (q.base_case_edges < 0)
+    reject("base_case_edges = " + std::to_string(q.base_case_edges) +
+           " must be non-negative");
+  if (q.stream_batch_tuples < 1)
+    reject("stream_batch_tuples = " + std::to_string(q.stream_batch_tuples) +
+           " must be at least 1");
+}
+
+/// Feeds the canonical set to the sink, q.stream_batch_tuples at a time.
+/// Batch boundaries are presentation only: the concatenation equals the
+/// collect-mode flat storage bit for bit.
+void stream_batches(const clique_set& s, std::int64_t batch_tuples,
+                    const stream_sink& sink) {
+  const std::span<const vertex> flat = s.flat_view();
+  // Clamp to the set size before multiplying: a batch knob near INT64_MAX
+  // must not wrap the stride to 0 (anything >= size() means "one batch").
+  const std::int64_t tuples =
+      std::min(batch_tuples, std::max<std::int64_t>(s.size(), 1));
+  const std::size_t stride = std::size_t(s.arity()) * std::size_t(tuples);
+  for (std::size_t off = 0; off < flat.size(); off += stride)
+    sink(flat.subspan(off, std::min(stride, flat.size() - off)));
+}
+
+/// Per-session kernel workspace for edge-scoped queries, parked in worker
+/// 0's arena: its own type so it never aliases the parallel engine's
+/// per-worker scratch (the kernel is not reentrant on one scratch).
+struct edge_query_scratch {
+  enumkernel::enum_scratch ws;
+  std::vector<vertex> buf;  ///< flat ascending tuples from the kernel
+};
+
+}  // namespace
+
+void validate_query(const listing_query& q, listing_engine engine) {
+  if (engine == listing_engine::local_kclist) {
+    if (q.p < 3 || q.p > enumkernel::kMaxCliqueArity)
+      reject("p = " + std::to_string(q.p) +
+             " is outside the local_kclist range [3, " +
+             std::to_string(enumkernel::kMaxCliqueArity) + "]");
+  } else {
+    if (q.p < 3 || q.p > kCongestMaxP)
+      reject("p = " + std::to_string(q.p) +
+             " is outside the congest_sim range [3, " +
+             std::to_string(kCongestMaxP) + "]; use "
+             "listing_engine::local_kclist for larger cliques");
+  }
+  validate_common(q);
+}
+
+listing_session::listing_session(const graph& g, const session_options& opt)
+    : g_(&g), opt_(opt), pool_(opt.threads) {
+  if (opt_.grain < 1)
+    throw precondition_error("session_options: grain = " +
+                             std::to_string(opt_.grain) +
+                             " must be at least 1");
+  if (opt_.engine == listing_engine::local_kclist) {
+    // The orientation is a pure function of (graph, policy): build the DAG
+    // once here and serve every query arity from it.
+    dag_ = enumkernel::orient(g, opt_.orientation);
+    for (int w = 0; w < pool_.size(); ++w)
+      pool_.arena(w).get<local::engine_worker_scratch>();
+  } else {
+    // The routing layers key on the graph's O(1) arc index; force the lazy
+    // build now so the cost lands at bind time, not inside the first timed
+    // exchange of the first query.
+    g.ensure_arc_index();
+    for (int w = 0; w < pool_.size(); ++w) pool_.arena(w).get<transport>();
+  }
+}
+
+query_result listing_session::run(const listing_query& q) {
+  validate_query(q, opt_.engine);
+  if (q.mode == sink_mode::stream)
+    reject("sink_mode::stream requires the run(query, sink) overload");
+  return opt_.engine == listing_engine::local_kclist ? run_local(q, nullptr)
+                                                     : run_congest(q, nullptr);
+}
+
+query_result listing_session::run(const listing_query& q,
+                                  const stream_sink& sink) {
+  validate_query(q, opt_.engine);
+  if (q.mode != sink_mode::stream)
+    reject("run(query, sink) requires sink_mode::stream");
+  if (!sink) reject("stream sink must be callable");
+  return opt_.engine == listing_engine::local_kclist ? run_local(q, &sink)
+                                                     : run_congest(q, &sink);
+}
+
+query_result listing_session::run_local(const listing_query& q,
+                                        const stream_sink* sink) {
+  query_result res{clique_set(q.p), 0, {}};
+  if (q.mode == sink_mode::count) {
+    // The counting twin: same traversal, no tuple assembly, no buffers, no
+    // merge — nothing is materialized anywhere.
+    res.count =
+        local::count_cliques_parallel(dag_, q.p, pool_, opt_.grain);
+    res.report.emitted = res.count;
+    return res;
+  }
+  clique_set out =
+      local::list_cliques_parallel(dag_, q.p, pool_, opt_.grain);
+  res.count = out.size();
+  res.report.emitted = out.size();
+  if (q.mode == sink_mode::collect)
+    res.cliques = std::move(out);
+  else
+    stream_batches(out, q.stream_batch_tuples, *sink);
+  return res;
+}
+
+query_result listing_session::run_congest(const listing_query& q,
+                                          const stream_sink* sink) {
+  clique_collector out(q.p);
+  listing_report rep = q.p == 3 ? list_triangles_congest(*g_, q, pool_, out)
+                                : list_kp_congest(*g_, q, pool_, out);
+  query_result res{clique_set(q.p), 0, {}};
+  if (q.mode == sink_mode::collect) {
+    res.cliques = out.finalize();
+    res.count = res.cliques.size();
+  } else {
+    // Count and stream skip the copy-out: the canonical set stays inside
+    // the collector (the simulation must still dedup — several listers may
+    // emit the same clique — so congest_sim counting is collector-based,
+    // unlike the local engine's materialization-free twin).
+    const clique_set& canon = out.finalize_in_place();
+    res.count = canon.size();
+    if (q.mode == sink_mode::stream)
+      stream_batches(canon, q.stream_batch_tuples, *sink);
+  }
+  rep.emitted = out.emitted();
+  rep.duplicates = out.duplicates();
+  res.report = std::move(rep);
+  return res;
+}
+
+query_result listing_session::cliques_in_edges(const listing_query& q,
+                                               const edge_list& edges) {
+  if (q.mode == sink_mode::stream)
+    reject("sink_mode::stream requires the cliques_in_edges(..., sink) "
+           "overload");
+  return run_edges(q, edges, nullptr);
+}
+
+query_result listing_session::cliques_in_edges(const listing_query& q,
+                                               const edge_list& edges,
+                                               const stream_sink& sink) {
+  if (q.mode != sink_mode::stream)
+    reject("cliques_in_edges(..., sink) requires sink_mode::stream");
+  if (!sink) reject("stream sink must be callable");
+  return run_edges(q, edges, &sink);
+}
+
+query_result listing_session::run_edges(const listing_query& q,
+                                        const edge_list& edges,
+                                        const stream_sink* sink) {
+  // Edge-scoped queries ride the kernel directly, so the kernel's own
+  // arity range applies for either engine (p = 2 lists the deduplicated
+  // edge set itself).
+  if (q.p < 2 || q.p > enumkernel::kMaxCliqueArity)
+    reject("p = " + std::to_string(q.p) +
+           " is outside the edge-scoped range [2, " +
+           std::to_string(enumkernel::kMaxCliqueArity) + "]");
+  validate_common(q);
+
+  auto& scratch = pool_.arena(0).get<edge_query_scratch>();
+  query_result res{clique_set(q.p), 0, {}};
+  if (q.mode == sink_mode::count) {
+    res.count = enumkernel::enumerate_cliques_in_edges(
+        edges, q.p, scratch.ws, [](std::span<const vertex>) {});
+    res.report.emitted = res.count;
+    return res;
+  }
+  // The kernel emits each clique exactly once, ascending; buffering flat
+  // and bulk-merging presorted keeps the per-clique cost at a memcpy.
+  scratch.buf.clear();
+  enumkernel::enumerate_cliques_in_edges(
+      edges, q.p, scratch.ws, [&](std::span<const vertex> c) {
+        scratch.buf.insert(scratch.buf.end(), c.begin(), c.end());
+      });
+  clique_collector out(q.p);
+  out.merge_buffer(scratch.buf, /*tuples_presorted=*/true);
+  if (q.mode == sink_mode::collect) {
+    res.cliques = out.finalize();
+    res.count = res.cliques.size();
+  } else {
+    const clique_set& canon = out.finalize_in_place();
+    res.count = canon.size();
+    stream_batches(canon, q.stream_batch_tuples, *sink);
+  }
+  res.report.emitted = out.emitted();
+  res.report.duplicates = out.duplicates();
+  return res;
+}
+
+}  // namespace dcl

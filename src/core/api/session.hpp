@@ -1,0 +1,130 @@
+#pragma once
+// Session-based query API: bind a graph once, serve many differently-shaped
+// queries (DESIGN.md §9).
+//
+//   dcl::listing_session session(g, {.engine = dcl::listing_engine::congest_sim,
+//                                    .threads = 8});
+//   dcl::listing_query q;
+//   q.p = 4;
+//   auto r = session.run(q);                    // collect: r.cliques
+//   q.mode = dcl::sink_mode::count;
+//   auto c = session.run(q);                    // count only: c.count
+//   q.mode = dcl::sink_mode::stream;
+//   session.run(q, [&](std::span<const dcl::vertex> batch) { ... });
+//
+// Construction performs every query-independent setup step exactly once —
+// the graph's directed-arc index and reverse-arc table (congest_sim), the
+// degeneracy/DAG orientation (local_kclist), the runtime worker pool, and
+// each worker's scratch arena with its parked kernel scratch / transport —
+// so repeated run() calls reuse warm capacity instead of rebuilding the
+// world per query. The session aliases the graph; the graph must outlive
+// it. run() is NOT thread-safe (one query at a time per session; the
+// parallelism lives inside the pool).
+//
+// Determinism: for a fixed bound graph and query, every output mode is a
+// pure function of (graph, query) — independent of session history, thread
+// count, and scheduling. Streams arrive in the deterministic merge order:
+// canonical ascending tuples, lexicographically sorted, deduplicated —
+// exactly the order of the collect-mode clique_set.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "core/listing/driver.hpp"
+#include "enumkernel/orient.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace dcl {
+
+/// The graph-binding half of the old monolithic listing_options:
+/// everything that is fixed for the lifetime of a session.
+struct session_options {
+  listing_engine engine = listing_engine::congest_sim;
+  /// Worker-pool size (<= 0 → hardware concurrency): cluster-parallel
+  /// simulation workers under congest_sim, kClist workers under
+  /// local_kclist. Outputs are bit-identical for every value (DESIGN.md
+  /// §6).
+  int threads = 1;
+  /// local_kclist binding knobs: the DAG orientation policy (the DAG is
+  /// built once, at bind time) and arcs per dynamically-scheduled chunk.
+  enumkernel::orientation_policy orientation =
+      enumkernel::orientation_policy::degeneracy;
+  std::int64_t grain = 128;
+};
+
+/// What one run() returns. The report is freshly constructed per run —
+/// queries never see (or clobber) another query's accounting.
+struct query_result {
+  clique_set cliques;      ///< collect: every K_p once; count/stream: empty
+  std::int64_t count = 0;  ///< distinct cliques, in every mode
+  listing_report report;   ///< fresh per run (empty ledger under local_kclist)
+};
+
+/// Batched sink for sink_mode::stream: receives flat tuples (stride p,
+/// each tuple ascending, at most stream_batch_tuples per call) in the
+/// deterministic merge order. The span is valid only during the call. A
+/// query with zero cliques invokes the sink zero times.
+using stream_sink = std::function<void(std::span<const vertex>)>;
+
+/// Per-query validation for a given engine: p range (congest_sim: [3,
+/// kCongestMaxP], local_kclist: [3, enumkernel::kMaxCliqueArity]), epsilon
+/// in [0, 1), beta/gamma positive, max_levels >= 1, base_case_edges >= 0,
+/// stream_batch_tuples >= 1. Throws dcl::precondition_error with an
+/// actionable message on the first violation. run() calls this itself.
+void validate_query(const listing_query& q, listing_engine engine);
+
+class listing_session {
+ public:
+  /// Binds to `g` (aliased — must outlive the session) and performs the
+  /// query-independent setup described above. Throws precondition_error on
+  /// invalid binding options (grain < 1).
+  explicit listing_session(const graph& g,
+                           const session_options& opt = session_options{});
+
+  listing_session(const listing_session&) = delete;
+  listing_session& operator=(const listing_session&) = delete;
+
+  /// Runs one collect- or count-mode query (q.mode == stream requires the
+  /// sink overload; rejected here). Validates q first.
+  query_result run(const listing_query& q);
+
+  /// Runs one stream-mode query: `sink` receives the canonical tuples in
+  /// deterministic merge order, batched per q.stream_batch_tuples.
+  /// Requires q.mode == sink_mode::stream.
+  query_result run(const listing_query& q, const stream_sink& sink);
+
+  /// Edge-scoped query: the cliques of the given explicit edge set (which
+  /// may contain duplicates, self-loops, and vertex ids unrelated to the
+  /// bound graph — see enumkernel::enumerate_cliques_in_edges), under any
+  /// sink mode. Engine-independent: runs on the shared enumeration kernel
+  /// through this session's worker arenas, with no CONGEST accounting (the
+  /// report's ledger stays empty). Unlike the main-line queries, p may go
+  /// down to 2 and up to enumkernel::kMaxCliqueArity for either engine.
+  query_result cliques_in_edges(const listing_query& q,
+                                const edge_list& edges);
+  query_result cliques_in_edges(const listing_query& q,
+                                const edge_list& edges,
+                                const stream_sink& sink);
+
+  const graph& bound_graph() const { return *g_; }
+  const session_options& options() const { return opt_; }
+  int threads() const { return pool_.size(); }
+
+  /// local_kclist bindings: the DAG oriented at bind time (degeneracy =
+  /// max_out_degree under the degeneracy policy). Empty under congest_sim.
+  const enumkernel::dag& bound_dag() const { return dag_; }
+
+ private:
+  query_result run_local(const listing_query& q, const stream_sink* sink);
+  query_result run_congest(const listing_query& q, const stream_sink* sink);
+  query_result run_edges(const listing_query& q, const edge_list& edges,
+                         const stream_sink* sink);
+
+  const graph* g_;
+  session_options opt_;
+  runtime::thread_pool pool_;
+  enumkernel::dag dag_;  ///< local_kclist only; oriented once at bind
+};
+
+}  // namespace dcl

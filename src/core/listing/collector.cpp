@@ -32,7 +32,7 @@ void clique_collector::absorb(const clique_collector& other) {
   emitted_ += other.emitted_;
 }
 
-clique_set clique_collector::finalize() {
+const clique_set& clique_collector::finalize_in_place() {
   DCL_EXPECTS(!finalized_, "finalize() is single-shot");
   finalized_ = true;
   duplicates_ = set_.normalize();
@@ -40,5 +40,7 @@ clique_set clique_collector::finalize() {
              "duplication accounting must balance");
   return set_;
 }
+
+clique_set clique_collector::finalize() { return finalize_in_place(); }
 
 }  // namespace dcl

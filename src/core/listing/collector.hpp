@@ -46,8 +46,15 @@ class clique_collector {
   std::int64_t emitted() const { return emitted_; }
 
   /// Deduplicates and returns the canonical set; afterwards duplicates()
-  /// reports how many emissions were redundant. Single-shot.
+  /// reports how many emissions were redundant. Single-shot (shared with
+  /// finalize_in_place — exactly one of the two may run).
   clique_set finalize();
+
+  /// Zero-copy finalization behind count-only and streaming queries:
+  /// normalizes exactly like finalize() but returns a reference to the
+  /// canonical set owned by the collector instead of copying it out. The
+  /// view is valid for the collector's lifetime.
+  const clique_set& finalize_in_place();
 
   std::int64_t duplicates() const { return duplicates_; }
 

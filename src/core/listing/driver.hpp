@@ -19,12 +19,54 @@
 
 namespace dcl {
 
-/// Execution backend behind dcl::list_cliques:
+namespace runtime {
+class thread_pool;
+}
+
+/// Execution backend behind dcl::listing_session / dcl::list_cliques:
 ///   congest_sim  — the paper's simulated CONGEST algorithms (default);
 ///   local_kclist — the shared-memory kClist engine (src/local/), exact and
 ///                  fast, with no round/message accounting.
 enum class listing_engine { congest_sim, local_kclist };
 
+/// Largest arity the CONGEST drivers implement (Theorem 36 machinery); the
+/// local_kclist engine goes up to enumkernel::kMaxCliqueArity.
+inline constexpr int kCongestMaxP = 6;
+
+/// Output mode of one query (DESIGN.md §9):
+///   collect — materialize the canonical clique_set (historical behavior);
+///   count   — only the distinct-clique count: the local engine runs its
+///             counting twin with no materialization at all, congest_sim
+///             finalizes its dedup collector in place without copying the
+///             set out;
+///   stream  — hand the canonical tuples to a batched caller sink in the
+///             deterministic merge order (requires the sink-taking run
+///             overload of listing_session).
+enum class sink_mode { collect, count, stream };
+
+/// The per-query half of the old monolithic listing_options: everything
+/// that may change between two runs against the same bound graph. The
+/// graph-binding half (engine, worker-pool size, DAG orientation) lives in
+/// session_options (core/api/session.hpp).
+struct listing_query {
+  int p = 3;                                ///< clique arity
+  sink_mode mode = sink_mode::collect;      ///< output shape of this run
+  lb_engine lb = lb_engine::deterministic;  ///< congest_sim load balancing
+  std::uint64_t seed = 0;      ///< used only by the randomized lb engine
+  double epsilon = 0.0;        ///< 0 → 1/18 (p != 4) or 1/12 (p = 4)
+  double beta = 2.0;           ///< V−_C degree threshold factor (p >= 4)
+  double gamma = 12.0;         ///< overloaded-cluster threshold (p >= 4)
+  int max_levels = 64;
+  std::int64_t base_case_edges = 64;  ///< gather centrally below this
+  /// stream mode: max tuples per sink invocation (>= 1). A presentation
+  /// knob only — the concatenated stream is invariant under it.
+  std::int64_t stream_batch_tuples = 4096;
+};
+
+/// Back-compat monolithic option block of dcl::list_cliques: the binding
+/// knobs (engine, thread counts) and the per-query knobs in one struct,
+/// exactly as before the session API. New code binds a listing_session
+/// with session_options and passes a listing_query per run.
 struct listing_options {
   int p = 3;
   listing_engine engine = listing_engine::congest_sim;
@@ -42,6 +84,21 @@ struct listing_options {
   double gamma = 12.0;         ///< overloaded-cluster threshold (p >= 4)
   int max_levels = 64;
   std::int64_t base_case_edges = 64;  ///< gather centrally below this
+
+  /// The per-query half, for handing to a listing_session (always
+  /// sink_mode::collect — the wrapper's historical shape).
+  listing_query query() const {
+    listing_query q;
+    q.p = p;
+    q.lb = lb;
+    q.seed = seed;
+    q.epsilon = epsilon;
+    q.beta = beta;
+    q.gamma = gamma;
+    q.max_levels = max_levels;
+    q.base_case_edges = base_case_edges;
+    return q;
+  }
 };
 
 struct level_stats {
@@ -68,13 +125,35 @@ struct listing_report {
   double max_normalized_load = 0.0;
 };
 
-/// Theorem 32. Lists all triangles of g; output equals the sequential
-/// ground truth exactly (tested property).
-clique_set list_triangles_congest(const graph& g, const listing_options& opt,
-                                  listing_report* report = nullptr);
+/// Theorem 32. Appends every triangle of g into `out` (arity 3, must be
+/// unfinalized) and returns this run's fresh report — the driver never
+/// touches caller-held report state. The caller finalizes `out` to fit its
+/// sink mode and owns the emitted/duplicates bookkeeping afterwards.
+/// `pool` supplies the cluster-parallel workers and their arena-parked
+/// transports; a listing_session passes its persistent pool so transport
+/// and kernel scratch stay warm across queries. Output equals the
+/// sequential ground truth exactly (tested property).
+listing_report list_triangles_congest(const graph& g, const listing_query& q,
+                                      runtime::thread_pool& pool,
+                                      clique_collector& out);
 
 /// Theorem 36 (unified driver for p >= 4; see DESIGN.md §2.4 on K4).
-clique_set list_kp_congest(const graph& g, const listing_options& opt,
-                           listing_report* report = nullptr);
+/// Contract as list_triangles_congest.
+listing_report list_kp_congest(const graph& g, const listing_query& q,
+                               runtime::thread_pool& pool,
+                               clique_collector& out);
+
+/// Convenience overloads for tests/benches: run on a private pool of
+/// `sim_threads` workers, finalize, and return the canonical clique set.
+/// When `report` is non-null it is overwritten with the fresh per-run
+/// report (unlike the pre-session API, which reset the caller's object
+/// silently mid-call, this is the documented contract: a report out-param
+/// never carries state in).
+clique_set list_triangles_congest(const graph& g, const listing_query& q,
+                                  listing_report* report = nullptr,
+                                  int sim_threads = 1);
+clique_set list_kp_congest(const graph& g, const listing_query& q,
+                           listing_report* report = nullptr,
+                           int sim_threads = 1);
 
 }  // namespace dcl

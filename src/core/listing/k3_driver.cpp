@@ -41,22 +41,19 @@ graph remove_edges(const graph& cur, const edge_list& removed) {
 
 }  // namespace detail
 
-clique_set list_triangles_congest(const graph& g, const listing_options& opt,
-                                  listing_report* report) {
-  DCL_EXPECTS(opt.p == 3, "use list_kp_congest for p >= 4");
-  DCL_EXPECTS(opt.epsilon < 1.0,
+listing_report list_triangles_congest(const graph& g, const listing_query& q,
+                                      runtime::thread_pool& pool,
+                                      clique_collector& out) {
+  DCL_EXPECTS(q.p == 3, "use list_kp_congest for p >= 4");
+  DCL_EXPECTS(q.epsilon < 1.0,
               "epsilon must be below 1 (0 selects the default)");
-  listing_report local_report;
-  listing_report& rep = report != nullptr ? *report : local_report;
-  rep = listing_report{};
+  listing_report rep;  // fresh per run — never resets caller state
 
-  clique_collector out(3);
-  const double epsilon = opt.epsilon > 0 ? opt.epsilon : 1.0 / 18.0;
-  runtime::thread_pool pool(opt.sim_threads);
+  const double epsilon = q.epsilon > 0 ? q.epsilon : 1.0 / 18.0;
   graph cur = g;
   bool done = false;
 
-  for (int level = 0; level < opt.max_levels && !done; ++level) {
+  for (int level = 0; level < q.max_levels && !done; ++level) {
     if (cur.num_edges() == 0) {
       done = true;
       break;
@@ -64,7 +61,7 @@ clique_set list_triangles_congest(const graph& g, const listing_options& opt,
     level_stats ls;
     ls.edges_before = cur.num_edges();
 
-    if (cur.num_edges() <= opt.base_case_edges) {
+    if (cur.num_edges() <= q.base_case_edges) {
       detail::central_fallback(cur, 3, out, rep.ledger);
       rep.levels.push_back(ls);
       done = true;
@@ -97,7 +94,7 @@ clique_set list_triangles_congest(const graph& g, const listing_options& opt,
           network net_c(cur, oc.ledger,
                         &pool.arena(worker).get<transport>());
           oc.stats = list_k3_in_cluster(
-              net_c, cur, a, opt.lb, splitmix64(opt.seed + std::uint64_t(ci)),
+              net_c, cur, a, q.lb, splitmix64(q.seed + std::uint64_t(ci)),
               oc.cliques, "cluster" + std::to_string(ci),
               &pool.arena(worker));
           oc.considered = true;
@@ -140,10 +137,18 @@ clique_set list_triangles_congest(const graph& g, const listing_options& opt,
     detail::central_fallback(cur, 3, out, rep.ledger);
     rep.used_fallback = true;
   }
+  return rep;
+}
 
-  auto result = out.finalize();
+clique_set list_triangles_congest(const graph& g, const listing_query& q,
+                                  listing_report* report, int sim_threads) {
+  runtime::thread_pool pool(sim_threads);
+  clique_collector out(3);
+  listing_report rep = list_triangles_congest(g, q, pool, out);
+  clique_set result = out.finalize();
   rep.emitted = out.emitted();
   rep.duplicates = out.duplicates();
+  if (report) *report = std::move(rep);
   return result;
 }
 

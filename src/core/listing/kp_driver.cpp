@@ -129,33 +129,31 @@ delivery_result deliver_eprime(network& net_c, const graph& g,
 
 }  // namespace
 
-clique_set list_kp_congest(const graph& g, const listing_options& opt,
-                           listing_report* report) {
-  DCL_EXPECTS(opt.p >= 4 && opt.p <= 6, "list_kp_congest supports 4 <= p <= 6");
-  DCL_EXPECTS(opt.epsilon < 1.0,
+listing_report list_kp_congest(const graph& g, const listing_query& q,
+                               runtime::thread_pool& pool,
+                               clique_collector& out) {
+  DCL_EXPECTS(q.p >= 4 && q.p <= kCongestMaxP,
+              "list_kp_congest supports 4 <= p <= 6");
+  DCL_EXPECTS(q.epsilon < 1.0,
               "epsilon must be below 1 (0 selects the default)");
-  listing_report local_report;
-  listing_report& rep = report != nullptr ? *report : local_report;
-  rep = listing_report{};
+  listing_report rep;  // fresh per run — never resets caller state
 
-  clique_collector out(opt.p);
   const double epsilon =
-      opt.epsilon > 0 ? opt.epsilon : (opt.p == 4 ? 1.0 / 12.0 : 1.0 / 18.0);
+      q.epsilon > 0 ? q.epsilon : (q.p == 4 ? 1.0 / 12.0 : 1.0 / 18.0);
   const std::int64_t n_budget =
-      budget_n_1_minus_2_over_p(g.num_vertices(), opt.p);
-  runtime::thread_pool pool(opt.sim_threads);
+      budget_n_1_minus_2_over_p(g.num_vertices(), q.p);
   graph cur = g;
   bool done = false;
 
-  for (int level = 0; level < opt.max_levels && !done; ++level) {
+  for (int level = 0; level < q.max_levels && !done; ++level) {
     if (cur.num_edges() == 0) {
       done = true;
       break;
     }
     level_stats ls;
     ls.edges_before = cur.num_edges();
-    if (cur.num_edges() <= opt.base_case_edges) {
-      detail::central_fallback(cur, opt.p, out, rep.ledger);
+    if (cur.num_edges() <= q.base_case_edges) {
+      detail::central_fallback(cur, q.p, out, rep.ledger);
       rep.levels.push_back(ls);
       done = true;
       break;
@@ -167,7 +165,7 @@ clique_set list_kp_congest(const graph& g, const listing_options& opt,
     rep.model_decomposition_rounds +=
         cs20_decomposition_rounds(cur.num_vertices(), epsilon);
     const auto anatomy =
-        build_anatomy(cur, d, {.p = opt.p, .beta = opt.beta});
+        build_anatomy(cur, d, {.p = q.p, .beta = q.beta});
     ls.clusters = std::int64_t(anatomy.size());
 
     cost_ledger level_ledger;
@@ -192,8 +190,8 @@ clique_set list_kp_congest(const graph& g, const listing_options& opt,
       }
       std::sort(targets.begin(), targets.end());
       if (!targets.empty()) {
-        clique_collector exh_out(opt.p);
-        two_hop_listing(exh_net, cur, targets, alpha, opt.p, exh_out,
+        clique_collector exh_out(q.p);
+        two_hop_listing(exh_net, cur, targets, alpha, q.p, exh_out,
                         "exhaustive");
         const auto found = exh_out.finalize();
         for (std::int64_t t = 0; t < found.size(); ++t) out.emit(found[t]);
@@ -215,7 +213,7 @@ clique_set list_kp_congest(const graph& g, const listing_options& opt,
     const auto outcomes = runtime::run_indexed<detail::cluster_outcome>(
         pool, std::int64_t(anatomy.size()),
         [&](int worker, std::int64_t ci) {
-          detail::cluster_outcome oc(opt.p);
+          detail::cluster_outcome oc(q.p);
           const auto& a = anatomy[size_t(ci)];
           if (a.v_minus.size() < 2) return oc;
           oc.considered = true;
@@ -236,15 +234,15 @@ clique_set list_kp_congest(const graph& g, const listing_options& opt,
           const bool overloaded =
               double(e_vm_vc) / double(a.v_minus.size()) <=
               double(del.eprime.edges.size()) /
-                  (opt.gamma * double(cur.num_vertices()));
+                  (q.gamma * double(cur.num_vertices()));
           if (overloaded) {
             oc.deferred = true;
             return oc;
           }
 
           oc.stats = list_kp_in_cluster(
-              net_c, cur, a, del.eprime, opt.p, opt.lb,
-              splitmix64(opt.seed + std::uint64_t(ci)), oc.cliques, cl,
+              net_c, cur, a, del.eprime, q.p, q.lb,
+              splitmix64(q.seed + std::uint64_t(ci)), oc.cliques, cl,
               &pool.arena(worker));
 
           // Removal rule (DESIGN.md §2.4/2.5): E− edges inside V− with a
@@ -280,7 +278,7 @@ clique_set list_kp_congest(const graph& g, const listing_options& opt,
     rep.levels.push_back(ls);
 
     if (removed.empty()) {
-      detail::central_fallback(cur, opt.p, out, rep.ledger);
+      detail::central_fallback(cur, q.p, out, rep.ledger);
       rep.used_fallback = true;
       done = true;
       break;
@@ -289,13 +287,21 @@ clique_set list_kp_congest(const graph& g, const listing_options& opt,
     if (cur.num_edges() == 0) done = true;
   }
   if (!done && cur.num_edges() > 0) {
-    detail::central_fallback(cur, opt.p, out, rep.ledger);
+    detail::central_fallback(cur, q.p, out, rep.ledger);
     rep.used_fallback = true;
   }
+  return rep;
+}
 
-  auto result = out.finalize();
+clique_set list_kp_congest(const graph& g, const listing_query& q,
+                           listing_report* report, int sim_threads) {
+  runtime::thread_pool pool(sim_threads);
+  clique_collector out(q.p);
+  listing_report rep = list_kp_congest(g, q, pool, out);
+  clique_set result = out.finalize();
   rep.emitted = out.emitted();
   rep.duplicates = out.duplicates();
+  if (report) *report = std::move(rep);
   return result;
 }
 

@@ -10,17 +10,6 @@
 
 namespace dcl::local {
 
-namespace {
-
-/// Per-worker kernel workspace, keyed in the worker's runtime arena so the
-/// egonet/DFS buffers warm up once and are reused by every chunk (and every
-/// later engine run on the same pool).
-struct engine_worker_scratch {
-  enumkernel::enum_scratch enum_ws;
-};
-
-}  // namespace
-
 // ------------------------------------------------------- parallel driver
 
 clique_set list_cliques_parallel(const enumkernel::dag& d, int p,
@@ -28,16 +17,20 @@ clique_set list_cliques_parallel(const enumkernel::dag& d, int p,
                                  parallel_listing_stats* stats) {
   DCL_EXPECTS(p >= 3, "parallel lister handles p >= 3");
   const int t = pool.size();
-  std::vector<std::vector<vertex>> buffers(static_cast<size_t>(t));
+  // The private output buffers live in the worker arenas (no tasks are in
+  // flight here, so touching every arena from the caller is race-free):
+  // capacity survives across runs on the same pool.
+  for (int w = 0; w < t; ++w)
+    pool.arena(w).get<engine_worker_scratch>().out.clear();
   std::vector<std::int64_t> roots(static_cast<size_t>(t), 0);
   std::vector<std::int64_t> found(static_cast<size_t>(t), 0);
 
   pool.for_each_chunk(
       d.num_arcs(), grain,
       [&](int w, std::int64_t begin, std::int64_t end) {
-        auto& ws = pool.arena(w).get<engine_worker_scratch>().enum_ws;
-        enumkernel::arc_enumerator en(d, p, ws);
-        auto& buf = buffers[size_t(w)];
+        auto& ws = pool.arena(w).get<engine_worker_scratch>();
+        enumkernel::arc_enumerator en(d, p, ws.enum_ws);
+        auto& buf = ws.out;
         found[size_t(w)] +=
             en.list_range(begin, end, [&](std::span<const vertex> c) {
               buf.insert(buf.end(), c.begin(), c.end());
@@ -49,8 +42,9 @@ clique_set list_cliques_parallel(const enumkernel::dag& d, int p,
   // the collector's finalize() sorts canonically, so scheduling cannot leak
   // into the result.
   clique_collector collector(p);
-  for (const auto& buf : buffers)
-    collector.merge_buffer(buf, /*tuples_presorted=*/true);
+  for (int w = 0; w < t; ++w)
+    collector.merge_buffer(pool.arena(w).get<engine_worker_scratch>().out,
+                           /*tuples_presorted=*/true);
   if (stats) {
     stats->threads = t;
     stats->roots = d.num_arcs();
@@ -74,8 +68,8 @@ std::int64_t count_cliques_parallel(const enumkernel::dag& d, int p,
   pool.for_each_chunk(
       d.num_arcs(), grain,
       [&](int w, std::int64_t begin, std::int64_t end) {
-        auto& ws = pool.arena(w).get<engine_worker_scratch>().enum_ws;
-        enumkernel::arc_enumerator en(d, p, ws);
+        auto& ws = pool.arena(w).get<engine_worker_scratch>();
+        enumkernel::arc_enumerator en(d, p, ws.enum_ws);
         found[size_t(w)] += en.count_range(begin, end);
         roots[size_t(w)] += end - begin;
       });

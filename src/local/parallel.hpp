@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "enumkernel/kernel.hpp"
 #include "enumkernel/orient.hpp"
 #include "graph/clique_enum.hpp"
 #include "runtime/thread_pool.hpp"
@@ -21,6 +22,16 @@ namespace dcl::local {
 /// The engine runs on the shared runtime pool; the old src/local-owned pool
 /// class moved to src/runtime/thread_pool.hpp unchanged in semantics.
 using thread_pool = runtime::thread_pool;
+
+/// Per-worker engine workspace, keyed in the worker's runtime arena: the
+/// kernel scratch (egonet/DFS buffers) and the private flat output buffer
+/// of the listing path both warm up once and are reused by every chunk —
+/// and by every later run on the same pool, which is what makes a
+/// listing_session's repeated queries allocation-free after the first.
+struct engine_worker_scratch {
+  enumkernel::enum_scratch enum_ws;
+  std::vector<vertex> out;
+};
 
 /// Per-run accounting from the parallel driver.
 struct parallel_listing_stats {

@@ -22,6 +22,15 @@ std::string message_of(const listing_options& opt) {
   return {};
 }
 
+std::string message_of_query(const listing_query& q) {
+  try {
+    validate_query(q, listing_engine::congest_sim);
+  } catch (const precondition_error& e) {
+    return e.what();
+  }
+  return {};
+}
+
 TEST(OptionsValidation, DefaultsAreValid) {
   EXPECT_NO_THROW(validate_options(listing_options{}));
 }
@@ -107,6 +116,30 @@ TEST(OptionsValidation, ThreadCountsAreNeverRejected) {
   opt.sim_threads = -4;  // <= 0 selects hardware concurrency
   opt.local_threads = 0;
   EXPECT_NO_THROW(validate_options(opt));
+}
+
+TEST(OptionsValidation, QueryHalfMatchesTheLegacyAggregate) {
+  // validate_options is exactly validate_query over the query()/engine
+  // split, so the two surfaces can never drift apart.
+  listing_options opt;
+  opt.p = 7;
+  EXPECT_THROW(validate_query(opt.query(), opt.engine), precondition_error);
+  opt.engine = listing_engine::local_kclist;
+  EXPECT_NO_THROW(validate_query(opt.query(), opt.engine));
+  opt.epsilon = -0.5;
+  EXPECT_THROW(validate_query(opt.query(), opt.engine), precondition_error);
+  EXPECT_THROW(validate_options(opt), precondition_error);
+}
+
+TEST(OptionsValidation, StreamBatchMustBePositive) {
+  listing_query q;
+  q.stream_batch_tuples = 0;
+  EXPECT_THROW(validate_query(q, listing_engine::congest_sim),
+               precondition_error);
+  EXPECT_NE(message_of_query(q).find("stream_batch_tuples"),
+            std::string::npos);
+  q.stream_batch_tuples = 1;
+  EXPECT_NO_THROW(validate_query(q, listing_engine::congest_sim));
 }
 
 TEST(OptionsValidation, ListCliquesRunsTheValidation) {

@@ -30,9 +30,10 @@ TEST(FailureInjection, OptionsValidation) {
   EXPECT_THROW(list_cliques(g, opt), precondition_error);
   opt.p = 7;
   EXPECT_THROW(list_cliques(g, opt), precondition_error);
-  opt.p = 4;
-  opt.epsilon = 1.5;
-  EXPECT_THROW(list_kp_congest(g, opt), precondition_error);
+  listing_query q;
+  q.p = 4;
+  q.epsilon = 1.5;
+  EXPECT_THROW(list_kp_congest(g, q), precondition_error);
 }
 
 TEST(FailureInjection, DecompositionOptionValidation) {

@@ -8,7 +8,7 @@
 namespace dcl {
 namespace {
 
-void expect_exact(const graph& g, const listing_options& opt,
+void expect_exact(const graph& g, const listing_query& opt,
                   listing_report* rep = nullptr) {
   const auto got = list_triangles_congest(g, opt, rep);
   const auto want = collect_cliques(g, 3);
@@ -95,7 +95,7 @@ TEST(K3Listing, ExactOnTinyAndEmpty) {
 }
 
 TEST(K3Listing, RandomizedEngineExact) {
-  listing_options opt;
+  listing_query opt;
   opt.lb = lb_engine::randomized;
   opt.seed = 99;
   expect_exact(gen::gnp(100, 0.12, 29), opt);
@@ -103,7 +103,7 @@ TEST(K3Listing, RandomizedEngineExact) {
 }
 
 TEST(K3Listing, UnbalancedEngineExact) {
-  listing_options opt;
+  listing_query opt;
   opt.lb = lb_engine::unbalanced;
   expect_exact(gen::gnp(100, 0.12, 37), opt);
   expect_exact(gen::power_law(120, 2.4, 9.0, 41), opt);
@@ -145,7 +145,7 @@ TEST(K3Listing, EngineRoundsDifferOnSkewedInputs) {
   // than the unbalanced id-range split on skewed degree distributions.
   const auto g = gen::power_law(200, 2.2, 14.0, 59);
   listing_report det, unb;
-  listing_options o_det, o_unb;
+  listing_query o_det, o_unb;
   o_unb.lb = lb_engine::unbalanced;
   list_triangles_congest(g, o_det, &det);
   list_triangles_congest(g, o_unb, &unb);

@@ -7,7 +7,7 @@
 namespace dcl {
 namespace {
 
-void expect_exact_kp(const graph& g, int p, listing_options opt = {},
+void expect_exact_kp(const graph& g, int p, listing_query opt = {},
                      listing_report* rep = nullptr) {
   opt.p = p;
   const auto got = list_kp_congest(g, opt, rep);
@@ -52,7 +52,7 @@ TEST(KpListing, K4DenseExercisesSplitTrees) {
 }
 
 TEST(KpListing, K4DenseRandomizedEngine) {
-  listing_options opt;
+  listing_query opt;
   opt.lb = lb_engine::randomized;
   opt.seed = 11;
   expect_exact_kp(gen::gnp(110, 0.35, 103), 4, opt);
@@ -86,14 +86,14 @@ TEST(KpListing, EmptyAndTiny) {
 }
 
 TEST(KpListing, RandomizedEngineExact) {
-  listing_options opt;
+  listing_query opt;
   opt.lb = lb_engine::randomized;
   opt.seed = 5;
   expect_exact_kp(gen::gnp(90, 0.12, 29), 4, opt);
 }
 
 TEST(KpListing, UnbalancedEngineExact) {
-  listing_options opt;
+  listing_query opt;
   opt.lb = lb_engine::unbalanced;
   expect_exact_kp(gen::gnp(90, 0.12, 31), 4, opt);
 }
@@ -109,7 +109,7 @@ TEST(KpListing, ReportPopulated) {
 TEST(KpListing, DeterministicTranscript) {
   const auto g = gen::gnp(80, 0.13, 41);
   listing_report a, b;
-  listing_options opt;
+  listing_query opt;
   opt.p = 4;
   const auto ra = list_kp_congest(g, opt, &a);
   const auto rb = list_kp_congest(g, opt, &b);

@@ -202,7 +202,7 @@ TEST_P(SeedSweep, RandomizedEngineExactForAnySeed) {
 
 TEST_P(SeedSweep, DeterministicEngineSeedInvariant) {
   const auto g = make_family("gnpSparse");
-  listing_options a, b;
+  listing_query a, b;
   a.seed = GetParam();
   b.seed = GetParam() + 1;
   listing_report ra, rb;

@@ -1,0 +1,269 @@
+// The session API's contracts (DESIGN.md §9): every output mode agrees
+// with every other and with the legacy list_cliques wrapper — cliques AND
+// the full listing_report — for both engines, p = 3..6, worker pools of 1
+// and 4; session reuse is bit-identical to a fresh bind; streams arrive in
+// the deterministic merge order regardless of batch size; and malformed
+// queries are rejected with precondition_error at the session boundary.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/api/list_cliques.hpp"
+#include "enumkernel/limits.hpp"
+#include "graph/generators.hpp"
+#include "support/check.hpp"
+
+namespace dcl {
+namespace {
+
+void expect_report_identical(const listing_report& a,
+                             const listing_report& b) {
+  EXPECT_EQ(a.ledger.rounds(), b.ledger.rounds());
+  EXPECT_EQ(a.ledger.messages(), b.ledger.messages());
+  ASSERT_EQ(a.ledger.phases().size(), b.ledger.phases().size());
+  auto ita = a.ledger.phases().begin();
+  for (auto itb = b.ledger.phases().begin(); itb != b.ledger.phases().end();
+       ++ita, ++itb) {
+    EXPECT_EQ(ita->first, itb->first);
+    EXPECT_EQ(ita->second.rounds, itb->second.rounds) << ita->first;
+    EXPECT_EQ(ita->second.messages, itb->second.messages) << ita->first;
+  }
+  EXPECT_EQ(a.model_decomposition_rounds, b.model_decomposition_rounds);
+  ASSERT_EQ(a.levels.size(), b.levels.size());
+  for (std::size_t i = 0; i < a.levels.size(); ++i) {
+    EXPECT_EQ(a.levels[i].edges_before, b.levels[i].edges_before);
+    EXPECT_EQ(a.levels[i].edges_removed, b.levels[i].edges_removed);
+    EXPECT_EQ(a.levels[i].clusters, b.levels[i].clusters);
+    EXPECT_EQ(a.levels[i].clusters_listed, b.levels[i].clusters_listed);
+    EXPECT_EQ(a.levels[i].deferred_clusters, b.levels[i].deferred_clusters);
+    EXPECT_EQ(a.levels[i].bad_vertices, b.levels[i].bad_vertices);
+    EXPECT_EQ(a.levels[i].low_degree_targets,
+              b.levels[i].low_degree_targets);
+  }
+  EXPECT_EQ(a.emitted, b.emitted);
+  EXPECT_EQ(a.duplicates, b.duplicates);
+  EXPECT_EQ(a.used_fallback, b.used_fallback);
+  EXPECT_DOUBLE_EQ(a.max_normalized_load, b.max_normalized_load);
+}
+
+/// Reassembles a streamed run into a clique_set for comparison.
+clique_set restream(listing_session& s, listing_query q) {
+  q.mode = sink_mode::stream;
+  clique_set got(q.p);
+  s.run(q, [&](std::span<const vertex> batch) {
+    EXPECT_EQ(batch.size() % std::size_t(q.p), 0u);
+    EXPECT_LE(batch.size(),
+              std::size_t(q.p) * std::size_t(q.stream_batch_tuples));
+    got.add_flat(batch, /*tuples_presorted=*/true);
+  });
+  return got;  // already canonical: streams arrive in merge order
+}
+
+TEST(ListingSession, AllModesAgreeWithWrapperBothEngines) {
+  // The differential sweep: collect / count / stream / cliques_in_edges
+  // against each other and the legacy one-shot wrapper.
+  struct case_t {
+    graph g;
+    int p;
+  };
+  const std::vector<case_t> cases = {
+      {gen::gnp(60, 0.18, 3), 3},
+      {gen::ring_of_cliques(5, 7), 4},
+      {gen::gnp(50, 0.3, 31), 5},
+      {gen::ring_of_cliques(4, 8), 6},
+  };
+  for (const auto& c : cases) {
+    for (const auto engine :
+         {listing_engine::congest_sim, listing_engine::local_kclist}) {
+      for (const int threads : {1, 4}) {
+        listing_options legacy;
+        legacy.p = c.p;
+        legacy.engine = engine;
+        legacy.sim_threads = threads;
+        legacy.local_threads = threads;
+        const auto want = list_cliques(c.g, legacy);
+
+        listing_session session(c.g, {.engine = engine, .threads = threads});
+        listing_query q;
+        q.p = c.p;
+
+        const auto collected = session.run(q);
+        EXPECT_TRUE(collected.cliques == want.cliques)
+            << "p=" << c.p << " threads=" << threads;
+        EXPECT_EQ(collected.count, want.cliques.size());
+        expect_report_identical(collected.report, want.report);
+
+        q.mode = sink_mode::count;
+        const auto counted = session.run(q);
+        EXPECT_EQ(counted.count, want.cliques.size());
+        EXPECT_EQ(counted.cliques.size(), 0);  // nothing materialized out
+        if (engine == listing_engine::congest_sim)
+          expect_report_identical(counted.report, want.report);
+
+        EXPECT_TRUE(restream(session, q) == want.cliques);
+
+        // Edge-scoped query over the full edge set == the full listing.
+        q.mode = sink_mode::collect;
+        const auto scoped = session.cliques_in_edges(q, c.g.edges());
+        EXPECT_TRUE(scoped.cliques == want.cliques);
+        EXPECT_EQ(scoped.report.duplicates, 0);
+      }
+    }
+  }
+}
+
+TEST(ListingSession, WarmRerunsBitIdenticalToFreshSession) {
+  const auto g = gen::planted_partition(3, 25, 0.4, 0.03, 11);
+  listing_session warm(g, {.threads = 2});
+  listing_query q3, q4;
+  q3.p = 3;
+  q4.p = 4;
+  // Interleave arities so the second q3 runs against thoroughly reused
+  // scratch, then compare against a fresh bind: history must not leak.
+  const auto first = warm.run(q3);
+  warm.run(q4);
+  warm.run(q4);
+  const auto rerun = warm.run(q3);
+  EXPECT_TRUE(rerun.cliques == first.cliques);
+  expect_report_identical(rerun.report, first.report);
+
+  listing_session fresh(g, {.threads = 2});
+  const auto cold = fresh.run(q3);
+  EXPECT_TRUE(cold.cliques == first.cliques);
+  expect_report_identical(cold.report, first.report);
+}
+
+TEST(ListingSession, LocalEngineWarmRerunsStable) {
+  const auto g = gen::gnp(80, 0.2, 17);
+  listing_session s(g, {.engine = listing_engine::local_kclist, .threads = 4});
+  listing_query q;
+  q.p = 4;
+  const auto a = s.run(q);
+  for (int p = 3; p <= 7; ++p) {  // local engine arity is kernel-bounded
+    listing_query other;
+    other.p = p;
+    other.mode = sink_mode::count;
+    EXPECT_EQ(s.run(other).count, collect_cliques(g, p).size()) << p;
+  }
+  const auto b = s.run(q);
+  EXPECT_TRUE(a.cliques == b.cliques);
+  EXPECT_EQ(a.report.emitted, b.report.emitted);
+}
+
+TEST(ListingSession, StreamBatchingIsPresentationOnly) {
+  const auto g = gen::gnp(60, 0.25, 7);
+  listing_session s(g);
+  listing_query q;
+  q.p = 3;
+  q.mode = sink_mode::stream;
+  const auto want = collect_cliques(g, 3);
+  ASSERT_GT(want.size(), 2);
+  std::int64_t calls_small = 0;
+  // The last value would wrap arity * batch past SIZE_MAX without the
+  // clamp in stream_batches — regression for the one-batch fast path.
+  for (const std::int64_t batch : {std::int64_t{1}, std::int64_t{7},
+                                   std::int64_t{1} << 40,
+                                   std::int64_t{1} << 62}) {
+    q.stream_batch_tuples = batch;
+    clique_set got(3);
+    std::int64_t calls = 0;
+    const auto res = s.run(q, [&](std::span<const vertex> b) {
+      ++calls;
+      got.add_flat(b, /*tuples_presorted=*/true);
+    });
+    EXPECT_TRUE(got == want) << "batch=" << batch;
+    EXPECT_EQ(res.count, want.size());
+    if (batch == 1) calls_small = calls;
+  }
+  EXPECT_EQ(calls_small, want.size());  // batch=1: one call per clique
+}
+
+TEST(ListingSession, EmptyStreamNeverInvokesSink) {
+  const auto g = gen::complete_bipartite(6, 6);  // triangle-free
+  listing_session s(g);
+  listing_query q;
+  q.mode = sink_mode::stream;
+  int calls = 0;
+  const auto res = s.run(q, [&](std::span<const vertex>) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(res.count, 0);
+}
+
+TEST(ListingSession, EdgeScopedQueriesAreKernelBounded) {
+  listing_session s(gen::gnp(30, 0.2, 5));
+  // Sparse huge ids, duplicates and self-loops are the kernel's edge-list
+  // contract; p = 2 lists the deduplicated edge set itself.
+  const edge_list edges = {{1000000000, 1000000007},
+                           {1000000000, 1000000007},
+                           {5, 5},
+                           {1000000007, 1000000009},
+                           {1000000000, 1000000009}};
+  listing_query q;
+  q.p = 3;
+  const auto tri = s.cliques_in_edges(q, edges);
+  EXPECT_EQ(tri.count, 1);
+  q.p = 2;
+  EXPECT_EQ(s.cliques_in_edges(q, edges).count, 3);  // deduped, loop dropped
+  q.mode = sink_mode::count;
+  q.p = 3;
+  EXPECT_EQ(s.cliques_in_edges(q, edges).count, 1);
+}
+
+TEST(ListingSession, ModeAndSinkMustPair) {
+  listing_session s(gen::complete(5));
+  listing_query q;
+  q.mode = sink_mode::stream;
+  EXPECT_THROW(s.run(q), precondition_error);
+  EXPECT_THROW(s.cliques_in_edges(q, {}), precondition_error);
+  q.mode = sink_mode::collect;
+  EXPECT_THROW(s.run(q, [](std::span<const vertex>) {}),
+               precondition_error);
+  EXPECT_THROW(
+      s.cliques_in_edges(q, {}, [](std::span<const vertex>) {}),
+      precondition_error);
+}
+
+TEST(ListingSession, QueryValidationAtTheSessionBoundary) {
+  const auto g = gen::complete(5);
+  listing_session sim(g);
+  listing_query q;
+  q.p = 7;  // beyond the congest range
+  EXPECT_THROW(sim.run(q), precondition_error);
+  listing_session local(g, {.engine = listing_engine::local_kclist});
+  EXPECT_NO_THROW(local.run(q));
+  q.p = 3;
+  q.stream_batch_tuples = 0;
+  EXPECT_THROW(sim.run(q), precondition_error);
+  q.stream_batch_tuples = 4096;
+  q.epsilon = 1.0;
+  EXPECT_THROW(sim.run(q), precondition_error);
+  // Edge-scoped: kernel bounds, not engine bounds.
+  listing_query eq;
+  eq.p = enumkernel::kMaxCliqueArity + 1;
+  EXPECT_THROW(sim.cliques_in_edges(eq, g.edges()), precondition_error);
+  // Binding validation.
+  EXPECT_THROW(listing_session(g, {.grain = 0}), precondition_error);
+}
+
+TEST(ListingSession, ReportsAreFreshPerRun) {
+  // The old drivers reset a caller-held report in place; the session API
+  // returns a new value per run, so a stale result can never alias a live
+  // one.
+  const auto g = gen::gnp(50, 0.2, 9);
+  listing_session s(g);
+  listing_query q;
+  const auto a = s.run(q);
+  const auto b = s.run(q);
+  expect_report_identical(a.report, b.report);
+  // And the convenience driver overload documents overwrite semantics:
+  listing_report dirty;
+  dirty.emitted = 777;
+  dirty.levels.resize(9);
+  const auto direct = list_triangles_congest(g, q, &dirty);
+  EXPECT_TRUE(direct == a.cliques);
+  expect_report_identical(dirty, a.report);
+}
+
+}  // namespace
+}  // namespace dcl

@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
+#include <thread>
 #include <vector>
 
 #include "congest/network.hpp"
@@ -55,6 +57,56 @@ TEST(ArcIndex, RejectsNonEdgesAndOutOfRange) {
   EXPECT_TRUE(g.has_edge(2, 3));
   const graph empty(0, {});
   EXPECT_EQ(empty.arc_id(0, 0), -1);
+}
+
+TEST(ArcIndex, CachedLookupViewAgreesWithGraph) {
+  const auto g = gen::grid(2, 2);
+  const arc_lookup lookup = g.arc_index_lookup();
+  for (vertex u = 0; u < g.num_vertices(); ++u)
+    for (vertex v = 0; v < g.num_vertices(); ++v)
+      EXPECT_EQ(lookup.arc_id(u, v), g.arc_id(u, v)) << u << "," << v;
+  EXPECT_EQ(lookup.arc_id(-1, 0), -1);
+  EXPECT_EQ(lookup.arc_id(0, 99), -1);
+  EXPECT_EQ(arc_lookup{}.arc_id(0, 0), -1);  // unbound view misses
+}
+
+TEST(ArcIndex, LazyBuildIsIdempotentAndSharedAcrossCopies) {
+  const auto g = gen::gnp(40, 0.2, 7);
+  g.ensure_arc_index();
+  g.ensure_arc_index();  // idempotent
+  const graph copy = g;  // copies share the (built) index slot
+  const graph pre_built_copy = [] {
+    const auto h = gen::gnp(40, 0.2, 7);
+    return h;  // never forced: the copy builds lazily on first query
+  }();
+  for (vertex u = 0; u < g.num_vertices(); ++u)
+    for (vertex v : g.neighbors(u)) {
+      EXPECT_EQ(copy.arc_id(u, v), g.arc_id(u, v));
+      EXPECT_EQ(pre_built_copy.arc_id(u, v), g.arc_id(u, v));
+    }
+  graph empty;  // default-constructed: ensure is a no-op, queries miss
+  empty.ensure_arc_index();
+  EXPECT_EQ(empty.arc_id(0, 0), -1);
+}
+
+TEST(ArcIndex, ConcurrentFirstUseBuildsOnce) {
+  // The lazy build races its first readers by design; call_once must make
+  // that safe (this is the test TSan pins down in CI).
+  const auto g = gen::gnp(80, 0.15, 9);
+  std::vector<std::thread> threads;
+  std::array<std::int64_t, 4> sums{};
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&g, &sums, t] {
+      std::int64_t sum = 0;
+      for (vertex u = 0; u < g.num_vertices(); ++u)
+        for (vertex v : g.neighbors(u)) {
+          sum += g.arc_id(u, v);
+          sum += g.reverse_arc(g.arc_id(u, v));
+        }
+      sums[size_t(t)] = sum;
+    });
+  for (auto& th : threads) th.join();
+  for (int t = 1; t < 4; ++t) EXPECT_EQ(sums[size_t(t)], sums[0]);
 }
 
 // ------------------------------------------------- bucket delivery order
