@@ -78,6 +78,7 @@ int main(int argc, char** argv) {
 
   std::ostringstream js;
   js << "{\n  \"benchmark\": \"api_session\",\n"
+     << "  " << bench::meta_json() << ",\n"
      << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
      << ",\n  \"workloads\": [\n";
 

@@ -85,6 +85,7 @@ int main(int argc, char** argv) {
 
   std::ostringstream js;
   js << "{\n  \"benchmark\": \"congest_parallel\",\n"
+     << "  " << bench::meta_json() << ",\n"
      << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
      << ",\n  \"families\": [\n";
 

@@ -213,6 +213,7 @@ int main(int argc, char** argv) {
 
   std::ostringstream js;
   js << "{\n"
+     << "  " << bench::meta_json() << ",\n"
      << "  \"bench\": \"enum_kernel\",\n"
      << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
      << ",\n"

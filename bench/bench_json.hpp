@@ -7,10 +7,16 @@
 // trajectory.
 
 #include <algorithm>
+#include <array>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <thread>
 
 namespace dcl::bench {
 
@@ -30,6 +36,51 @@ double best_seconds(Fn&& fn) {
     best = std::min(best, now_seconds() - t0);
   }
   return best;
+}
+
+/// The commit every BENCH_*.json row is attributed to: $GITHUB_SHA in CI,
+/// `git rev-parse HEAD` locally, "unknown" outside a checkout.
+inline std::string git_sha() {
+  if (const char* env = std::getenv("GITHUB_SHA"); env != nullptr && *env)
+    return env;
+  std::string sha = "unknown";
+  if (FILE* p = ::popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    std::array<char, 64> buf{};
+    if (std::fgets(buf.data(), int(buf.size()), p) != nullptr) {
+      sha.assign(buf.data());
+      while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r'))
+        sha.pop_back();
+      if (sha.empty()) sha = "unknown";
+    }
+    ::pclose(p);
+  }
+  return sha;
+}
+
+inline std::string utc_timestamp() {
+  const std::time_t t = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+/// One `"meta": {...}` JSON member shared by every standalone bench: the
+/// provenance a perf trajectory needs to interpret a number — commit,
+/// machine width, build type, and when it ran.
+inline std::string meta_json() {
+  std::ostringstream os;
+  os << "\"meta\": {\"git_sha\": \"" << git_sha()
+     << "\", \"hardware_concurrency\": "
+     << std::thread::hardware_concurrency() << ", \"build\": \""
+#ifdef NDEBUG
+     << "release"
+#else
+     << "debug"
+#endif
+     << "\", \"timestamp_utc\": \"" << utc_timestamp() << "\"}";
+  return os.str();
 }
 
 /// Returns the process exit code: 0 on success, 1 if the file could not be

@@ -57,6 +57,7 @@ int main(int argc, char** argv) {
 
   std::ostringstream js;
   js << "{\n"
+            << "  " << dcl::bench::meta_json() << ",\n"
             << "  \"workload\": \"gnp\",\n"
             << "  \"n\": " << n << ",\n"
             << "  \"edge_prob\": " << prob << ",\n"

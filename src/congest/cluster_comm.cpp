@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "congest/trace.hpp"
 #include "graph/algorithms.hpp"
 #include "support/check.hpp"
 
@@ -55,13 +56,32 @@ std::string cluster_comm::phase(std::string_view sub) const {
 
 void cluster_comm::route(message_batch& io, std::string_view sub) {
   last_stats_ = router_->route(io);
-  net_->ledger().charge(phase(sub), last_stats_.rounds, last_stats_.messages);
+  const std::string ph = phase(sub);
+  net_->ledger().charge(ph, last_stats_.rounds, last_stats_.messages);
+  // The delivered batch is the routed multiset reordered, so its endpoint
+  // shape equals the input's — record after routing, from the delivery.
+  if (auto* rec = net_->recorder())
+    rec->record_route(ph, io.span(), size(), last_stats_,
+                      router_->tree_depth());
 }
 
 route_stats cluster_comm::route_discard(message_batch& io,
                                         std::string_view sub) {
+  trace_batch_shape shape;
+  std::int64_t batch_size = 0;
+  auto* rec = net_->recorder();
+  if (rec != nullptr) {
+    // route_discard clears its input in place; extract the density shape
+    // before the batch is consumed.
+    shape = rec->shape_scratch().compute(io.span(), size());
+    batch_size = std::int64_t(io.size());
+  }
   last_stats_ = router_->route_discard(io);
-  net_->ledger().charge(phase(sub), last_stats_.rounds, last_stats_.messages);
+  const std::string ph = phase(sub);
+  net_->ledger().charge(ph, last_stats_.rounds, last_stats_.messages);
+  if (rec != nullptr)
+    rec->record_route(ph, shape, batch_size, size(), last_stats_,
+                      router_->tree_depth());
   return last_stats_;
 }
 
@@ -69,16 +89,20 @@ void cluster_comm::charge_broadcast_from_leader(std::int64_t num_words,
                                                 std::string_view sub) {
   if (num_words <= 0 || size() <= 1) return;
   const std::int64_t rounds = num_words + router_->tree_depth() - 1;
-  net_->ledger().charge(phase(sub), rounds,
-                        num_words * (std::int64_t(size()) - 1));
+  const std::int64_t messages = num_words * (std::int64_t(size()) - 1);
+  const std::string ph = phase(sub);
+  net_->ledger().charge(ph, rounds, messages);
+  if (auto* rec = net_->recorder()) rec->record_charge(ph, rounds, messages);
 }
 
 void cluster_comm::charge_convergecast(std::int64_t num_words,
                                        std::string_view sub) {
   if (num_words <= 0 || size() <= 1) return;
   const std::int64_t rounds = num_words + router_->tree_depth() - 1;
-  net_->ledger().charge(phase(sub), rounds,
-                        num_words * (std::int64_t(size()) - 1));
+  const std::int64_t messages = num_words * (std::int64_t(size()) - 1);
+  const std::string ph = phase(sub);
+  net_->ledger().charge(ph, rounds, messages);
+  if (auto* rec = net_->recorder()) rec->record_charge(ph, rounds, messages);
 }
 
 std::int64_t cluster_comm::allgather(

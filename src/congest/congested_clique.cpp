@@ -2,13 +2,17 @@
 
 #include <algorithm>
 
+#include "congest/trace.hpp"
 #include "support/check.hpp"
 
 namespace dcl {
 
 congested_clique::congested_clique(vertex n, cost_ledger& ledger,
-                                   transport* tp)
-    : n_(n), ledger_(&ledger), tp_(tp != nullptr ? tp : &owned_tp_) {
+                                   transport* tp, trace_recorder* rec)
+    : n_(n),
+      ledger_(&ledger),
+      rec_(rec),
+      tp_(tp != nullptr ? tp : &owned_tp_) {
   DCL_EXPECTS(n >= 2, "congested clique needs at least two vertices");
 }
 
@@ -21,6 +25,9 @@ std::int64_t congested_clique::exchange(message_batch& io,
   tp_->deliver(io, n_);
   const auto rounds = transport::max_pair_multiplicity(io);
   ledger_->charge(phase, rounds, std::int64_t(io.size()));
+  if (rec_ != nullptr)
+    rec_->record_exchange(trace_event_kind::clique_exchange, phase, io.span(),
+                          n_, rounds);
   return rounds;
 }
 

@@ -11,11 +11,15 @@
 
 namespace dcl {
 
+class trace_recorder;
+
 class congested_clique {
  public:
   /// When `tp` is given its buffers are shared (see network); otherwise
-  /// the clique owns one.
-  congested_clique(vertex n, cost_ledger& ledger, transport* tp = nullptr);
+  /// the clique owns one. When `rec` is given every exchange is also
+  /// recorded as a trace event (congest/trace.hpp).
+  congested_clique(vertex n, cost_ledger& ledger, transport* tp = nullptr,
+                   trace_recorder* rec = nullptr);
 
   // tp_ may point at the clique's own owned_tp_, so a memberwise copy
   // would alias (then dangle into) the source object's buffers.
@@ -25,6 +29,7 @@ class congested_clique {
   vertex size() const { return n_; }
   cost_ledger& ledger() { return *ledger_; }
   transport& shared_transport() { return *tp_; }
+  trace_recorder* recorder() const { return rec_; }
 
   /// Delivers an arbitrary point-to-point batch in place. In one round
   /// every ordered pair can carry one message, so a batch is feasible in r
@@ -37,6 +42,7 @@ class congested_clique {
  private:
   vertex n_;
   cost_ledger* ledger_;
+  trace_recorder* rec_;
   transport* tp_;
   transport owned_tp_;
 };

@@ -2,14 +2,17 @@
 
 #include <algorithm>
 
+#include "congest/trace.hpp"
 #include "graph/algorithms.hpp"
 #include "support/check.hpp"
 
 namespace dcl {
 
-network::network(const graph& g, cost_ledger& ledger, transport* tp)
+network::network(const graph& g, cost_ledger& ledger, transport* tp,
+                 trace_recorder* rec)
     : g_(&g),
       ledger_(&ledger),
+      rec_(rec),
       tp_(tp != nullptr ? tp : &owned_tp_),
       // exchange() validates and counts per directed arc; caching the
       // lookup view forces the lazy index build here (never inside a
@@ -56,17 +59,23 @@ std::int64_t network::exchange(message_batch& io, std::string_view phase) {
   arc_touched_.clear();
   ledger_->charge(phase, rounds, std::int64_t(io.size()));
   tp_->deliver(io, g.num_vertices());
+  if (rec_ != nullptr)
+    rec_->record_exchange(trace_event_kind::exchange, phase, io.span(),
+                          g.num_vertices(), rounds);
   return rounds;
 }
 
 void network::charge(std::string_view phase, std::int64_t rounds,
                      std::int64_t messages) {
   ledger_->charge(phase, rounds, messages);
+  if (rec_ != nullptr) rec_->record_charge(phase, rounds, messages);
 }
 
 std::int64_t network::charge_gather_all_edges(std::string_view phase) {
   if (gather_cached_) {
     ledger_->charge(phase, gather_rounds_, gather_messages_);
+    if (rec_ != nullptr)
+      rec_->record_charge(phase, gather_rounds_, gather_messages_);
     return gather_rounds_;
   }
   const graph& g = *g_;
@@ -111,6 +120,8 @@ std::int64_t network::charge_gather_all_edges(std::string_view phase) {
   gather_rounds_ = worst_rounds;
   gather_messages_ = total_messages;
   ledger_->charge(phase, worst_rounds, total_messages);
+  if (rec_ != nullptr)
+    rec_->record_charge(phase, worst_rounds, total_messages);
   return worst_rounds;
 }
 

@@ -16,13 +16,18 @@
 
 namespace dcl {
 
+class trace_recorder;
+
 class network {
  public:
   /// The network aliases `g` and `ledger`; both must outlive it. When `tp`
   /// is given (e.g. a worker's arena-parked transport) its buffers are
   /// shared with this network, keeping delivery scratch warm across
-  /// per-cluster network instances; otherwise the network owns one.
-  network(const graph& g, cost_ledger& ledger, transport* tp = nullptr);
+  /// per-cluster network instances; otherwise the network owns one. When
+  /// `rec` is given every charge is also recorded as a trace event
+  /// (congest/trace.hpp); a null recorder costs one pointer check.
+  network(const graph& g, cost_ledger& ledger, transport* tp = nullptr,
+          trace_recorder* rec = nullptr);
 
   // tp_ may point at the network's own owned_tp_, so a memberwise copy
   // would alias (then dangle into) the source object's buffers.
@@ -32,6 +37,7 @@ class network {
   const graph& topology() const { return *g_; }
   cost_ledger& ledger() { return *ledger_; }
   transport& shared_transport() { return *tp_; }
+  trace_recorder* recorder() const { return rec_; }
 
   /// Delivers a batch of one-hop messages in place: every (src, dst) must
   /// be an edge (validated in O(1) via the graph's arc index). Charges
@@ -55,6 +61,7 @@ class network {
  private:
   const graph* g_;
   cost_ledger* ledger_;
+  trace_recorder* rec_;
   transport* tp_;
   transport owned_tp_;  // used when no shared transport was injected
   arc_lookup arcs_;     // built-index view cached at construction; keeps

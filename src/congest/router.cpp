@@ -178,6 +178,7 @@ route_stats cluster_router::route_impl(std::span<const message> msgs,
     ws.tree_load[size_t(chosen)] += f.path_len;
     ws.flights.push_back(f);
   }
+  stats.arcs_touched = std::int64_t(ws.edge_touched.size());
   for (const auto aid : ws.edge_touched) {
     stats.max_edge_load =
         std::max(stats.max_edge_load, ws.edge_load[size_t(aid)]);

@@ -25,6 +25,7 @@ struct route_stats {
   std::int64_t messages = 0;      ///< total hop-messages (sum of path lengths)
   std::int64_t max_path = 0;      ///< longest path among routed messages
   std::int64_t max_edge_load = 0; ///< max messages assigned to one directed edge
+  std::int64_t arcs_touched = 0;  ///< distinct directed edges the batch used
 };
 
 class cluster_router {

@@ -11,9 +11,13 @@
 // degenerate inputs (DESIGN.md §2.6 — it never fires on benchmark families,
 // and the report records if it did).
 
+#include <map>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "congest/cost.hpp"
+#include "congest/trace.hpp"
 #include "core/listing/k3_cluster.hpp"
 #include "graph/clique_enum.hpp"
 
@@ -61,6 +65,13 @@ struct listing_query {
   /// stream mode: max tuples per sink invocation (>= 1). A presentation
   /// knob only — the concatenated stream is invariant under it.
   std::int64_t stream_batch_tuples = 4096;
+  /// congest_sim: record every transport exchange/route/charge into a
+  /// trace_log (listing_report::trace) for replay-driven cost experiments
+  /// (congest/replay.hpp, DESIGN.md §10). Does not change any output —
+  /// cliques and the ledger are bit-identical with tracing on or off; off
+  /// is a no-op on the hot path (one pointer null check per exchange).
+  /// Ignored by local_kclist (no CONGEST accounting there to trace).
+  bool trace = false;
 };
 
 /// Back-compat monolithic option block of dcl::list_cliques: the binding
@@ -123,6 +134,16 @@ struct listing_report {
   /// max over clusters of the Thm 6 per-vertex load L (see
   /// cluster_listing_stats::max_normalized_load).
   double max_normalized_load = 0.0;
+  /// Wall-clock seconds per driver stage ("decompose", "anatomy",
+  /// "clusters", "exhaustive", "fallback", "total"), accumulated across
+  /// levels. Observability only: values depend on the machine and thread
+  /// count; every simulated number above stays deterministic.
+  std::map<std::string, double> phase_seconds;
+  /// The recorded transport trace when listing_query::trace was set (null
+  /// otherwise), with its aggregate stats. Replaying `trace` under
+  /// replay_model::measured reproduces `ledger` bit-identically.
+  std::shared_ptr<const trace_log> trace;
+  trace_summary trace_stats;
 };
 
 /// Theorem 32. Appends every triangle of g into `out` (arity 3, must be

@@ -1,7 +1,10 @@
 #pragma once
 // Internal helpers shared by the K3 and K_p recursion drivers.
 
+#include <chrono>
+
 #include "congest/cost.hpp"
+#include "congest/trace.hpp"
 #include "core/listing/collector.hpp"
 #include "core/listing/k3_cluster.hpp"
 #include "graph/graph.hpp"
@@ -18,6 +21,7 @@ struct cluster_outcome {
   explicit cluster_outcome(int p) : cliques(p) {}
 
   cost_ledger ledger;
+  trace_recorder rec;  ///< filled only when the query enables tracing
   clique_collector cliques;
   cluster_listing_stats stats;
   edge_list removed;              ///< E− edges this cluster retires (p >= 4)
@@ -28,11 +32,18 @@ struct cluster_outcome {
 
 /// Gathers the residual graph at a per-component leader (exact tree-
 /// congestion charge) and lists centrally. The unconditional-correctness
-/// fallback of DESIGN.md §2.6.
+/// fallback of DESIGN.md §2.6. `rec`, when given, records the gather
+/// charge (the driver absorbs it under the run-sequential trace scope).
 void central_fallback(const graph& cur, int p, clique_collector& out,
-                      cost_ledger& ledger);
+                      cost_ledger& ledger, trace_recorder* rec = nullptr);
 
 /// The graph minus a sorted, deduplicated list of removed edges.
 graph remove_edges(const graph& cur, const edge_list& removed);
+
+/// Wall-clock seconds elapsed since `t0` (listing_report::phase_seconds).
+inline double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
 
 }  // namespace dcl::detail

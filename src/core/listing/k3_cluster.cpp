@@ -102,7 +102,7 @@ cluster_listing_stats list_k3_in_cluster(network& net_c, const graph& g,
     if (!a.in_v_minus(v)) low_local.push_back(cc.to_local(v));
   {
     network local_net(cc.local_graph(), net_c.ledger(),
-                      &net_c.shared_transport());
+                      &net_c.shared_transport(), net_c.recorder());
     two_hop_listing(local_net, cc.local_graph(), low_local, a.delta, 3, out,
                     std::string(phase) + "/twohop", cc.parent_vertices(),
                     scratch);

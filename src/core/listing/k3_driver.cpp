@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <chrono>
 #include <string>
 
 #include "core/listing/driver.hpp"
@@ -19,8 +20,8 @@ namespace detail {
 /// Shared base-case fallback: gather the residual graph at a per-component
 /// leader (cost charged exactly) and list centrally.
 void central_fallback(const graph& cur, int p, clique_collector& out,
-                      cost_ledger& ledger) {
-  network net(cur, ledger);
+                      cost_ledger& ledger, trace_recorder* rec) {
+  network net(cur, ledger, nullptr, rec);
   net.charge_gather_all_edges("fallback/gather");
   enumkernel::enum_scratch ws;
   enumkernel::enumerate_cliques(
@@ -50,6 +51,12 @@ listing_report list_triangles_congest(const graph& g, const listing_query& q,
   listing_report rep;  // fresh per run — never resets caller state
 
   const double epsilon = q.epsilon > 0 ? q.epsilon : 1.0 / 18.0;
+  const bool tracing = q.trace;
+  auto tlog = tracing ? std::make_shared<trace_log>()
+                      : std::shared_ptr<trace_log>{};
+  trace_recorder seq_rec;  // fallback gathers: the run-sequential scope
+  trace_recorder* seq = tracing ? &seq_rec : nullptr;
+  const auto run_t0 = std::chrono::steady_clock::now();
   graph cur = g;
   bool done = false;
 
@@ -62,7 +69,9 @@ listing_report list_triangles_congest(const graph& g, const listing_query& q,
     ls.edges_before = cur.num_edges();
 
     if (cur.num_edges() <= q.base_case_edges) {
-      detail::central_fallback(cur, 3, out, rep.ledger);
+      const auto t0 = std::chrono::steady_clock::now();
+      detail::central_fallback(cur, 3, out, rep.ledger, seq);
+      rep.phase_seconds["fallback"] += detail::seconds_since(t0);
       rep.levels.push_back(ls);
       done = true;
       break;
@@ -70,10 +79,14 @@ listing_report list_triangles_congest(const graph& g, const listing_query& q,
 
     decomposition_options dopt;
     dopt.epsilon = epsilon;
+    const auto dec_t0 = std::chrono::steady_clock::now();
     const auto d = decompose(cur, dopt);
     rep.model_decomposition_rounds +=
         cs20_decomposition_rounds(cur.num_vertices(), epsilon);
+    rep.phase_seconds["decompose"] += detail::seconds_since(dec_t0);
+    const auto ana_t0 = std::chrono::steady_clock::now();
     const auto anatomy = build_anatomy(cur, d, {.p = 3});
+    rep.phase_seconds["anatomy"] += detail::seconds_since(ana_t0);
     ls.clusters = std::int64_t(anatomy.size());
 
     cost_ledger level_ledger;
@@ -81,8 +94,9 @@ listing_report list_triangles_congest(const graph& g, const listing_query& q,
     // All clusters of this level list simultaneously (the paper's
     // within-level parallelism, now also hardware parallelism): each task
     // runs against its own ledger/collector, and outcomes fold back in
-    // cluster-index order, so the merged ledger, report and clique set are
-    // bit-identical for every sim_threads value.
+    // cluster-index order, so the merged ledger, report, trace and clique
+    // set are bit-identical for every sim_threads value.
+    const auto clu_t0 = std::chrono::steady_clock::now();
     const auto outcomes = runtime::run_indexed<detail::cluster_outcome>(
         pool, std::int64_t(anatomy.size()),
         [&](int worker, std::int64_t ci) {
@@ -92,7 +106,8 @@ listing_report list_triangles_congest(const graph& g, const listing_query& q,
           // The worker's arena-parked transport keeps delivery scratch and
           // staging outboxes capacity-warm across this worker's clusters.
           network net_c(cur, oc.ledger,
-                        &pool.arena(worker).get<transport>());
+                        &pool.arena(worker).get<transport>(),
+                        tracing ? &oc.rec : nullptr);
           oc.stats = list_k3_in_cluster(
               net_c, cur, a, q.lb, splitmix64(q.seed + std::uint64_t(ci)),
               oc.cliques, "cluster" + std::to_string(ci),
@@ -107,6 +122,9 @@ listing_report list_triangles_congest(const graph& g, const listing_query& q,
       rep.max_normalized_load =
           std::max(rep.max_normalized_load, oc.stats.max_normalized_load);
       level_ledger.merge_parallel(oc.ledger);
+      if (tracing)
+        tlog->absorb(oc.rec, level, std::int64_t(ci),
+                     std::int64_t(a.v_cluster.size()), a.certified_phi);
       out.absorb(oc.cliques);
       removed.insert(removed.end(), a.e_minus.begin(), a.e_minus.end());
       ++ls.clusters_listed;
@@ -114,6 +132,7 @@ listing_report list_triangles_congest(const graph& g, const listing_query& q,
           std::int64_t(a.v_cluster.size() - a.v_minus.size());
     }
     rep.ledger.merge_sequential(level_ledger);
+    rep.phase_seconds["clusters"] += detail::seconds_since(clu_t0);
 
     std::sort(removed.begin(), removed.end());
     removed.erase(std::unique(removed.begin(), removed.end()),
@@ -124,7 +143,9 @@ listing_report list_triangles_congest(const graph& g, const listing_query& q,
     if (removed.empty()) {
       // No progress possible through the decomposition (degenerate input);
       // fall back to central listing of the residual graph.
-      detail::central_fallback(cur, 3, out, rep.ledger);
+      const auto t0 = std::chrono::steady_clock::now();
+      detail::central_fallback(cur, 3, out, rep.ledger, seq);
+      rep.phase_seconds["fallback"] += detail::seconds_since(t0);
       rep.used_fallback = true;
       done = true;
       break;
@@ -134,9 +155,19 @@ listing_report list_triangles_congest(const graph& g, const listing_query& q,
   }
   if (!done && cur.num_edges() > 0) {
     // Level budget exhausted: unconditional correctness via the fallback.
-    detail::central_fallback(cur, 3, out, rep.ledger);
+    const auto t0 = std::chrono::steady_clock::now();
+    detail::central_fallback(cur, 3, out, rep.ledger, seq);
+    rep.phase_seconds["fallback"] += detail::seconds_since(t0);
     rep.used_fallback = true;
   }
+  if (tracing) {
+    if (!seq_rec.empty())
+      tlog->absorb(seq_rec, -1, kTraceBranchSequential,
+                   std::int64_t(g.num_vertices()), 0.0);
+    rep.trace_stats = tlog->summarize();
+    rep.trace = std::move(tlog);
+  }
+  rep.phase_seconds["total"] += detail::seconds_since(run_t0);
   return rep;
 }
 

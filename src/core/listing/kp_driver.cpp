@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <chrono>
 #include <set>
 #include <string>
 
@@ -142,6 +143,12 @@ listing_report list_kp_congest(const graph& g, const listing_query& q,
       q.epsilon > 0 ? q.epsilon : (q.p == 4 ? 1.0 / 12.0 : 1.0 / 18.0);
   const std::int64_t n_budget =
       budget_n_1_minus_2_over_p(g.num_vertices(), q.p);
+  const bool tracing = q.trace;
+  auto tlog = tracing ? std::make_shared<trace_log>()
+                      : std::shared_ptr<trace_log>{};
+  trace_recorder seq_rec;  // fallback gathers: the run-sequential scope
+  trace_recorder* seq = tracing ? &seq_rec : nullptr;
+  const auto run_t0 = std::chrono::steady_clock::now();
   graph cur = g;
   bool done = false;
 
@@ -153,7 +160,9 @@ listing_report list_kp_congest(const graph& g, const listing_query& q,
     level_stats ls;
     ls.edges_before = cur.num_edges();
     if (cur.num_edges() <= q.base_case_edges) {
-      detail::central_fallback(cur, q.p, out, rep.ledger);
+      const auto t0 = std::chrono::steady_clock::now();
+      detail::central_fallback(cur, q.p, out, rep.ledger, seq);
+      rep.phase_seconds["fallback"] += detail::seconds_since(t0);
       rep.levels.push_back(ls);
       done = true;
       break;
@@ -161,11 +170,15 @@ listing_report list_kp_congest(const graph& g, const listing_query& q,
 
     decomposition_options dopt;
     dopt.epsilon = epsilon;
+    const auto dec_t0 = std::chrono::steady_clock::now();
     const auto d = decompose(cur, dopt);
     rep.model_decomposition_rounds +=
         cs20_decomposition_rounds(cur.num_vertices(), epsilon);
+    rep.phase_seconds["decompose"] += detail::seconds_since(dec_t0);
+    const auto ana_t0 = std::chrono::steady_clock::now();
     const auto anatomy =
         build_anatomy(cur, d, {.p = q.p, .beta = q.beta});
+    rep.phase_seconds["anatomy"] += detail::seconds_since(ana_t0);
     ls.clusters = std::int64_t(anatomy.size());
 
     cost_ledger level_ledger;
@@ -173,8 +186,11 @@ listing_report list_kp_congest(const graph& g, const listing_query& q,
 
     // Lemma 41: exhaustive search around the low-degree open vertices.
     {
+      const auto exh_t0 = std::chrono::steady_clock::now();
       cost_ledger exh_ledger;
-      network exh_net(cur, exh_ledger);
+      trace_recorder exh_rec;
+      network exh_net(cur, exh_ledger, nullptr,
+                      tracing ? &exh_rec : nullptr);
       std::vector<vertex> targets;
       std::int64_t alpha = 0;
       std::vector<bool> is_low(size_t(cur.num_vertices()), false);
@@ -196,12 +212,16 @@ listing_report list_kp_congest(const graph& g, const listing_query& q,
         const auto found = exh_out.finalize();
         for (std::int64_t t = 0; t < found.size(); ++t) out.emit(found[t]);
         level_ledger.merge_parallel(exh_ledger);
+        if (tracing)
+          tlog->absorb(exh_rec, level, kTraceBranchExhaustive,
+                       std::int64_t(cur.num_vertices()), 0.0);
       }
       // E− edges with a low-degree open endpoint are fully covered.
       for (const auto& a : anatomy)
         for (const auto& e : a.e_minus)
           if (is_low[size_t(e.u)] || is_low[size_t(e.v)])
             removed.push_back(e);
+      rep.phase_seconds["exhaustive"] += detail::seconds_since(exh_t0);
     }
 
     // Per cluster: delivery, overload test, split-tree listing — every
@@ -209,7 +229,9 @@ listing_report list_kp_congest(const graph& g, const listing_query& q,
     // self-contained (own ledger, own collector, own delivery); outcomes
     // fold back in cluster-index order so the report stays bit-identical
     // for every sim_threads value. A deferred cluster's deliver cost is
-    // dropped with its ledger, exactly as in the sequential formulation.
+    // dropped with its ledger (and its trace), exactly as in the
+    // sequential formulation.
+    const auto clu_t0 = std::chrono::steady_clock::now();
     const auto outcomes = runtime::run_indexed<detail::cluster_outcome>(
         pool, std::int64_t(anatomy.size()),
         [&](int worker, std::int64_t ci) {
@@ -220,7 +242,8 @@ listing_report list_kp_congest(const graph& g, const listing_query& q,
           // The worker's arena-parked transport keeps delivery scratch and
           // staging outboxes capacity-warm across this worker's clusters.
           network net_c(cur, oc.ledger,
-                        &pool.arena(worker).get<transport>());
+                        &pool.arena(worker).get<transport>(),
+                        tracing ? &oc.rec : nullptr);
           const std::string cl = "cluster" + std::to_string(ci);
 
           const auto del =
@@ -265,11 +288,16 @@ listing_report list_kp_congest(const graph& g, const listing_query& q,
         continue;
       }
       level_ledger.merge_parallel(oc.ledger);
+      if (tracing)
+        tlog->absorb(oc.rec, level, std::int64_t(ci),
+                     std::int64_t(anatomy[ci].v_cluster.size()),
+                     anatomy[ci].certified_phi);
       out.absorb(oc.cliques);
       ++ls.clusters_listed;
       removed.insert(removed.end(), oc.removed.begin(), oc.removed.end());
     }
     rep.ledger.merge_sequential(level_ledger);
+    rep.phase_seconds["clusters"] += detail::seconds_since(clu_t0);
 
     std::sort(removed.begin(), removed.end());
     removed.erase(std::unique(removed.begin(), removed.end()),
@@ -278,7 +306,9 @@ listing_report list_kp_congest(const graph& g, const listing_query& q,
     rep.levels.push_back(ls);
 
     if (removed.empty()) {
-      detail::central_fallback(cur, q.p, out, rep.ledger);
+      const auto t0 = std::chrono::steady_clock::now();
+      detail::central_fallback(cur, q.p, out, rep.ledger, seq);
+      rep.phase_seconds["fallback"] += detail::seconds_since(t0);
       rep.used_fallback = true;
       done = true;
       break;
@@ -287,9 +317,19 @@ listing_report list_kp_congest(const graph& g, const listing_query& q,
     if (cur.num_edges() == 0) done = true;
   }
   if (!done && cur.num_edges() > 0) {
-    detail::central_fallback(cur, q.p, out, rep.ledger);
+    const auto t0 = std::chrono::steady_clock::now();
+    detail::central_fallback(cur, q.p, out, rep.ledger, seq);
+    rep.phase_seconds["fallback"] += detail::seconds_since(t0);
     rep.used_fallback = true;
   }
+  if (tracing) {
+    if (!seq_rec.empty())
+      tlog->absorb(seq_rec, -1, kTraceBranchSequential,
+                   std::int64_t(g.num_vertices()), 0.0);
+    rep.trace_stats = tlog->summarize();
+    rep.trace = std::move(tlog);
+  }
+  rep.phase_seconds["total"] += detail::seconds_since(run_t0);
   return rep;
 }
 

@@ -83,6 +83,53 @@ TEST(CostLedger, MergeParallelMaxRoundsAddMessagesPerPhase) {
   EXPECT_EQ(a.messages(), 210);
 }
 
+TEST(CostLedger, MergesAreAssociativeAndCommutativeOverPhaseMaps) {
+  // Trace replay (congest/replay.hpp) folds branch ledgers in trace order,
+  // which may differ from the live drivers' fold order whenever clusters
+  // were skipped or deferred — correctness rests on both merges being
+  // associative and commutative over the per-phase maps. Exercise ledgers
+  // with overlapping and disjoint phase sets.
+  const auto make = [](std::initializer_list<
+                        std::tuple<const char*, std::int64_t, std::int64_t>>
+                           charges) {
+    cost_ledger l;
+    for (const auto& [ph, r, m] : charges) l.charge(ph, r, m);
+    return l;
+  };
+  const cost_ledger a = make({{"tree", 7, 70}, {"learn", 2, 20}});
+  const cost_ledger b = make({{"tree", 4, 40}, {"deliver", 9, 90}});
+  const cost_ledger c = make({{"deliver", 5, 50}, {"learn", 11, 110}});
+
+  const auto equal = [](const cost_ledger& x, const cost_ledger& y) {
+    if (x.rounds() != y.rounds() || x.messages() != y.messages())
+      return false;
+    if (x.phases().size() != y.phases().size()) return false;
+    for (const auto& [ph, cost] : x.phases()) {
+      const auto it = y.phases().find(ph);
+      if (it == y.phases().end() || it->second.rounds != cost.rounds ||
+          it->second.messages != cost.messages)
+        return false;
+    }
+    return true;
+  };
+
+  for (const bool parallel : {false, true}) {
+    const auto merge = [&](cost_ledger into, const cost_ledger& other) {
+      parallel ? into.merge_parallel(other)
+               : into.merge_sequential(other);
+      return into;
+    };
+    // (a ∘ b) ∘ c == a ∘ (b ∘ c)
+    EXPECT_TRUE(equal(merge(merge(a, b), c), merge(a, merge(b, c))))
+        << "parallel=" << parallel;
+    // a ∘ b == b ∘ a
+    EXPECT_TRUE(equal(merge(a, b), merge(b, a))) << "parallel=" << parallel;
+    // Permutations of a three-way fold all agree.
+    EXPECT_TRUE(equal(merge(merge(c, a), b), merge(merge(b, c), a)))
+        << "parallel=" << parallel;
+  }
+}
+
 TEST(CostLedger, MergeIntoEmptyIsIdentity) {
   cost_ledger src;
   src.charge("x", 3, 30);

@@ -7,6 +7,7 @@
 #include "expander/decomposition.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
+#include "support/check.hpp"
 
 namespace dcl {
 namespace {
@@ -132,6 +133,66 @@ TEST(CostModel, RoutingScalesWithLoad) {
             cs20_routing_rounds(100, 0.1, 1000));
   EXPECT_LT(cs20_routing_rounds(10, 0.5, 1000),
             cs20_routing_rounds(10, 0.05, 1000));
+}
+
+TEST(CostModel, RoutingMonotoneOverSweep) {
+  // Non-decreasing in load at fixed (phi, n), non-increasing in phi at
+  // fixed (load, n), non-decreasing in n at fixed (load, phi) — the three
+  // partial monotonicities the replay models and the bench fit rely on.
+  for (std::int64_t load = 1; load <= 1024; load *= 2)
+    EXPECT_LE(cs20_routing_rounds(load, 0.2, 4096),
+              cs20_routing_rounds(load * 2, 0.2, 4096))
+        << "load=" << load;
+  for (double phi = 1.0 / 64; phi < 1.0; phi *= 2)
+    EXPECT_GE(cs20_routing_rounds(16, phi, 4096),
+              cs20_routing_rounds(16, phi * 2, 4096))
+        << "phi=" << phi;
+  for (std::int64_t n = 4; n <= 1 << 20; n *= 4)
+    EXPECT_LE(cs20_routing_rounds(16, 0.2, n),
+              cs20_routing_rounds(16, 0.2, n * 4))
+        << "n=" << n;
+}
+
+TEST(CostModel, RoutingBoundaryLoads) {
+  // Zero load and degenerate id spaces are free; the smallest real batch
+  // is not. Exact load-1 value stays >= 1/phi (the closed form's leading
+  // factor survives the subpolynomial term and the ceil).
+  EXPECT_EQ(cs20_routing_rounds(0, 0.5, 4096), 0);
+  EXPECT_EQ(cs20_routing_rounds(5, 0.5, 0), 0);
+  EXPECT_EQ(cs20_routing_rounds(5, 0.5, 1), 0);
+  EXPECT_GE(cs20_routing_rounds(1, 0.5, 2), 1);
+  EXPECT_GE(cs20_routing_rounds(1, 0.01, 4096), 100);
+  EXPECT_THROW(cs20_routing_rounds(-1, 0.5, 100), precondition_error);
+  EXPECT_THROW(cs20_routing_rounds(5, 0.5, -1), precondition_error);
+}
+
+TEST(CostModel, RoutingPhiExtremes) {
+  // phi <= 0 is a contract violation, not a zero charge.
+  EXPECT_THROW(cs20_routing_rounds(10, 0.0, 1000), precondition_error);
+  EXPECT_THROW(cs20_routing_rounds(10, -0.5, 1000), precondition_error);
+  // Perfect expander (phi = 1): the charge is exactly load * subpoly(n) —
+  // still at least the load itself.
+  EXPECT_GE(cs20_routing_rounds(64, 1.0, 4096), 64);
+  // Near-zero phi blows up without overflowing to nonsense.
+  const auto huge = cs20_routing_rounds(1, 1e-6, 4096);
+  EXPECT_GT(huge, 1000000);
+  EXPECT_LT(huge, std::int64_t(1) << 60);
+  // phi > 1 (super-expander certificates can exceed 1 on multigraph-free
+  // inputs) keeps shrinking the charge, never below zero.
+  EXPECT_LE(cs20_routing_rounds(64, 2.0, 4096),
+            cs20_routing_rounds(64, 1.0, 4096));
+  EXPECT_GT(cs20_routing_rounds(64, 2.0, 4096), 0);
+}
+
+TEST(CostModel, DecompositionBoundaries) {
+  EXPECT_EQ(cs20_decomposition_rounds(0, 0.1), 0);
+  EXPECT_EQ(cs20_decomposition_rounds(1, 0.1), 0);
+  EXPECT_GE(cs20_decomposition_rounds(2, 0.1), 1);
+  for (std::int64_t n = 2; n <= 1 << 20; n *= 4)
+    EXPECT_LE(cs20_decomposition_rounds(n, 0.1),
+              cs20_decomposition_rounds(n * 4, 0.1));
+  EXPECT_THROW(cs20_decomposition_rounds(100, 0.0), precondition_error);
+  EXPECT_THROW(cs20_decomposition_rounds(-1, 0.1), precondition_error);
 }
 
 TEST(Anatomy, K3ClusterContainsTriangleClosure) {

@@ -1,0 +1,191 @@
+// replay_trace — record a transport trace from a live listing run, or
+// re-charge a recorded trace against the pluggable cost models of
+// congest/replay.hpp (DESIGN.md §10).
+//
+//   replay_trace record [--p P] [--n N] [--prob X] [--seed S]
+//                       [--threads T] [--out FILE] [--jsonl FILE]
+//     Runs a traced congest_sim listing on a G(n, prob) instance,
+//     self-checks that measured-model replay reproduces the live ledger
+//     bit-identically (exit 1 if not), and writes the binary trace.
+//
+//   replay_trace replay FILE [--model measured|spec|cs20|all]
+//     Reads a binary trace and prints the reconstructed ledger under the
+//     requested model(s).
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "congest/replay.hpp"
+#include "congest/trace.hpp"
+#include "core/api/session.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace dcl;
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  replay_trace record [--p P] [--n N] [--prob X] [--seed S]\n"
+         "                      [--threads T] [--out FILE] [--jsonl FILE]\n"
+         "  replay_trace replay FILE [--model measured|spec|cs20|all]\n";
+  return 2;
+}
+
+bool ledgers_equal(const cost_ledger& a, const cost_ledger& b) {
+  if (a.rounds() != b.rounds() || a.messages() != b.messages()) return false;
+  const auto& pa = a.phases();
+  const auto& pb = b.phases();
+  if (pa.size() != pb.size()) return false;
+  for (auto ia = pa.begin(), ib = pb.begin(); ia != pa.end(); ++ia, ++ib) {
+    if (ia->first != ib->first) return false;
+    if (ia->second.rounds != ib->second.rounds) return false;
+    if (ia->second.messages != ib->second.messages) return false;
+  }
+  return true;
+}
+
+void print_ledger(std::string_view title, const cost_ledger& ledger) {
+  std::cout << title << ": rounds=" << ledger.rounds()
+            << " messages=" << ledger.messages() << "\n";
+  for (const auto& [phase, cost] : ledger.phases())
+    std::cout << "  " << phase << ": rounds=" << cost.rounds
+              << " messages=" << cost.messages << "\n";
+}
+
+int run_record(const std::vector<std::string>& args) {
+  int p = 3;
+  vertex n = 160;
+  double prob = 0.08;
+  std::uint64_t seed = 7;
+  int threads = 1;
+  std::string out_path = "trace.bin";
+  std::string jsonl_path;
+  for (std::size_t i = 0; i < args.size(); i += 2) {
+    if (i + 1 >= args.size()) return usage();
+    const std::string& key = args[i];
+    const std::string& val = args[i + 1];
+    if (key == "--p")
+      p = std::atoi(val.c_str());
+    else if (key == "--n")
+      n = vertex(std::atol(val.c_str()));
+    else if (key == "--prob")
+      prob = std::atof(val.c_str());
+    else if (key == "--seed")
+      seed = std::uint64_t(std::atoll(val.c_str()));
+    else if (key == "--threads")
+      threads = std::atoi(val.c_str());
+    else if (key == "--out")
+      out_path = val;
+    else if (key == "--jsonl")
+      jsonl_path = val;
+    else
+      return usage();
+  }
+
+  const graph g = gen::gnp(n, prob, seed);
+  listing_session session(
+      g, {.engine = listing_engine::congest_sim, .threads = threads});
+  listing_query q;
+  q.p = p;
+  q.trace = true;
+  const auto r = session.run(q);
+  if (!r.report.trace) {
+    std::cerr << "error: run returned no trace\n";
+    return 1;
+  }
+  const trace_log& log = *r.report.trace;
+
+  // Self-check: the measured model must reproduce the live ledger exactly.
+  const cost_ledger replayed = replay_ledger(log, replay_model::measured);
+  if (!ledgers_equal(replayed, r.report.ledger)) {
+    std::cerr << "error: measured replay diverged from the live ledger\n";
+    print_ledger("live", r.report.ledger);
+    print_ledger("replayed", replayed);
+    return 1;
+  }
+
+  std::ofstream bin(out_path, std::ios::binary);
+  log.write_binary(bin);
+  bin.flush();
+  if (!bin) {
+    std::cerr << "error: could not write " << out_path << "\n";
+    return 1;
+  }
+  if (!jsonl_path.empty()) {
+    std::ofstream js(jsonl_path);
+    log.write_jsonl(js);
+    js.flush();
+    if (!js) {
+      std::cerr << "error: could not write " << jsonl_path << "\n";
+      return 1;
+    }
+  }
+
+  const trace_summary s = r.report.trace_stats;
+  std::cout << "recorded " << out_path << ": p=" << p << " n=" << n
+            << " cliques=" << r.count << "\n"
+            << "  events=" << s.events << " (exchanges=" << s.exchanges
+            << " clique_exchanges=" << s.clique_exchanges
+            << " routes=" << s.routes << " charges=" << s.charges << ")\n"
+            << "  scopes=" << s.scopes << " phases=" << s.phases
+            << " max_rounds=" << s.max_rounds
+            << " mean_dst_density=" << s.mean_dst_density << "\n";
+  print_ledger("live ledger (== measured replay)", r.report.ledger);
+  return 0;
+}
+
+int run_replay(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const std::string& path = args[0];
+  std::string model_name = "all";
+  for (std::size_t i = 1; i < args.size(); i += 2) {
+    if (i + 1 >= args.size() || args[i] != "--model") return usage();
+    model_name = args[i + 1];
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "error: could not open " << path << "\n";
+    return 1;
+  }
+  const trace_log log = trace_log::read_binary(in);
+  const trace_summary s = log.summarize();
+  std::cout << path << ": events=" << s.events << " scopes=" << s.scopes
+            << " phases=" << s.phases << "\n";
+
+  std::vector<replay_model> models;
+  if (model_name == "all") {
+    models = {replay_model::measured, replay_model::congestion_spec,
+              replay_model::cs20};
+  } else {
+    replay_model m;
+    if (!parse_replay_model(model_name, m)) return usage();
+    models = {m};
+  }
+  for (replay_model m : models)
+    print_ledger(std::string(replay_model_name(m)), replay_ledger(log, m));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string_view cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "record") return run_record(args);
+    if (cmd == "replay") return run_replay(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
