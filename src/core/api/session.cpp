@@ -127,17 +127,18 @@ query_result listing_session::run(const listing_query& q,
 
 query_result listing_session::run_local(const listing_query& q,
                                         const stream_sink* sink) {
+  const enumkernel::kernel_mode kmode = effective_kernel(q);
   query_result res{clique_set(q.p), 0, {}};
   if (q.mode == sink_mode::count) {
     // The counting twin: same traversal, no tuple assembly, no buffers, no
     // merge — nothing is materialized anywhere.
-    res.count =
-        local::count_cliques_parallel(dag_, q.p, pool_, opt_.grain);
+    res.count = local::count_cliques_parallel(dag_, q.p, pool_, opt_.grain,
+                                              nullptr, kmode);
     res.report.emitted = res.count;
     return res;
   }
-  clique_set out =
-      local::list_cliques_parallel(dag_, q.p, pool_, opt_.grain);
+  clique_set out = local::list_cliques_parallel(dag_, q.p, pool_, opt_.grain,
+                                                nullptr, kmode);
   res.count = out.size();
   res.report.emitted = out.size();
   if (q.mode == sink_mode::collect)
@@ -149,9 +150,11 @@ query_result listing_session::run_local(const listing_query& q,
 
 query_result listing_session::run_congest(const listing_query& q,
                                           const stream_sink* sink) {
+  listing_query eq = q;
+  eq.kernel = effective_kernel(q);
   clique_collector out(q.p);
-  listing_report rep = q.p == 3 ? list_triangles_congest(*g_, q, pool_, out)
-                                : list_kp_congest(*g_, q, pool_, out);
+  listing_report rep = q.p == 3 ? list_triangles_congest(*g_, eq, pool_, out)
+                                : list_kp_congest(*g_, eq, pool_, out);
   query_result res{clique_set(q.p), 0, {}};
   if (q.mode == sink_mode::collect) {
     res.cliques = out.finalize();
@@ -202,10 +205,11 @@ query_result listing_session::run_edges(const listing_query& q,
   validate_common(q);
 
   auto& scratch = pool_.arena(0).get<edge_query_scratch>();
+  const enumkernel::kernel_mode kmode = effective_kernel(q);
   query_result res{clique_set(q.p), 0, {}};
   if (q.mode == sink_mode::count) {
     res.count = enumkernel::enumerate_cliques_in_edges(
-        edges, q.p, scratch.ws, [](std::span<const vertex>) {});
+        edges, q.p, scratch.ws, [](std::span<const vertex>) {}, kmode);
     res.report.emitted = res.count;
     return res;
   }
@@ -213,9 +217,11 @@ query_result listing_session::run_edges(const listing_query& q,
   // and bulk-merging presorted keeps the per-clique cost at a memcpy.
   scratch.buf.clear();
   enumkernel::enumerate_cliques_in_edges(
-      edges, q.p, scratch.ws, [&](std::span<const vertex> c) {
+      edges, q.p, scratch.ws,
+      [&](std::span<const vertex> c) {
         scratch.buf.insert(scratch.buf.end(), c.begin(), c.end());
-      });
+      },
+      kmode);
   clique_collector out(q.p);
   out.merge_buffer(scratch.buf, /*tuples_presorted=*/true);
   if (q.mode == sink_mode::collect) {

@@ -51,6 +51,12 @@ struct session_options {
   enumkernel::orientation_policy orientation =
       enumkernel::orientation_policy::degeneracy;
   std::int64_t grain = 128;
+  /// Session-wide enumeration-kernel traversal (DESIGN.md §11): scalar
+  /// adjacency compaction, dense bitmaps, or per-egonet auto-selection. A
+  /// query whose own listing_query::kernel is not auto_select overrides
+  /// this for that run. Purely a performance knob — cliques, counts,
+  /// stream batches, and reports are bit-identical across all values.
+  enumkernel::kernel_mode kernel = enumkernel::kernel_mode::auto_select;
 };
 
 /// What one run() returns. The report is freshly constructed per run —
@@ -116,6 +122,13 @@ class listing_session {
   const enumkernel::dag& bound_dag() const { return dag_; }
 
  private:
+  /// Per-run traversal: a query's explicit (non-auto) kernel wins; an
+  /// auto_select query defers to the session-wide knob.
+  enumkernel::kernel_mode effective_kernel(const listing_query& q) const {
+    return q.kernel != enumkernel::kernel_mode::auto_select ? q.kernel
+                                                            : opt_.kernel;
+  }
+
   query_result run_local(const listing_query& q, const stream_sink* sink);
   query_result run_congest(const listing_query& q, const stream_sink* sink);
   query_result run_edges(const listing_query& q, const edge_list& edges,

@@ -72,6 +72,10 @@ struct listing_query {
   /// is a no-op on the hot path (one pointer null check per exchange).
   /// Ignored by local_kclist (no CONGEST accounting there to trace).
   bool trace = false;
+  /// Enumeration-kernel traversal (DESIGN.md §11): scalar compaction,
+  /// dense bitmaps, or per-egonet auto-selection. Cliques, counts, stream
+  /// batches, and the ledger are bit-identical across the three values.
+  enumkernel::kernel_mode kernel = enumkernel::kernel_mode::auto_select;
 };
 
 /// Back-compat monolithic option block of dcl::list_cliques: the binding
@@ -95,6 +99,8 @@ struct listing_options {
   double gamma = 12.0;         ///< overloaded-cluster threshold (p >= 4)
   int max_levels = 64;
   std::int64_t base_case_edges = 64;  ///< gather centrally below this
+  /// Enumeration-kernel traversal (see listing_query::kernel).
+  enumkernel::kernel_mode kernel = enumkernel::kernel_mode::auto_select;
 
   /// The per-query half, for handing to a listing_session (always
   /// sink_mode::collect — the wrapper's historical shape).
@@ -108,6 +114,7 @@ struct listing_options {
     q.gamma = gamma;
     q.max_levels = max_levels;
     q.base_case_edges = base_case_edges;
+    q.kernel = kernel;
     return q;
   }
 };

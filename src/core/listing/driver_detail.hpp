@@ -34,8 +34,10 @@ struct cluster_outcome {
 /// congestion charge) and lists centrally. The unconditional-correctness
 /// fallback of DESIGN.md §2.6. `rec`, when given, records the gather
 /// charge (the driver absorbs it under the run-sequential trace scope).
-void central_fallback(const graph& cur, int p, clique_collector& out,
-                      cost_ledger& ledger, trace_recorder* rec = nullptr);
+void central_fallback(
+    const graph& cur, int p, clique_collector& out, cost_ledger& ledger,
+    trace_recorder* rec = nullptr,
+    enumkernel::kernel_mode kmode = enumkernel::kernel_mode::auto_select);
 
 /// The graph minus a sorted, deduplicated list of removed edges.
 graph remove_edges(const graph& cur, const edge_list& removed);

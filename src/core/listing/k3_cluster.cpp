@@ -92,7 +92,8 @@ cluster_listing_stats list_k3_in_cluster(network& net_c, const graph& g,
                                          lb_engine engine, std::uint64_t seed,
                                          clique_collector& out,
                                          std::string_view phase,
-                                         runtime::scratch_arena* scratch) {
+                                         runtime::scratch_arena* scratch,
+                                         enumkernel::kernel_mode kmode) {
   cluster_listing_stats stats;
   cluster_comm cc(net_c, a.v_cluster, a.e_cluster, std::string(phase));
 
@@ -105,7 +106,7 @@ cluster_listing_stats list_k3_in_cluster(network& net_c, const graph& g,
                       &net_c.shared_transport(), net_c.recorder());
     two_hop_listing(local_net, cc.local_graph(), low_local, a.delta, 3, out,
                     std::string(phase) + "/twohop", cc.parent_vertices(),
-                    scratch);
+                    scratch, kmode);
   }
 
   // ---- High-degree side: triangles inside V−_C via a partition tree.
@@ -192,12 +193,14 @@ cluster_listing_stats list_k3_in_cluster(network& net_c, const graph& g,
     // Cluster-local listing on the shared kernel: the learned edges are in
     // position space, so remap each emitted triangle back to parent ids.
     enumkernel::enumerate_cliques_in_edges(
-        le, 3, ws.enum_ws, [&](std::span<const vertex> c) {
+        le, 3, ws.enum_ws,
+        [&](std::span<const vertex> c) {
           vertex tri[3];
           for (int z = 0; z < 3; ++z)
             tri[size_t(z)] = cc.to_parent(pool[size_t(c[size_t(z)])]);
           out.emit(std::span<const vertex>(tri, 3));
-        });
+        },
+        kmode);
   }
   return stats;
 }

@@ -17,6 +17,7 @@
 
 #include "congest/network.hpp"
 #include "core/listing/collector.hpp"
+#include "enumkernel/limits.hpp"
 #include "expander/anatomy.hpp"
 #include "runtime/scratch.hpp"
 
@@ -40,12 +41,10 @@ struct cluster_listing_stats {
 /// cluster (the driver merges cluster ledgers in parallel). `scratch`, when
 /// given, supplies recycled message batches (the per-worker arena of the
 /// runtime pool); the result is identical with or without it.
-cluster_listing_stats list_k3_in_cluster(network& net_c, const graph& g,
-                                         const cluster_anatomy& a,
-                                         lb_engine engine, std::uint64_t seed,
-                                         clique_collector& out,
-                                         std::string_view phase,
-                                         runtime::scratch_arena* scratch =
-                                             nullptr);
+cluster_listing_stats list_k3_in_cluster(
+    network& net_c, const graph& g, const cluster_anatomy& a,
+    lb_engine engine, std::uint64_t seed, clique_collector& out,
+    std::string_view phase, runtime::scratch_arena* scratch = nullptr,
+    enumkernel::kernel_mode kmode = enumkernel::kernel_mode::auto_select);
 
 }  // namespace dcl

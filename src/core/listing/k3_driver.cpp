@@ -20,12 +20,14 @@ namespace detail {
 /// Shared base-case fallback: gather the residual graph at a per-component
 /// leader (cost charged exactly) and list centrally.
 void central_fallback(const graph& cur, int p, clique_collector& out,
-                      cost_ledger& ledger, trace_recorder* rec) {
+                      cost_ledger& ledger, trace_recorder* rec,
+                      enumkernel::kernel_mode kmode) {
   network net(cur, ledger, nullptr, rec);
   net.charge_gather_all_edges("fallback/gather");
   enumkernel::enum_scratch ws;
   enumkernel::enumerate_cliques(
-      cur, p, ws, [&](std::span<const vertex> c) { out.emit(c); });
+      cur, p, ws, [&](std::span<const vertex> c) { out.emit(c); },
+      enumkernel::orientation_policy::degeneracy, kmode);
 }
 
 graph remove_edges(const graph& cur, const edge_list& removed) {
@@ -70,7 +72,7 @@ listing_report list_triangles_congest(const graph& g, const listing_query& q,
 
     if (cur.num_edges() <= q.base_case_edges) {
       const auto t0 = std::chrono::steady_clock::now();
-      detail::central_fallback(cur, 3, out, rep.ledger, seq);
+      detail::central_fallback(cur, 3, out, rep.ledger, seq, q.kernel);
       rep.phase_seconds["fallback"] += detail::seconds_since(t0);
       rep.levels.push_back(ls);
       done = true;
@@ -111,7 +113,7 @@ listing_report list_triangles_congest(const graph& g, const listing_query& q,
           oc.stats = list_k3_in_cluster(
               net_c, cur, a, q.lb, splitmix64(q.seed + std::uint64_t(ci)),
               oc.cliques, "cluster" + std::to_string(ci),
-              &pool.arena(worker));
+              &pool.arena(worker), q.kernel);
           oc.considered = true;
           return oc;
         });
@@ -144,7 +146,7 @@ listing_report list_triangles_congest(const graph& g, const listing_query& q,
       // No progress possible through the decomposition (degenerate input);
       // fall back to central listing of the residual graph.
       const auto t0 = std::chrono::steady_clock::now();
-      detail::central_fallback(cur, 3, out, rep.ledger, seq);
+      detail::central_fallback(cur, 3, out, rep.ledger, seq, q.kernel);
       rep.phase_seconds["fallback"] += detail::seconds_since(t0);
       rep.used_fallback = true;
       done = true;
@@ -156,7 +158,7 @@ listing_report list_triangles_congest(const graph& g, const listing_query& q,
   if (!done && cur.num_edges() > 0) {
     // Level budget exhausted: unconditional correctness via the fallback.
     const auto t0 = std::chrono::steady_clock::now();
-    detail::central_fallback(cur, 3, out, rep.ledger, seq);
+    detail::central_fallback(cur, 3, out, rep.ledger, seq, q.kernel);
     rep.phase_seconds["fallback"] += detail::seconds_since(t0);
     rep.used_fallback = true;
   }

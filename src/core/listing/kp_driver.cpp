@@ -73,6 +73,7 @@ delivery_result deliver_eprime(network& net_c, const graph& g,
 
   std::set<std::pair<edge, vertex>> delivered;  // (edge, holder index)
   std::int64_t rounds_i = 0, rounds_ii = 0, messages = 0;
+  std::vector<vertex> common;  // reused across the case-(i) intersections
 
   // Case (i): each good v ∈ V−\S learns the induced edges among its S*
   // neighbors. Per-edge loads: |N(v) ∩ S*| out, intersection sizes back.
@@ -85,7 +86,7 @@ delivery_result deliver_eprime(network& net_c, const graph& g,
     if (star_nbrs.size() < 2) continue;
     rounds_i = std::max(rounds_i, std::int64_t(star_nbrs.size()));
     for (vertex u : star_nbrs) {
-      const auto common = sorted_intersection(g.neighbors(u), star_nbrs);
+      sorted_intersection_into(g.neighbors(u), star_nbrs, common);
       messages += std::int64_t(star_nbrs.size()) + std::int64_t(common.size());
       rounds_i = std::max(rounds_i, std::int64_t(common.size()));
       for (vertex w : common)
@@ -161,7 +162,7 @@ listing_report list_kp_congest(const graph& g, const listing_query& q,
     ls.edges_before = cur.num_edges();
     if (cur.num_edges() <= q.base_case_edges) {
       const auto t0 = std::chrono::steady_clock::now();
-      detail::central_fallback(cur, q.p, out, rep.ledger, seq);
+      detail::central_fallback(cur, q.p, out, rep.ledger, seq, q.kernel);
       rep.phase_seconds["fallback"] += detail::seconds_since(t0);
       rep.levels.push_back(ls);
       done = true;
@@ -208,7 +209,7 @@ listing_report list_kp_congest(const graph& g, const listing_query& q,
       if (!targets.empty()) {
         clique_collector exh_out(q.p);
         two_hop_listing(exh_net, cur, targets, alpha, q.p, exh_out,
-                        "exhaustive");
+                        "exhaustive", {}, nullptr, q.kernel);
         const auto found = exh_out.finalize();
         for (std::int64_t t = 0; t < found.size(); ++t) out.emit(found[t]);
         level_ledger.merge_parallel(exh_ledger);
@@ -266,7 +267,7 @@ listing_report list_kp_congest(const graph& g, const listing_query& q,
           oc.stats = list_kp_in_cluster(
               net_c, cur, a, del.eprime, q.p, q.lb,
               splitmix64(q.seed + std::uint64_t(ci)), oc.cliques, cl,
-              &pool.arena(worker));
+              &pool.arena(worker), q.kernel);
 
           // Removal rule (DESIGN.md §2.4/2.5): E− edges inside V− with a
           // good endpoint are fully covered by this cluster's listing.
@@ -307,7 +308,7 @@ listing_report list_kp_congest(const graph& g, const listing_query& q,
 
     if (removed.empty()) {
       const auto t0 = std::chrono::steady_clock::now();
-      detail::central_fallback(cur, q.p, out, rep.ledger, seq);
+      detail::central_fallback(cur, q.p, out, rep.ledger, seq, q.kernel);
       rep.phase_seconds["fallback"] += detail::seconds_since(t0);
       rep.used_fallback = true;
       done = true;
@@ -318,7 +319,7 @@ listing_report list_kp_congest(const graph& g, const listing_query& q,
   }
   if (!done && cur.num_edges() > 0) {
     const auto t0 = std::chrono::steady_clock::now();
-    detail::central_fallback(cur, q.p, out, rep.ledger, seq);
+    detail::central_fallback(cur, q.p, out, rep.ledger, seq, q.kernel);
     rep.phase_seconds["fallback"] += detail::seconds_since(t0);
     rep.used_fallback = true;
   }

@@ -15,6 +15,7 @@ namespace {
 struct two_hop_scratch {
   enumkernel::enum_scratch enum_ws;
   std::vector<vertex> tuple;
+  std::vector<vertex> common;
   edge_list learned;
 };
 
@@ -25,7 +26,8 @@ two_hop_stats two_hop_listing(network& net, const graph& g,
                               std::int64_t alpha, int p,
                               clique_collector& out, std::string_view phase,
                               std::span<const vertex> id_map,
-                              runtime::scratch_arena* arena) {
+                              runtime::scratch_arena* arena,
+                              enumkernel::kernel_mode kmode) {
   DCL_EXPECTS(p >= 3, "clique arity must be at least 3");
   DCL_EXPECTS(id_map.empty() || vertex(id_map.size()) == g.num_vertices(),
               "id_map must cover all vertices");
@@ -74,12 +76,14 @@ two_hop_stats two_hop_listing(network& net, const graph& g,
     const auto nv = g.neighbors(v);
     learned.clear();
     for (vertex u : nv) {
-      for (vertex w : sorted_intersection(g.neighbors(u), nv)) {
+      sorted_intersection_into(g.neighbors(u), nv, ws.common);
+      for (vertex w : ws.common) {
         if (w > u) learned.push_back({u, w});
       }
     }
     enumkernel::enumerate_cliques_in_edges(
-        learned, p - 1, ws.enum_ws, [&](std::span<const vertex> c) {
+        learned, p - 1, ws.enum_ws,
+        [&](std::span<const vertex> c) {
           bool v_is_min_target = true;
           for (vertex u : c)
             if (is_target[size_t(u)] && u < v) {
@@ -92,7 +96,8 @@ two_hop_stats two_hop_listing(network& net, const graph& g,
           if (!id_map.empty())
             for (auto& z : tuple) z = id_map[size_t(z)];
           out.emit(tuple);
-        });
+        },
+        kmode);
   }
   return stats;
 }

@@ -10,6 +10,7 @@
 
 #include "congest/network.hpp"
 #include "core/listing/collector.hpp"
+#include "enumkernel/limits.hpp"
 
 namespace dcl::runtime {
 class scratch_arena;
@@ -33,11 +34,11 @@ struct two_hop_stats {
 /// `arena` keys a persistent workspace (kernel scratch, learned-edge and
 /// tuple buffers) there, making the per-target enumerations allocation-
 /// free across clusters — a call-local workspace is used otherwise.
-two_hop_stats two_hop_listing(network& net, const graph& g,
-                              std::span<const vertex> targets,
-                              std::int64_t alpha, int p,
-                              clique_collector& out, std::string_view phase,
-                              std::span<const vertex> id_map = {},
-                              runtime::scratch_arena* arena = nullptr);
+two_hop_stats two_hop_listing(
+    network& net, const graph& g, std::span<const vertex> targets,
+    std::int64_t alpha, int p, clique_collector& out, std::string_view phase,
+    std::span<const vertex> id_map = {},
+    runtime::scratch_arena* arena = nullptr,
+    enumkernel::kernel_mode kmode = enumkernel::kernel_mode::auto_select);
 
 }  // namespace dcl

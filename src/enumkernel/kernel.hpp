@@ -30,6 +30,7 @@
 // restores both in O(|sub-egonet|).
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -41,6 +42,48 @@
 #include "support/check.hpp"
 
 namespace dcl::enumkernel {
+
+// kernel_mode (declared in limits.hpp) semantics: the level descent runs
+// either on the scalar adjacency-compaction path (shrink-and-restore over
+// the egonet CSR) or on dense adjacency bitmaps — one 64-bit row per
+// in-egonet vertex, candidate sets per level as bitmaps, descent as a
+// word-parallel AND, counting as popcount, listing as bit-scan. The
+// bitmap path is the classic kClist accelerant for dense egonets; sparse
+// egonets stay on the scalar path, whose cost tracks the (small) live
+// degree sums instead of n/64 words per step.
+//   auto_select — per-egonet choice via bitmap_preferred() (the default);
+//   scalar      — always the compaction path (pre-PR-7 behavior);
+//   bitmap      — always the bitmap path (p == 3 egonets have no level
+//                 descent, so all modes coincide there).
+// Outputs are identical across modes: every kernel emits each clique
+// exactly once as the same ascending tuple, so normalized clique sets,
+// stream batches, counts, and CONGEST reports are bit-identical for every
+// mode (tested).
+
+/// Tuning constants behind kernel_mode::auto_select (see bench_enum_kernel
+/// and DESIGN.md §11). Bitmap rows cost one clear+scatter of n·⌈n/64⌉
+/// words per egonet, and each descent costs ⌈n/64⌉ words regardless of
+/// degree — worth it once the egonet's arc density clears ~1/8, i.e. the
+/// average live degree outruns the word count by ~4x, AND the descent is
+/// deep enough to re-read the rows it built: at depth 2 (p == 4) the
+/// traversal is a single base-level scan, so the row build never
+/// amortizes and the scalar path wins on every benched case.
+inline constexpr std::int32_t kBitmapMinVertices = 8;
+inline constexpr std::int32_t kBitmapMaxVertices = 4096;  ///< row-memory cap
+inline constexpr std::int64_t kBitmapDensityDivisor = 8;
+inline constexpr std::int32_t kBitmapMinDepth = 3;        ///< p >= 5
+
+/// The auto_select heuristic: use bitmaps for an egonet of `n` members and
+/// `arcs` within-egonet DAG arcs, descended `depth` = p - 2 levels, when
+/// the egonet is dense enough that word-parallel steps beat
+/// degree-proportional ones and deep enough to amortize the row build.
+/// Pure function of (n, arcs, depth) — auto_select stays deterministic.
+inline bool bitmap_preferred(std::int32_t n, std::int64_t arcs,
+                             std::int32_t depth) {
+  if (depth < kBitmapMinDepth) return false;
+  if (n < kBitmapMinVertices || n > kBitmapMaxVertices) return false;
+  return arcs * kBitmapDensityDivisor >= std::int64_t(n) * (n - 1) / 2;
+}
 
 /// Reusable workspace for every kernel entry point. One per worker (keyed
 /// in its scratch_arena, usually embedded in a call site's scratch struct);
@@ -57,6 +100,15 @@ struct enum_scratch {
   std::vector<std::size_t> pos;                 ///< loop cursor per level
   std::vector<std::int32_t> prefix;             ///< chosen local ids
 
+  // Bitmap path state (kernel_mode::bitmap, or auto_select on a dense
+  // egonet): adjacency rows, per-level candidate masks, per-level bit-scan
+  // cursors. All grow to the largest egonet seen and are reused — warm
+  // bitmap runs are allocation-free exactly like the scalar path.
+  std::vector<std::uint64_t> bit_rows;   ///< n rows of ⌈n/64⌉ words each
+  std::vector<std::uint64_t> bit_masks;  ///< (top+1) × ⌈n/64⌉ live masks
+  std::vector<std::int32_t> bit_word;    ///< per-level cursor: word index
+  std::vector<std::uint64_t> bit_rem;    ///< per-level cursor: unread bits
+
   // Edge-list entry: canonicalized edges, dense remap, local CSR.
   edge_list canon;                     ///< deduped edges, local ids
   std::vector<vertex> members;         ///< local id -> caller vertex id
@@ -71,19 +123,25 @@ struct enum_scratch {
 class arc_enumerator {
  public:
   /// p in [3, kMaxCliqueArity]; `d` and `ws` must outlive the binding.
-  arc_enumerator(const dag& d, int p, enum_scratch& ws)
-      : dag_(d), p_(p), top_(p - 2), ws_(ws) {
+  /// `mode` picks the level-descent strategy (auto_select decides per
+  /// egonet); results are identical for every mode.
+  arc_enumerator(const dag& d, int p, enum_scratch& ws,
+                 kernel_mode mode = kernel_mode::auto_select)
+      : dag_(d), p_(p), top_(p - 2), mode_(mode), ws_(ws) {
     DCL_EXPECTS(p >= 3 && p <= kMaxCliqueArity,
                 "arc_enumerator supports p in [3, kMaxCliqueArity]");
     ws.builder.ensure(d.n);
     if (std::int32_t(ws.cand.size()) < top_ + 1)
       ws.cand.resize(size_t(top_) + 1);
     ws.pos.assign(size_t(top_) + 1, 0);
+    ws.bit_word.assign(size_t(top_) + 1, 0);
+    ws.bit_rem.assign(size_t(top_) + 1, 0);
     ws.prefix.clear();
     ws.prefix.reserve(size_t(top_));
   }
 
   int arity() const { return p_; }
+  kernel_mode mode() const { return mode_; }
 
   /// Calls sink(clique) for every p-clique rooted at arc `arc_index`
   /// (index into the flat arc order: source ascending, targets ascending
@@ -113,11 +171,12 @@ class arc_enumerator {
     return total;
   }
 
-  /// Counting-only variants — same traversal, no tuple assembly.
+  /// Counting-only variants — same traversal, no tuple assembly. On the
+  /// bitmap path the base level degenerates to pure popcounts.
   std::int64_t count_arc(std::int64_t arc_index) {
     vertex u, v;
     arc_endpoints(arc_index, &u, &v);
-    return run(u, v, [](const std::int32_t*, int) {});
+    return run<true>(u, v, [](const std::int32_t*, int) {});
   }
 
   std::int64_t count_range(std::int64_t begin, std::int64_t end) {
@@ -128,7 +187,8 @@ class arc_enumerator {
     std::int64_t total = 0;
     for (std::int64_t arc = begin; arc < end; ++arc) {
       while (dag_.offsets[size_t(u) + 1] <= arc) ++u;
-      total += run(u, dag_.adj[size_t(arc)], [](const std::int32_t*, int) {});
+      total += run<true>(u, dag_.adj[size_t(arc)],
+                         [](const std::int32_t*, int) {});
     }
     return total;
   }
@@ -166,8 +226,9 @@ class arc_enumerator {
   }
 
   /// The iterative DFS. Emit receives (extra local ids, count) completing
-  /// the clique {u, v} ∪ members[prefix] ∪ members[extra].
-  template <typename Emit>
+  /// the clique {u, v} ∪ members[prefix] ∪ members[extra]. CountOnly skips
+  /// per-clique bit iteration on the bitmap path (popcount-only base).
+  template <bool CountOnly = false, typename Emit>
   std::int64_t run(vertex u, vertex v, Emit&& emit) {
     ws_.builder.build(dag_, u, v, top_, ws_.ego);
     egonet& ego = ws_.ego;
@@ -179,6 +240,13 @@ class arc_enumerator {
         emit(extra, 1);
       }
       return ego.n;
+    }
+
+    if (mode_ != kernel_mode::scalar) {
+      const std::int64_t arcs = std::int64_t(ego.offsets[size_t(ego.n)]);
+      if (mode_ == kernel_mode::bitmap ||
+          bitmap_preferred(ego.n, arcs, top_))
+        return run_bitmap<CountOnly>(emit);
     }
 
     const std::int32_t n = ego.n;
@@ -256,9 +324,117 @@ class arc_enumerator {
     return total;
   }
 
+  /// Bitmap twin of the scalar descent (DESIGN.md §11). The egonet's
+  /// directed adjacency becomes an n × ⌈n/64⌉ bit matrix; the candidate
+  /// set at each level is one bitmap, a descent is mask[l-1] = mask[l] &
+  /// row[a], and the base level is a popcount (counting) or bit-scan
+  /// (listing) over row[a] & mask[2]. No shrink/restore bookkeeping: lower
+  /// levels simply overwrite their mask, so returning from a branch is
+  /// free. Candidates are consumed in ascending local-id order, making the
+  /// emission sequence a pure function of (egonet, p) — a (deterministic)
+  /// different order than the scalar path's history-dependent adjacency
+  /// order; all consumers normalize, so outputs match across modes.
+  template <bool CountOnly, typename Emit>
+  std::int64_t run_bitmap(Emit& emit) {
+    egonet& ego = ws_.ego;
+    const std::int32_t n = ego.n;
+    const std::int32_t words = (n + 63) >> 6;
+
+    // Rows, rebuilt per egonet from the CSR: clear + scatter.
+    auto& rows = ws_.bit_rows;
+    rows.assign(size_t(n) * size_t(words), 0);
+    for (std::int32_t a = 0; a < n; ++a) {
+      std::uint64_t* row = rows.data() + size_t(a) * size_t(words);
+      const std::int64_t end = ego.offsets[size_t(a) + 1];
+      for (std::int64_t j = ego.offsets[size_t(a)]; j < end; ++j) {
+        const std::int32_t w = ego.adj[size_t(j)];
+        row[w >> 6] |= std::uint64_t(1) << (w & 63);
+      }
+    }
+
+    auto& masks = ws_.bit_masks;
+    masks.assign(size_t(top_ + 1) * size_t(words), 0);
+    std::uint64_t* top_mask = masks.data() + size_t(top_) * size_t(words);
+    for (std::int32_t wi = 0; wi < words; ++wi)
+      top_mask[wi] = ~std::uint64_t(0);
+    if (const std::int32_t tail = n & 63; tail != 0)
+      top_mask[words - 1] = (std::uint64_t(1) << tail) - 1;
+
+    ws_.prefix.clear();
+    std::int64_t total = 0;
+    std::int32_t l = top_;
+    ws_.bit_word[size_t(l)] = 0;
+    ws_.bit_rem[size_t(l)] = top_mask[0];
+
+    for (;;) {
+      const std::uint64_t* mask_l =
+          masks.data() + size_t(l) * size_t(words);
+      bool frame_done = false;
+      if (l == 2) {
+        // Base: every live arc (a -> w) inside the level-2 candidate set
+        // closes one clique with the roots and the DFS prefix.
+        for (std::int32_t wi = 0; wi < words; ++wi) {
+          std::uint64_t bits = mask_l[wi];
+          while (bits != 0) {
+            const std::int32_t a = (wi << 6) + std::countr_zero(bits);
+            bits &= bits - 1;
+            const std::uint64_t* row =
+                rows.data() + size_t(a) * size_t(words);
+            for (std::int32_t wj = 0; wj < words; ++wj) {
+              std::uint64_t x = row[wj] & mask_l[wj];
+              total += std::popcount(x);
+              if constexpr (!CountOnly) {
+                while (x != 0) {
+                  const std::int32_t w = (wj << 6) + std::countr_zero(x);
+                  x &= x - 1;
+                  const std::int32_t extra[2] = {a, w};
+                  emit(extra, 2);
+                }
+              }
+            }
+          }
+        }
+        frame_done = true;
+      } else {
+        std::int32_t wi = ws_.bit_word[size_t(l)];
+        std::uint64_t rem = ws_.bit_rem[size_t(l)];
+        while (rem == 0 && ++wi < words) rem = mask_l[wi];
+        if (wi >= words) {
+          frame_done = true;
+        } else {
+          const std::int32_t a = (wi << 6) + std::countr_zero(rem);
+          ws_.bit_word[size_t(l)] = wi;
+          ws_.bit_rem[size_t(l)] = rem & (rem - 1);
+          // Descend: the child candidate set is one AND away. Lower levels
+          // own distinct mask storage, so nothing needs restoring later.
+          const std::uint64_t* row =
+              rows.data() + size_t(a) * size_t(words);
+          std::uint64_t* child =
+              masks.data() + size_t(l - 1) * size_t(words);
+          std::uint64_t any = 0;
+          for (std::int32_t wj = 0; wj < words; ++wj)
+            any |= (child[wj] = mask_l[wj] & row[wj]);
+          if (any == 0) continue;
+          ws_.prefix.push_back(a);
+          --l;
+          ws_.bit_word[size_t(l)] = 0;
+          ws_.bit_rem[size_t(l)] = child[0];
+          continue;
+        }
+      }
+      if (frame_done) {
+        if (l == top_) break;
+        ++l;
+        ws_.prefix.pop_back();
+      }
+    }
+    return total;
+  }
+
   const dag& dag_;
   const int p_;
   const std::int32_t top_;  ///< egonet levels = p - 2
+  const kernel_mode mode_;
   enum_scratch& ws_;
 };
 
@@ -279,11 +455,13 @@ csr_view build_local_csr(enum_scratch& ws, vertex n_local);
 /// Enumerates every p-clique of `g` (p in [2, kMaxCliqueArity]), calling
 /// sink(clique) exactly once per clique with an ascending p-tuple span
 /// valid only during the call. Returns the clique count. Deterministic for
-/// a fixed (g, p, policy) regardless of scratch history.
+/// a fixed (g, p, policy, mode) regardless of scratch history; the clique
+/// set is identical for every mode.
 template <typename Sink>
 std::int64_t enumerate_cliques(
     const graph& g, int p, enum_scratch& ws, Sink&& sink,
-    orientation_policy policy = orientation_policy::degeneracy) {
+    orientation_policy policy = orientation_policy::degeneracy,
+    kernel_mode mode = kernel_mode::auto_select) {
   DCL_EXPECTS(p >= 2 && p <= kMaxCliqueArity,
               "clique arity must lie in [2, kMaxCliqueArity]");
   if (p == 2) {
@@ -294,14 +472,15 @@ std::int64_t enumerate_cliques(
     return g.num_edges();
   }
   orient_into(g.view(), policy, ws.orient_ws, ws.d);
-  arc_enumerator en(ws.d, p, ws);
+  arc_enumerator en(ws.d, p, ws, mode);
   return en.list_range(0, ws.d.num_arcs(), sink);
 }
 
 /// Counting-only twin of enumerate_cliques — no tuple assembly at all.
 std::int64_t count_cliques(
     const graph& g, int p, enum_scratch& ws,
-    orientation_policy policy = orientation_policy::degeneracy);
+    orientation_policy policy = orientation_policy::degeneracy,
+    kernel_mode mode = kernel_mode::auto_select);
 
 /// Enumerates every p-clique of an explicit edge set (not a full graph) —
 /// the cluster-local hot path: every CONGEST cluster finishes by listing
@@ -312,7 +491,9 @@ std::int64_t count_cliques(
 /// in enumerate_cliques; emitted tuples use the caller's original ids.
 template <typename Sink>
 std::int64_t enumerate_cliques_in_edges(const edge_list& edges, int p,
-                                        enum_scratch& ws, Sink&& sink) {
+                                        enum_scratch& ws, Sink&& sink,
+                                        kernel_mode mode =
+                                            kernel_mode::auto_select) {
   DCL_EXPECTS(p >= 2 && p <= kMaxCliqueArity,
               "clique arity must lie in [2, kMaxCliqueArity]");
   const vertex n_local = detail::remap_edges_dense(edges, ws);
@@ -327,7 +508,7 @@ std::int64_t enumerate_cliques_in_edges(const edge_list& edges, int p,
   }
   const csr_view local = detail::build_local_csr(ws, n_local);
   orient_into(local, orientation_policy::degeneracy, ws.orient_ws, ws.d);
-  arc_enumerator en(ws.d, p, ws);
+  arc_enumerator en(ws.d, p, ws, mode);
   return en.list_range(
       0, ws.d.num_arcs(), [&](std::span<const vertex> local_clique) {
         // ws.members is ascending, so the monotone remap keeps the tuple
@@ -342,6 +523,7 @@ std::int64_t enumerate_cliques_in_edges(const edge_list& edges, int p,
 /// Convenience wrapper collecting the edge-set cliques into a normalized
 /// clique_set (what the CONGEST listers historically returned).
 clique_set cliques_in_edge_set(const edge_list& edges, int p,
-                               enum_scratch& ws);
+                               enum_scratch& ws,
+                               kernel_mode mode = kernel_mode::auto_select);
 
 }  // namespace dcl::enumkernel

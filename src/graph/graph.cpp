@@ -152,13 +152,15 @@ std::size_t gallop_to(std::span<const vertex> v, std::size_t start,
 }
 
 /// Calls on_match(x) for every common element, ascending. Dispatches to the
-/// galloping walk when the length skew crosses kGallopFactor.
+/// galloping walk when the length skew crosses gallop_factor (0 disables
+/// galloping). The skew test divides instead of multiplying so arbitrary
+/// caller-supplied factors cannot overflow.
 template <typename OnMatch>
 void intersect_sorted(std::span<const vertex> a, std::span<const vertex> b,
-                      OnMatch&& on_match) {
+                      std::size_t gallop_factor, OnMatch&& on_match) {
   if (a.size() > b.size()) std::swap(a, b);
   if (a.empty()) return;
-  if (b.size() >= a.size() * kGallopFactor) {
+  if (gallop_factor != 0 && b.size() / a.size() >= gallop_factor) {
     std::size_t j = 0;
     for (const vertex x : a) {
       j = gallop_to(b, j, x);
@@ -187,17 +189,29 @@ void intersect_sorted(std::span<const vertex> a, std::span<const vertex> b,
 }  // namespace
 
 std::int64_t sorted_intersection_size(std::span<const vertex> a,
-                                      std::span<const vertex> b) {
+                                      std::span<const vertex> b,
+                                      std::size_t gallop_factor) {
   std::int64_t count = 0;
-  intersect_sorted(a, b, [&](vertex) { ++count; });
+  intersect_sorted(a, b, gallop_factor, [&](vertex) { ++count; });
   return count;
 }
 
 std::vector<vertex> sorted_intersection(std::span<const vertex> a,
-                                        std::span<const vertex> b) {
+                                        std::span<const vertex> b,
+                                        std::size_t gallop_factor) {
   std::vector<vertex> out;
-  intersect_sorted(a, b, [&](vertex x) { out.push_back(x); });
+  intersect_sorted(a, b, gallop_factor,
+                   [&](vertex x) { out.push_back(x); });
   return out;
+}
+
+void sorted_intersection_into(std::span<const vertex> a,
+                              std::span<const vertex> b,
+                              std::vector<vertex>& out,
+                              std::size_t gallop_factor) {
+  out.clear();
+  intersect_sorted(a, b, gallop_factor,
+                   [&](vertex x) { out.push_back(x); });
 }
 
 }  // namespace dcl

@@ -186,14 +186,28 @@ class graph {
 /// intersection routines switch from the linear merge walk to a galloping
 /// (exponential-search) walk over the longer range — O(s·log(l/s)) instead
 /// of O(s + l), a measurable win on skewed egonets and two-hop exchanges.
+/// This is the default for the `gallop_factor` parameter below; pass 0 to
+/// disable galloping entirely (pure merge walk — the baseline the factor
+/// is benched against in bench_enum_kernel's intersection rows).
 inline constexpr std::size_t kGallopFactor = 32;
 
 /// Size of the intersection of two ascending-sorted ranges.
-std::int64_t sorted_intersection_size(std::span<const vertex> a,
-                                      std::span<const vertex> b);
+std::int64_t sorted_intersection_size(
+    std::span<const vertex> a, std::span<const vertex> b,
+    std::size_t gallop_factor = kGallopFactor);
 
 /// Intersection of two ascending-sorted ranges.
-std::vector<vertex> sorted_intersection(std::span<const vertex> a,
-                                        std::span<const vertex> b);
+std::vector<vertex> sorted_intersection(
+    std::span<const vertex> a, std::span<const vertex> b,
+    std::size_t gallop_factor = kGallopFactor);
+
+/// Intersection into a caller-provided buffer (cleared first). The hot-path
+/// variant: repeated calls on one warm buffer are allocation-free, which is
+/// how the kernel-adjacent call sites (two-hop listing, K_p delivery)
+/// stream intersections without a fresh std::vector per call.
+void sorted_intersection_into(std::span<const vertex> a,
+                              std::span<const vertex> b,
+                              std::vector<vertex>& out,
+                              std::size_t gallop_factor = kGallopFactor);
 
 }  // namespace dcl

@@ -38,6 +38,9 @@ struct engine_options {
   orientation_policy orientation = orientation_policy::degeneracy;
   int num_threads = 1;       ///< <= 0 selects hardware_concurrency()
   std::int64_t grain = 128;  ///< arcs per dynamically-scheduled chunk
+  /// Enumeration traversal (scalar / bitmap / per-egonet auto-selection;
+  /// DESIGN.md §11). Output-invariant — the clique set never changes.
+  enumkernel::kernel_mode kernel = enumkernel::kernel_mode::auto_select;
 };
 
 struct engine_report {

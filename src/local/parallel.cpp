@@ -14,7 +14,8 @@ namespace dcl::local {
 
 clique_set list_cliques_parallel(const enumkernel::dag& d, int p,
                                  thread_pool& pool, std::int64_t grain,
-                                 parallel_listing_stats* stats) {
+                                 parallel_listing_stats* stats,
+                                 enumkernel::kernel_mode kmode) {
   DCL_EXPECTS(p >= 3, "parallel lister handles p >= 3");
   const int t = pool.size();
   // The private output buffers live in the worker arenas (no tasks are in
@@ -29,7 +30,7 @@ clique_set list_cliques_parallel(const enumkernel::dag& d, int p,
       d.num_arcs(), grain,
       [&](int w, std::int64_t begin, std::int64_t end) {
         auto& ws = pool.arena(w).get<engine_worker_scratch>();
-        enumkernel::arc_enumerator en(d, p, ws.enum_ws);
+        enumkernel::arc_enumerator en(d, p, ws.enum_ws, kmode);
         auto& buf = ws.out;
         found[size_t(w)] +=
             en.list_range(begin, end, [&](std::span<const vertex> c) {
@@ -59,7 +60,8 @@ clique_set list_cliques_parallel(const enumkernel::dag& d, int p,
 
 std::int64_t count_cliques_parallel(const enumkernel::dag& d, int p,
                                     thread_pool& pool, std::int64_t grain,
-                                    parallel_listing_stats* stats) {
+                                    parallel_listing_stats* stats,
+                                    enumkernel::kernel_mode kmode) {
   DCL_EXPECTS(p >= 3, "parallel counter handles p >= 3");
   const int t = pool.size();
   std::vector<std::int64_t> roots(static_cast<size_t>(t), 0);
@@ -69,7 +71,7 @@ std::int64_t count_cliques_parallel(const enumkernel::dag& d, int p,
       d.num_arcs(), grain,
       [&](int w, std::int64_t begin, std::int64_t end) {
         auto& ws = pool.arena(w).get<engine_worker_scratch>();
-        enumkernel::arc_enumerator en(d, p, ws.enum_ws);
+        enumkernel::arc_enumerator en(d, p, ws.enum_ws, kmode);
         found[size_t(w)] += en.count_range(begin, end);
         roots[size_t(w)] += end - begin;
       });
@@ -124,7 +126,8 @@ clique_set list_cliques_local(const graph& g, const engine_options& opt,
   thread_pool pool(opt.num_threads);
   const auto t1 = std::chrono::steady_clock::now();
   parallel_listing_stats stats;
-  clique_set out = list_cliques_parallel(d, opt.p, pool, opt.grain, &stats);
+  clique_set out =
+      list_cliques_parallel(d, opt.p, pool, opt.grain, &stats, opt.kernel);
   if (report) {
     report->max_out_degree = d.max_out_degree;
     report->dag_arcs = d.num_arcs();
@@ -154,7 +157,7 @@ std::int64_t count_cliques_local(const graph& g, const engine_options& opt,
   const auto t1 = std::chrono::steady_clock::now();
   parallel_listing_stats stats;
   const std::int64_t total =
-      count_cliques_parallel(d, opt.p, pool, opt.grain, &stats);
+      count_cliques_parallel(d, opt.p, pool, opt.grain, &stats, opt.kernel);
   if (report) {
     report->max_out_degree = d.max_out_degree;
     report->dag_arcs = d.num_arcs();

@@ -43,14 +43,16 @@ struct parallel_listing_stats {
 
 /// Lists every p-clique of the DAG's underlying graph (p >= 3). The result
 /// is normalized (sorted canonical tuples) and deterministic across thread
-/// counts and schedules.
-clique_set list_cliques_parallel(const enumkernel::dag& d, int p,
-                                 thread_pool& pool, std::int64_t grain,
-                                 parallel_listing_stats* stats = nullptr);
+/// counts, schedules, and kernel modes.
+clique_set list_cliques_parallel(
+    const enumkernel::dag& d, int p, thread_pool& pool, std::int64_t grain,
+    parallel_listing_stats* stats = nullptr,
+    enumkernel::kernel_mode kmode = enumkernel::kernel_mode::auto_select);
 
 /// Counting-only twin of list_cliques_parallel — no buffers, no merge.
-std::int64_t count_cliques_parallel(const enumkernel::dag& d, int p,
-                                    thread_pool& pool, std::int64_t grain,
-                                    parallel_listing_stats* stats = nullptr);
+std::int64_t count_cliques_parallel(
+    const enumkernel::dag& d, int p, thread_pool& pool, std::int64_t grain,
+    parallel_listing_stats* stats = nullptr,
+    enumkernel::kernel_mode kmode = enumkernel::kernel_mode::auto_select);
 
 }  // namespace dcl::local

@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <string>
 #include <vector>
 
 #include "enumkernel/kernel.hpp"
 #include "graph/generators.hpp"
+#include "graph/io.hpp"
 #include "runtime/scratch.hpp"
 
 namespace dcl {
@@ -89,27 +91,45 @@ clique_set naive_in_edge_set(const edge_list& edges, int p) {
 clique_set kernel_collect(const graph& g, int p,
                           enumkernel::enum_scratch& ws,
                           enumkernel::orientation_policy policy =
-                              enumkernel::orientation_policy::degeneracy) {
+                              enumkernel::orientation_policy::degeneracy,
+                          enumkernel::kernel_mode mode =
+                              enumkernel::kernel_mode::auto_select) {
   clique_set out(p);
   enumkernel::enumerate_cliques(
       g, p, ws, [&](std::span<const vertex> c) { out.add_flat(c, true); },
-      policy);
+      policy, mode);
   out.normalize();
   return out;
 }
 
+constexpr enumkernel::kernel_mode kAllModes[] = {
+    enumkernel::kernel_mode::auto_select, enumkernel::kernel_mode::scalar,
+    enumkernel::kernel_mode::bitmap};
+
 // ---------------------------------------------------------------------
 
 TEST(EnumKernel, DifferentialSweepGnp) {
+  // Every kernel mode against the naive oracle: the bitmap and scalar
+  // traversals must produce the identical clique set and count, and
+  // auto_select must match whichever it picks per egonet.
   enumkernel::enum_scratch ws;
   for (const auto& [n, prob, seed] :
        {std::tuple{40, 0.35, 11}, {24, 0.6, 12}, {50, 0.2, 13}}) {
     const auto g = gen::gnp(vertex(n), prob, std::uint64_t(seed));
     for (int p = 3; p <= 7; ++p) {
       const auto want = naive_collect(g, p);
-      EXPECT_TRUE(kernel_collect(g, p, ws) == want)
-          << "n=" << n << " prob=" << prob << " p=" << p;
-      EXPECT_EQ(enumkernel::count_cliques(g, p, ws), want.size());
+      for (const auto mode : kAllModes) {
+        EXPECT_TRUE(kernel_collect(
+                        g, p, ws,
+                        enumkernel::orientation_policy::degeneracy,
+                        mode) == want)
+            << "n=" << n << " prob=" << prob << " p=" << p
+            << " mode=" << int(mode);
+        EXPECT_EQ(enumkernel::count_cliques(
+                      g, p, ws, enumkernel::orientation_policy::degeneracy,
+                      mode),
+                  want.size());
+      }
     }
   }
 }
@@ -120,7 +140,11 @@ TEST(EnumKernel, DifferentialSweepKneser) {
   enumkernel::enum_scratch ws;
   for (int p = 3; p <= 7; ++p) {
     const auto want = naive_collect(g, p);
-    EXPECT_TRUE(kernel_collect(g, p, ws) == want) << "p=" << p;
+    for (const auto mode : kAllModes)
+      EXPECT_TRUE(kernel_collect(g, p, ws,
+                                 enumkernel::orientation_policy::degeneracy,
+                                 mode) == want)
+          << "p=" << p << " mode=" << int(mode);
   }
   EXPECT_EQ(enumkernel::count_cliques(g, 7, ws), 0);
   // K(14, 2) holds K7s: one per perfect matching of K_14 restricted to 7
@@ -252,6 +276,121 @@ TEST(EnumKernel, ArcEnumeratorRangesCompose) {
   EXPECT_EQ(counted, listed);
   EXPECT_EQ(en.count_range(0, d.num_arcs()), listed);
   EXPECT_TRUE(whole == naive_collect(g, 4));
+}
+
+TEST(EnumKernel, BitmapHeuristicBounds) {
+  using enumkernel::bitmap_preferred;
+  using enumkernel::kBitmapDensityDivisor;
+  using enumkernel::kBitmapMaxVertices;
+  using enumkernel::kBitmapMinDepth;
+  using enumkernel::kBitmapMinVertices;
+  // Size gates: tiny egonets stay scalar, oversized ones stay scalar even
+  // when complete (the row matrix would blow the scratch memory cap).
+  EXPECT_FALSE(
+      bitmap_preferred(kBitmapMinVertices - 1, 1'000'000, kBitmapMinDepth));
+  EXPECT_FALSE(bitmap_preferred(kBitmapMaxVertices + 1,
+                                std::int64_t(1) << 40, kBitmapMinDepth));
+  // Depth gate: a depth-2 descent (p == 4) is one base scan — the row
+  // build can't amortize, so auto stays scalar even on a complete egonet.
+  EXPECT_FALSE(bitmap_preferred(64, std::int64_t(64) * 63 / 2,
+                                kBitmapMinDepth - 1));
+  // Density gate around the 1/(divisor) threshold at n = 64.
+  const std::int32_t n = 64;
+  const std::int32_t d = kBitmapMinDepth;
+  const std::int64_t full = std::int64_t(n) * (n - 1) / 2;
+  EXPECT_TRUE(bitmap_preferred(n, full, d));  // complete egonet
+  EXPECT_TRUE(bitmap_preferred(
+      n, (full + kBitmapDensityDivisor - 1) / kBitmapDensityDivisor, d));
+  EXPECT_FALSE(bitmap_preferred(n, full / kBitmapDensityDivisor - 1, d));
+  EXPECT_FALSE(bitmap_preferred(n, 0, d));
+}
+
+TEST(EnumKernel, ModesAgreeOnRealGraph) {
+  // The checked-in Zachary karate club, through the SNAP loader: the known
+  // census (45 triangles, 11 K4s, 2 K5s) and naive-oracle agreement for
+  // every kernel mode.
+  const auto loaded = read_snap_file(std::string(DCL_TEST_DATA_DIR) +
+                                     "/karate.txt");
+  const graph& g = loaded.g;
+  ASSERT_EQ(g.num_vertices(), 34);
+  ASSERT_EQ(g.num_edges(), 78);
+  enumkernel::enum_scratch ws;
+  const std::int64_t census[] = {45, 11, 2, 0};
+  for (int p = 3; p <= 6; ++p) {
+    const auto want = naive_collect(g, p);
+    EXPECT_EQ(want.size(), census[p - 3]) << "p=" << p;
+    for (const auto mode : kAllModes)
+      EXPECT_TRUE(kernel_collect(g, p, ws,
+                                 enumkernel::orientation_policy::degeneracy,
+                                 mode) == want)
+          << "p=" << p << " mode=" << int(mode);
+  }
+}
+
+TEST(EnumKernel, EdgeSetModesAgree) {
+  const auto base = gen::gnp(28, 0.5, 71);
+  edge_list raw = base.edges();
+  raw.push_back({5, 5});              // self-loop
+  raw.push_back(raw.front());         // duplicate
+  enumkernel::enum_scratch ws;
+  for (int p = 3; p <= 6; ++p) {
+    const auto want = naive_in_edge_set(raw, p);
+    for (const auto mode : kAllModes)
+      EXPECT_TRUE(enumkernel::cliques_in_edge_set(raw, p, ws, mode) == want)
+          << "p=" << p << " mode=" << int(mode);
+  }
+}
+
+TEST(EnumKernel, BitmapScratchWarmReuse) {
+  // Forced-bitmap warm runs must be allocation-free: after one pass has
+  // grown the row/mask storage to its high-water mark, a repeat of the
+  // same workload may not reallocate any bitmap buffer (the enum_scratch
+  // contract of DESIGN.md §7 extended to the bitmap path).
+  const auto g = gen::gnp(48, 0.5, 81);
+  enumkernel::enum_scratch ws;
+  const auto first =
+      kernel_collect(g, 5, ws, enumkernel::orientation_policy::degeneracy,
+                     enumkernel::kernel_mode::bitmap);
+  ASSERT_GT(ws.bit_rows.capacity(), 0u);  // the bitmap path really ran
+  const auto* rows_ptr = ws.bit_rows.data();
+  const auto* masks_ptr = ws.bit_masks.data();
+  const auto rows_cap = ws.bit_rows.capacity();
+  const auto masks_cap = ws.bit_masks.capacity();
+  const auto again =
+      kernel_collect(g, 5, ws, enumkernel::orientation_policy::degeneracy,
+                     enumkernel::kernel_mode::bitmap);
+  EXPECT_TRUE(first == again);
+  EXPECT_EQ(rows_ptr, ws.bit_rows.data());
+  EXPECT_EQ(masks_ptr, ws.bit_masks.data());
+  EXPECT_EQ(rows_cap, ws.bit_rows.capacity());
+  EXPECT_EQ(masks_cap, ws.bit_masks.capacity());
+}
+
+TEST(EnumKernel, GallopingThresholdIsOutputInvariant) {
+  // The galloping factor is a pure performance knob on the intersection
+  // routines: every factor (including 0 = disabled and 1 = always gallop)
+  // yields the same intersection, and the default constant is what the
+  // two-argument overload uses.
+  const auto g = gen::power_law(200, 2.3, 10.0, 91);
+  const auto a = g.neighbors(0);  // hub under degree-ordered power_law? any
+  for (vertex v = 1; v < 40; ++v) {
+    const auto b = g.neighbors(v);
+    const auto want = sorted_intersection(a, b);
+    EXPECT_EQ(sorted_intersection_size(a, b), std::int64_t(want.size()));
+    for (const std::size_t factor : {std::size_t{0}, std::size_t{1},
+                                     std::size_t{2}, std::size_t{32},
+                                     std::size_t{1} << 40}) {
+      EXPECT_TRUE(sorted_intersection(a, b, factor) == want)
+          << "v=" << v << " factor=" << factor;
+      EXPECT_EQ(sorted_intersection_size(a, b, factor),
+                std::int64_t(want.size()));
+      std::vector<vertex> into;
+      sorted_intersection_into(a, b, into, factor);
+      EXPECT_TRUE(into == want);
+    }
+  }
+  static_assert(kGallopFactor == 32,
+                "bench_enum_kernel's intersection rows assume the default");
 }
 
 }  // namespace

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <set>
 #include <sstream>
+#include <string>
+#include <utility>
 
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
@@ -42,6 +45,103 @@ TEST(GraphIo, EmptyInput) {
   const auto g = read_edge_list(ss);
   EXPECT_EQ(g.num_vertices(), 0);
   EXPECT_EQ(g.num_edges(), 0);
+}
+
+// --------------------------------------------------------- SNAP loader
+
+TEST(SnapLoader, CommentsLoopsDuplicatesAndReversals) {
+  std::stringstream ss(
+      "# SNAP header\n"
+      "# FromNodeId ToNodeId\n"
+      "10 20\n"
+      "20 10\n"     // reversed duplicate
+      "10 20\n"     // plain duplicate
+      "30 30\n"     // self-loop: dropped, vertex kept
+      "20 30  # mid-file comment\n"
+      "\n");
+  const auto s = read_snap_edge_list(ss);
+  EXPECT_EQ(s.g.num_vertices(), 3);
+  EXPECT_EQ(s.g.num_edges(), 2);
+  ASSERT_EQ(s.to_original.size(), 3u);
+  // Degree order: 20 has degree 2; 10 and 30 tie at 1, ascending original.
+  EXPECT_EQ(s.to_original[0], 20);
+  EXPECT_EQ(s.to_original[1], 10);
+  EXPECT_EQ(s.to_original[2], 30);
+  EXPECT_TRUE(s.g.has_edge(0, 1));   // 20-10
+  EXPECT_TRUE(s.g.has_edge(0, 2));   // 20-30
+  EXPECT_FALSE(s.g.has_edge(1, 2));
+}
+
+TEST(SnapLoader, SparseNonContiguousIdsRelabelDensely) {
+  // Huge sparse ids must cost nothing: n equals the number of distinct
+  // endpoints, never the id universe.
+  std::stringstream ss(
+      "1000000007 3\n"
+      "3 999999999999\n"
+      "1000000007 999999999999\n");
+  const auto s = read_snap_edge_list(ss);
+  EXPECT_EQ(s.g.num_vertices(), 3);
+  EXPECT_EQ(s.g.num_edges(), 3);
+  // All degrees tie at 2 → ascending original id.
+  EXPECT_EQ(s.to_original[0], 3);
+  EXPECT_EQ(s.to_original[1], 1000000007);
+  EXPECT_EQ(s.to_original[2], 999999999999);
+}
+
+TEST(SnapLoader, InverseMapIsConsistent) {
+  // Every relabeled edge maps back to an input pair, and the relabeling is
+  // invariant under line order (pure function of the pair multiset).
+  const std::string fwd = "5 9\n9 70\n70 5\n5 41\n";
+  const std::string rev = "5 41\n70 5\n9 70\n5 9\n";
+  std::stringstream sa(fwd), sb(rev);
+  const auto a = read_snap_edge_list(sa);
+  const auto b = read_snap_edge_list(sb);
+  EXPECT_EQ(a.to_original, b.to_original);
+  EXPECT_EQ(a.g.edges(), b.g.edges());
+  std::set<std::pair<std::int64_t, std::int64_t>> orig;
+  for (const auto& e : a.g.edges()) {
+    const auto u = a.to_original[size_t(e.u)];
+    const auto v = a.to_original[size_t(e.v)];
+    orig.insert(std::minmax(u, v));
+  }
+  EXPECT_EQ(orig, (std::set<std::pair<std::int64_t, std::int64_t>>{
+                      {5, 9}, {9, 70}, {5, 70}, {5, 41}}));
+}
+
+TEST(SnapLoader, DegreeOrderingPacksHubsLow) {
+  // A star plus a pendant chain: the hub must land at id 0 and degrees must
+  // be non-increasing along the new ids.
+  std::stringstream ss("7 1\n7 2\n7 3\n7 4\n7 5\n1 2\n");
+  const auto s = read_snap_edge_list(ss);
+  EXPECT_EQ(s.to_original[0], 7);
+  for (vertex v = 1; v < s.g.num_vertices(); ++v)
+    EXPECT_LE(s.g.degree(v), s.g.degree(v - 1)) << "v=" << v;
+}
+
+TEST(SnapLoader, KarateFixtureLoads) {
+  const auto s = read_snap_file(std::string(DCL_TEST_DATA_DIR) +
+                                "/karate.txt");
+  EXPECT_EQ(s.g.num_vertices(), 34);
+  EXPECT_EQ(s.g.num_edges(), 78);
+  // The two club leaders (1-indexed 34 and 1) are the highest-degree
+  // vertices; degree order puts them first.
+  EXPECT_EQ(s.g.degree(0), 17);
+  EXPECT_EQ(s.to_original[0], 34);
+  EXPECT_EQ(s.g.degree(1), 16);
+  EXPECT_EQ(s.to_original[1], 1);
+}
+
+TEST(SnapLoader, EmptyInput) {
+  std::stringstream ss("# nothing but comments\n");
+  const auto s = read_snap_edge_list(ss);
+  EXPECT_EQ(s.g.num_vertices(), 0);
+  EXPECT_EQ(s.g.num_edges(), 0);
+  EXPECT_TRUE(s.to_original.empty());
+}
+
+TEST(SnapLoader, RejectsNegativeIds) {
+  std::stringstream ss("-4 2\n");
+  EXPECT_THROW(read_snap_edge_list(ss), precondition_error);
 }
 
 }  // namespace

@@ -246,6 +246,78 @@ TEST(ListingSession, QueryValidationAtTheSessionBoundary) {
   EXPECT_THROW(listing_session(g, {.grain = 0}), precondition_error);
 }
 
+TEST(ListingSession, KernelModesBitIdenticalAcrossEnginesAndThreads) {
+  // The bitmap/scalar seam contract (DESIGN.md §11): for every kernel mode,
+  // engine, and worker-pool size, the clique set, the streamed bytes, and
+  // the full report (ledger included) are bit-identical — the traversal is
+  // invisible in every output.
+  struct case_t {
+    graph g;
+    int p;
+  };
+  const std::vector<case_t> cases = {
+      {gen::gnp(48, 0.3, 13), 3},
+      {gen::ring_of_cliques(5, 7), 4},
+      {gen::planted_cliques(40, 0.1, 2, 7, 19), 5},
+  };
+  constexpr enumkernel::kernel_mode kModes[] = {
+      enumkernel::kernel_mode::auto_select, enumkernel::kernel_mode::scalar,
+      enumkernel::kernel_mode::bitmap};
+  for (const auto& c : cases) {
+    for (const auto engine :
+         {listing_engine::congest_sim, listing_engine::local_kclist}) {
+      // Scalar on one thread is the reference everything must equal.
+      listing_query ref_q;
+      ref_q.p = c.p;
+      ref_q.kernel = enumkernel::kernel_mode::scalar;
+      listing_session ref_s(c.g, {.engine = engine, .threads = 1});
+      const auto want = ref_s.run(ref_q);
+      for (const int threads : {1, 4}) {
+        for (const auto mode : kModes) {
+          listing_session s(c.g, {.engine = engine, .threads = threads});
+          listing_query q;
+          q.p = c.p;
+          q.kernel = mode;
+          const auto got = s.run(q);
+          EXPECT_TRUE(got.cliques == want.cliques)
+              << "p=" << c.p << " threads=" << threads
+              << " mode=" << int(mode);
+          if (engine == listing_engine::congest_sim)
+            expect_report_identical(got.report, want.report);
+          // Stream bytes: restream() checks merge order and batching; the
+          // set equality then pins the concatenated payload.
+          EXPECT_TRUE(restream(s, q) == want.cliques);
+          // Edge-scoped queries honor the mode too.
+          const auto scoped = s.cliques_in_edges(q, c.g.edges());
+          EXPECT_TRUE(scoped.cliques == want.cliques);
+        }
+      }
+    }
+  }
+}
+
+TEST(ListingSession, SessionKernelKnobIsDefaultQueryOverrides) {
+  // session_options::kernel applies to every auto_select query; an explicit
+  // per-query kernel wins. Either way the output never changes.
+  const auto g = gen::ring_of_cliques(4, 8);
+  listing_query q;
+  q.p = 4;
+  listing_session plain(g, {});
+  const auto want = plain.run(q);
+  for (const auto skernel :
+       {enumkernel::kernel_mode::scalar, enumkernel::kernel_mode::bitmap}) {
+    listing_session s(g, {.kernel = skernel});
+    const auto got = s.run(q);  // q.kernel = auto_select → session knob
+    EXPECT_TRUE(got.cliques == want.cliques) << int(skernel);
+    expect_report_identical(got.report, want.report);
+    listing_query forced = q;
+    forced.kernel = enumkernel::kernel_mode::scalar;
+    const auto overridden = s.run(forced);
+    EXPECT_TRUE(overridden.cliques == want.cliques);
+    expect_report_identical(overridden.report, want.report);
+  }
+}
+
 TEST(ListingSession, ReportsAreFreshPerRun) {
   // The old drivers reset a caller-held report in place; the session API
   // returns a new value per run, so a stale result can never alias a live
