@@ -1,6 +1,8 @@
 // Session API cost model: cold one-shot (dcl::list_cliques, which rebinds
 // a session per call) vs. warm per-query latency on a bound
-// listing_session, and collect vs. count output modes — per backend. The
+// listing_session — burst mean plus per-query p50/p99 from the shared
+// percentile helper (bench_common.hpp, same definition bench_serving
+// uses) — and collect vs. count output modes, per backend. The
 // warm path is the serving shape the session API exists for: orientation /
 // arc index / worker pool / scratch arenas amortize across queries.
 //
@@ -20,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "bench_json.hpp"
 #include "core/api/list_cliques.hpp"
 #include "graph/generators.hpp"
@@ -110,9 +113,16 @@ int main(int argc, char** argv) {
     listing_session session(w.g, {.engine = w.engine, .threads = w.threads});
     auto warm_res = session.run(q);
     if (!(warm_res.cliques == ref.cliques)) std::abort();
+    // Each query is also timed individually (across all three bursts) so
+    // the row reports the tail, not just the mean — the number a serving
+    // deployment actually budgets for.
+    std::vector<double> collect_lat, count_lat;
     const double warm_collect_s = best_seconds([&] {
                                     for (int i = 0; i < burst; ++i) {
+                                      const double t0 = bench::now_seconds();
                                       warm_res = session.run(q);
+                                      collect_lat.push_back(
+                                          bench::now_seconds() - t0);
                                       if (warm_res.count !=
                                           ref.cliques.size())
                                         std::abort();
@@ -123,12 +133,20 @@ int main(int argc, char** argv) {
     listing_query cq = q;
     cq.mode = sink_mode::count;
     const double warm_count_s = best_seconds([&] {
-                                  for (int i = 0; i < burst; ++i)
-                                    if (session.run(cq).count !=
-                                        ref.cliques.size())
+                                  for (int i = 0; i < burst; ++i) {
+                                    const double t0 = bench::now_seconds();
+                                    const auto res = session.run(cq);
+                                    count_lat.push_back(
+                                        bench::now_seconds() - t0);
+                                    if (res.count != ref.cliques.size())
                                       std::abort();
+                                  }
                                 }) /
                                 burst;
+    const bench::latency_summary collect_pct =
+        bench::summarize_latencies(collect_lat);
+    const bench::latency_summary count_pct =
+        bench::summarize_latencies(count_lat);
 
     if (!first) js << ",\n";
     first = false;
@@ -142,7 +160,11 @@ int main(int argc, char** argv) {
        << ",\n     \"cold_oneshot_seconds\": " << cold_s
        << ", \"warm_collect_seconds\": " << warm_collect_s
        << ", \"warm_count_seconds\": " << warm_count_s
-       << ", \"warm_speedup\": "
+       << ",\n     \"warm_collect_p50_seconds\": " << collect_pct.p50
+       << ", \"warm_collect_p99_seconds\": " << collect_pct.p99
+       << ", \"warm_count_p50_seconds\": " << count_pct.p50
+       << ", \"warm_count_p99_seconds\": " << count_pct.p99
+       << ",\n     \"warm_speedup\": "
        << (warm_collect_s > 0 ? cold_s / warm_collect_s : 0.0)
        << ", \"count_vs_collect\": "
        << (warm_count_s > 0 ? warm_collect_s / warm_count_s : 0.0) << "}";

@@ -1,14 +1,69 @@
 #pragma once
-// Shared helpers for the experiment harness: every binary regenerates one
-// experiment of DESIGN.md §4 and prints a paper-style summary table after
-// the google-benchmark rows.
+// Shared helpers for the experiment harness. Two audiences:
+//
+//   * latency accounting (latency_summary) — plain C++ used by the
+//     google-benchmark binaries AND the self-contained JSON benches
+//     (bench_api_session, bench_serving), so every per-query latency
+//     number in the repo comes from one percentile definition;
+//   * the google-benchmark glue (slope_store, DCL_BENCH_MAIN) — compiled
+//     only under DCL_USE_GOOGLE_BENCHMARK (set by CMake for the
+//     google-benchmark targets), so standalone benches can include this
+//     file without linking the benchmark library.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace dcl::bench {
+
+/// Per-query latency distribution over a sample set, nearest-rank
+/// percentiles (ceil(q*n)-th smallest — the standard conservative
+/// definition: reported p99 is an actually-observed latency, never an
+/// interpolation below one).
+struct latency_summary {
+  std::int64_t samples = 0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  double mean = 0.0, min = 0.0, max = 0.0;
+};
+
+/// Nearest-rank percentile of `sorted` (ascending); q in (0, 1].
+inline double percentile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  std::size_t rank = std::size_t(std::ceil(q * double(sorted.size())));
+  if (rank < 1) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
+/// Summarizes latency samples (seconds; any order; consumed by copy so
+/// the caller's sample log survives for other cuts).
+inline latency_summary summarize_latencies(std::vector<double> samples) {
+  latency_summary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.samples = std::int64_t(samples.size());
+  s.p50 = percentile_sorted(samples, 0.50);
+  s.p95 = percentile_sorted(samples, 0.95);
+  s.p99 = percentile_sorted(samples, 0.99);
+  s.min = samples.front();
+  s.max = samples.back();
+  double sum = 0.0;
+  for (const double v : samples) sum += v;
+  s.mean = sum / double(samples.size());
+  return s;
+}
+
+}  // namespace dcl::bench
+
+#ifdef DCL_USE_GOOGLE_BENCHMARK
 
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 #include <map>
 #include <string>
-#include <vector>
+#include <utility>
 
 #include "support/stats.hpp"
 #include "support/table.hpp"
@@ -60,3 +115,5 @@ class slope_store {
         summary_label);                                     \
     return 0;                                               \
   }
+
+#endif  // DCL_USE_GOOGLE_BENCHMARK

@@ -1,7 +1,9 @@
 #include "core/api/session.hpp"
 
+#include <cstddef>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "congest/transport.hpp"
 #include "core/listing/collector.hpp"
@@ -60,12 +62,17 @@ void stream_batches(const clique_set& s, std::int64_t batch_tuples,
     sink(flat.subspan(off, std::min(stride, flat.size() - off)));
 }
 
-/// Per-session kernel workspace for edge-scoped queries, parked in worker
-/// 0's arena: its own type so it never aliases the parallel engine's
-/// per-worker scratch (the kernel is not reentrant on one scratch).
+/// Per-lease kernel workspace for edge-scoped queries, parked in slot 0 of
+/// the lease's scratch bundle: its own type so it never aliases the
+/// parallel engine's per-worker scratch (the kernel is not reentrant on
+/// one scratch).
 struct edge_query_scratch {
   enumkernel::enum_scratch ws;
   std::vector<vertex> buf;  ///< flat ascending tuples from the kernel
+  /// Batch-sweep staging (cliques_in_edges_batch): the concatenated
+  /// owner-tagged edge buffer and its per-owner segment table.
+  std::vector<edge> cat;
+  std::vector<enumkernel::edge_segment> segs;
 };
 
 }  // namespace
@@ -96,23 +103,47 @@ listing_session::listing_session(const graph& g, const session_options& opt)
     // The orientation is a pure function of (graph, policy): build the DAG
     // once here and serve every query arity from it.
     dag_ = enumkernel::orient(g, opt_.orientation);
-    for (int w = 0; w < pool_.size(); ++w)
-      pool_.arena(w).get<local::engine_worker_scratch>();
   } else {
     // The routing layers key on the graph's O(1) arc index; force the lazy
     // build now so the cost lands at bind time, not inside the first timed
     // exchange of the first query.
     g.ensure_arc_index();
-    for (int w = 0; w < pool_.size(); ++w) pool_.arena(w).get<transport>();
   }
+  // Warm one lease to the full pool width and park it: the first query
+  // (however it lands) checks out a bundle whose kernel scratch /
+  // transports already exist, so bind time — not the first timed run —
+  // pays the construction cost.
+  auto warm = leases_.acquire();
+  warm->scratch.ensure_workers(pool_.size());
+  for (int w = 0; w < pool_.size(); ++w) {
+    if (opt_.engine == listing_engine::local_kclist)
+      warm->scratch.arena(w).get<local::engine_worker_scratch>();
+    else
+      warm->scratch.arena(w).get<transport>();
+  }
+}
+
+runtime::thread_pool& listing_session::claim_pool(
+    std::unique_lock<std::mutex>& gate, query_lease& lease) {
+  gate = std::unique_lock<std::mutex>(pool_gate_, std::try_to_lock);
+  // Losing the try-lock is not a slow path to wait out: the losers run
+  // inline on their lease's single-slot pool and finish on their own core
+  // while the winner fans out. Output is identical either way (determinism
+  // across thread counts, DESIGN.md §6), so this choice is pure
+  // scheduling.
+  return gate.owns_lock() ? pool_ : lease.inline_pool;
 }
 
 query_result listing_session::run(const listing_query& q) {
   validate_query(q, opt_.engine);
   if (q.mode == sink_mode::stream)
     reject("sink_mode::stream requires the run(query, sink) overload");
-  return opt_.engine == listing_engine::local_kclist ? run_local(q, nullptr)
-                                                     : run_congest(q, nullptr);
+  auto lease = leases_.acquire();
+  std::unique_lock<std::mutex> gate;
+  runtime::thread_pool& pool = claim_pool(gate, *lease);
+  return opt_.engine == listing_engine::local_kclist
+             ? run_local(q, nullptr, *lease, pool)
+             : run_congest(q, nullptr, *lease, pool);
 }
 
 query_result listing_session::run(const listing_query& q,
@@ -121,24 +152,30 @@ query_result listing_session::run(const listing_query& q,
   if (q.mode != sink_mode::stream)
     reject("run(query, sink) requires sink_mode::stream");
   if (!sink) reject("stream sink must be callable");
-  return opt_.engine == listing_engine::local_kclist ? run_local(q, &sink)
-                                                     : run_congest(q, &sink);
+  auto lease = leases_.acquire();
+  std::unique_lock<std::mutex> gate;
+  runtime::thread_pool& pool = claim_pool(gate, *lease);
+  return opt_.engine == listing_engine::local_kclist
+             ? run_local(q, &sink, *lease, pool)
+             : run_congest(q, &sink, *lease, pool);
 }
 
 query_result listing_session::run_local(const listing_query& q,
-                                        const stream_sink* sink) {
+                                        const stream_sink* sink,
+                                        query_lease& lease,
+                                        runtime::thread_pool& pool) {
   const enumkernel::kernel_mode kmode = effective_kernel(q);
   query_result res{clique_set(q.p), 0, {}};
   if (q.mode == sink_mode::count) {
     // The counting twin: same traversal, no tuple assembly, no buffers, no
     // merge — nothing is materialized anywhere.
-    res.count = local::count_cliques_parallel(dag_, q.p, pool_, opt_.grain,
-                                              nullptr, kmode);
+    res.count = local::count_cliques_parallel(dag_, q.p, pool, lease.scratch,
+                                              opt_.grain, nullptr, kmode);
     res.report.emitted = res.count;
     return res;
   }
-  clique_set out = local::list_cliques_parallel(dag_, q.p, pool_, opt_.grain,
-                                                nullptr, kmode);
+  clique_set out = local::list_cliques_parallel(dag_, q.p, pool, lease.scratch,
+                                                opt_.grain, nullptr, kmode);
   res.count = out.size();
   res.report.emitted = out.size();
   if (q.mode == sink_mode::collect)
@@ -149,12 +186,15 @@ query_result listing_session::run_local(const listing_query& q,
 }
 
 query_result listing_session::run_congest(const listing_query& q,
-                                          const stream_sink* sink) {
+                                          const stream_sink* sink,
+                                          query_lease& lease,
+                                          runtime::thread_pool& pool) {
   listing_query eq = q;
   eq.kernel = effective_kernel(q);
   clique_collector out(q.p);
-  listing_report rep = q.p == 3 ? list_triangles_congest(*g_, eq, pool_, out)
-                                : list_kp_congest(*g_, eq, pool_, out);
+  listing_report rep =
+      q.p == 3 ? list_triangles_congest(*g_, eq, pool, lease.scratch, out)
+               : list_kp_congest(*g_, eq, pool, lease.scratch, out);
   query_result res{clique_set(q.p), 0, {}};
   if (q.mode == sink_mode::collect) {
     res.cliques = out.finalize();
@@ -180,7 +220,8 @@ query_result listing_session::cliques_in_edges(const listing_query& q,
   if (q.mode == sink_mode::stream)
     reject("sink_mode::stream requires the cliques_in_edges(..., sink) "
            "overload");
-  return run_edges(q, edges, nullptr);
+  auto lease = leases_.acquire();
+  return run_edges(q, edges, nullptr, *lease);
 }
 
 query_result listing_session::cliques_in_edges(const listing_query& q,
@@ -189,22 +230,28 @@ query_result listing_session::cliques_in_edges(const listing_query& q,
   if (q.mode != sink_mode::stream)
     reject("cliques_in_edges(..., sink) requires sink_mode::stream");
   if (!sink) reject("stream sink must be callable");
-  return run_edges(q, edges, &sink);
+  auto lease = leases_.acquire();
+  return run_edges(q, edges, &sink, *lease);
 }
 
-query_result listing_session::run_edges(const listing_query& q,
-                                        const edge_list& edges,
-                                        const stream_sink* sink) {
-  // Edge-scoped queries ride the kernel directly, so the kernel's own
-  // arity range applies for either engine (p = 2 lists the deduplicated
-  // edge set itself).
+void validate_edge_query(const listing_query& q) {
+  // The kernel's own arity range applies for either engine (p = 2 lists
+  // the deduplicated edge set itself).
   if (q.p < 2 || q.p > enumkernel::kMaxCliqueArity)
     reject("p = " + std::to_string(q.p) +
            " is outside the edge-scoped range [2, " +
            std::to_string(enumkernel::kMaxCliqueArity) + "]");
   validate_common(q);
+}
 
-  auto& scratch = pool_.arena(0).get<edge_query_scratch>();
+query_result listing_session::run_edges(const listing_query& q,
+                                        const edge_list& edges,
+                                        const stream_sink* sink,
+                                        query_lease& lease) {
+  validate_edge_query(q);
+
+  lease.scratch.ensure_workers(1);
+  auto& scratch = lease.scratch.arena(0).get<edge_query_scratch>();
   const enumkernel::kernel_mode kmode = effective_kernel(q);
   query_result res{clique_set(q.p), 0, {}};
   if (q.mode == sink_mode::count) {
@@ -235,6 +282,68 @@ query_result listing_session::run_edges(const listing_query& q,
   res.report.emitted = out.emitted();
   res.report.duplicates = out.duplicates();
   return res;
+}
+
+std::vector<query_result> listing_session::cliques_in_edges_batch(
+    const listing_query& q, std::span<const edge_list* const> edge_sets) {
+  if (q.mode == sink_mode::stream)
+    reject("cliques_in_edges_batch serves collect or count queries only "
+           "(stream queries are never coalesced)");
+  validate_edge_query(q);
+  for (const edge_list* s : edge_sets)
+    if (s == nullptr) reject("cliques_in_edges_batch: null edge set");
+
+  auto lease = leases_.acquire();
+  lease->scratch.ensure_workers(1);
+  auto& scratch = lease->scratch.arena(0).get<edge_query_scratch>();
+  const enumkernel::kernel_mode kmode = effective_kernel(q);
+
+  // One owner-tagged concatenated buffer; segment i delimits tenant i's
+  // slice. The sweep enumerates each slice exactly as that tenant's solo
+  // call would (same canonicalization, remap, orientation, and emission
+  // order), so coalescing is invisible in every per-tenant result.
+  scratch.cat.clear();
+  scratch.segs.clear();
+  for (const edge_list* s : edge_sets) {
+    const std::int64_t begin = std::int64_t(scratch.cat.size());
+    scratch.cat.insert(scratch.cat.end(), s->begin(), s->end());
+    scratch.segs.push_back({begin, std::int64_t(scratch.cat.size())});
+  }
+
+  std::vector<query_result> out;
+  out.reserve(edge_sets.size());
+  for (std::size_t i = 0; i < edge_sets.size(); ++i)
+    out.push_back(query_result{clique_set(q.p), 0, {}});
+
+  if (q.mode == sink_mode::count) {
+    enumkernel::enumerate_cliques_in_edge_segments(
+        scratch.cat, scratch.segs, q.p, scratch.ws,
+        [&](std::size_t owner, std::span<const vertex>) {
+          ++out[owner].count;
+        },
+        kmode);
+    for (auto& r : out) r.report.emitted = r.count;
+    return out;
+  }
+
+  // Collect: per-owner flat buffers, bulk-merged presorted per owner —
+  // the solo run_edges pipeline applied segment by segment.
+  std::vector<std::vector<vertex>> bufs(edge_sets.size());
+  enumkernel::enumerate_cliques_in_edge_segments(
+      scratch.cat, scratch.segs, q.p, scratch.ws,
+      [&](std::size_t owner, std::span<const vertex> c) {
+        bufs[owner].insert(bufs[owner].end(), c.begin(), c.end());
+      },
+      kmode);
+  for (std::size_t i = 0; i < edge_sets.size(); ++i) {
+    clique_collector coll(q.p);
+    coll.merge_buffer(bufs[i], /*tuples_presorted=*/true);
+    out[i].cliques = coll.finalize();
+    out[i].count = out[i].cliques.size();
+    out[i].report.emitted = coll.emitted();
+    out[i].report.duplicates = coll.duplicates();
+  }
+  return out;
 }
 
 }  // namespace dcl

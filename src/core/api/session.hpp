@@ -15,11 +15,21 @@
 // Construction performs every query-independent setup step exactly once —
 // the graph's directed-arc index and reverse-arc table (congest_sim), the
 // degeneracy/DAG orientation (local_kclist), the runtime worker pool, and
-// each worker's scratch arena with its parked kernel scratch / transport —
-// so repeated run() calls reuse warm capacity instead of rebuilding the
+// a warmed scratch lease with its parked kernel scratch / transport — so
+// repeated run() calls reuse warm capacity instead of rebuilding the
 // world per query. The session aliases the graph; the graph must outlive
-// it. run() is NOT thread-safe (one query at a time per session; the
-// parallelism lives inside the pool).
+// it.
+//
+// Concurrency (DESIGN.md §12): run() and cliques_in_edges() are safe to
+// call from any number of threads at once. Everything a query mutates
+// lives in a query_lease checked out from the session's lease pool for
+// the duration of that run; the bound graph, its arc index, and the DAG
+// are strictly read-only shared state. The wide worker pool serves one
+// query at a time (first caller wins a try-lock); every other in-flight
+// query runs inline on its lease's single-slot pool. Because all outputs
+// are bit-identical across thread counts (DESIGN.md §6), which pool a
+// query lands on is unobservable in its result — a solo caller keeps full
+// intra-query parallelism, N callers get inter-query parallelism.
 //
 // Determinism: for a fixed bound graph and query, every output mode is a
 // pure function of (graph, query) — independent of session history, thread
@@ -29,13 +39,29 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <span>
+#include <vector>
 
 #include "core/listing/driver.hpp"
 #include "enumkernel/orient.hpp"
+#include "runtime/scratch.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace dcl {
+
+/// Everything one in-flight query is allowed to mutate: the per-worker
+/// scratch bundle (kernel scratch, transports, output buffers — parked
+/// warm between checkouts) and a single-slot pool for running inline when
+/// the session's wide pool is busy with another query. Leased one-per-run
+/// from listing_session's lease_pool; never shared between concurrent
+/// queries.
+struct query_lease {
+  runtime::query_scratch scratch;
+  /// Size-1 pool: the caller participates as worker 0 and no threads are
+  /// spawned, so an inline run costs nothing over a plain function call.
+  runtime::thread_pool inline_pool{1};
+};
 
 /// The graph-binding half of the old monolithic listing_options:
 /// everything that is fixed for the lifetime of a session.
@@ -80,6 +106,13 @@ using stream_sink = std::function<void(std::span<const vertex>)>;
 /// actionable message on the first violation. run() calls this itself.
 void validate_query(const listing_query& q, listing_engine engine);
 
+/// Validation for the edge-scoped entry points (cliques_in_edges and the
+/// batch sweep): the kernel's own arity range [2, kMaxCliqueArity] applies
+/// for either engine, plus the engine-independent knob checks. Throws
+/// dcl::precondition_error on the first violation; the edge-scoped
+/// methods call this themselves.
+void validate_edge_query(const listing_query& q);
+
 class listing_session {
  public:
   /// Binds to `g` (aliased — must outlive the session) and performs the
@@ -113,6 +146,18 @@ class listing_session {
                                 const edge_list& edges,
                                 const stream_sink& sink);
 
+  /// Coalesced edge-scoped sweep (the admission layer's batching
+  /// primitive, DESIGN.md §12): runs the query once over every tenant's
+  /// edge set in a single kernel sweep — the sets are concatenated into
+  /// one owner-tagged buffer and each owner's segment is canonicalized,
+  /// remapped, and enumerated exactly as its solo cliques_in_edges() call
+  /// would be — then demultiplexes per owner. result[i] is bit-identical
+  /// (cliques, count, report) to cliques_in_edges(q, *edge_sets[i]).
+  /// Requires q.mode == collect or count (stream queries are never
+  /// coalesced; see serving_session). Null pointers are rejected.
+  std::vector<query_result> cliques_in_edges_batch(
+      const listing_query& q, std::span<const edge_list* const> edge_sets);
+
   const graph& bound_graph() const { return *g_; }
   const session_options& options() const { return opt_; }
   int threads() const { return pool_.size(); }
@@ -120,6 +165,11 @@ class listing_session {
   /// local_kclist bindings: the DAG oriented at bind time (degeneracy =
   /// max_out_degree under the degeneracy policy). Empty under congest_sim.
   const enumkernel::dag& bound_dag() const { return dag_; }
+
+  /// Lease-pool accounting: `misses` stops growing once the pool holds
+  /// one warm bundle per peak concurrent query — the steady-state
+  /// re-checkout path allocates no scratch at all.
+  runtime::lease_pool_stats lease_stats() const { return leases_.stats(); }
 
  private:
   /// Per-run traversal: a query's explicit (non-auto) kernel wins; an
@@ -129,15 +179,30 @@ class listing_session {
                                                             : opt_.kernel;
   }
 
-  query_result run_local(const listing_query& q, const stream_sink* sink);
-  query_result run_congest(const listing_query& q, const stream_sink* sink);
+  /// Checks out a lease and decides where this run executes: the first
+  /// concurrent caller try-locks pool_gate_ and gets the wide pool_;
+  /// everyone else runs inline on their lease's single-slot pool. `gate`
+  /// keeps the wide pool reserved for as long as the caller holds it.
+  runtime::thread_pool& claim_pool(std::unique_lock<std::mutex>& gate,
+                                   query_lease& lease);
+
+  query_result run_local(const listing_query& q, const stream_sink* sink,
+                         query_lease& lease, runtime::thread_pool& pool);
+  query_result run_congest(const listing_query& q, const stream_sink* sink,
+                           query_lease& lease, runtime::thread_pool& pool);
   query_result run_edges(const listing_query& q, const edge_list& edges,
-                         const stream_sink* sink);
+                         const stream_sink* sink, query_lease& lease);
 
   const graph* g_;
   session_options opt_;
   runtime::thread_pool pool_;
   enumkernel::dag dag_;  ///< local_kclist only; oriented once at bind
+
+  /// Scratch bundles, one per in-flight query (see query_lease). Mutable
+  /// state of the session itself ends here: everything below this line is
+  /// written only under the pool's or the lease pool's own locking.
+  mutable runtime::lease_pool<query_lease> leases_;
+  std::mutex pool_gate_;  ///< wide-pool ownership: one query at a time
 };
 
 }  // namespace dcl

@@ -25,6 +25,7 @@ namespace dcl {
 
 namespace runtime {
 class thread_pool;
+class query_scratch;
 }
 
 /// Execution backend behind dcl::listing_session / dcl::list_cliques:
@@ -157,18 +158,23 @@ struct listing_report {
 /// unfinalized) and returns this run's fresh report — the driver never
 /// touches caller-held report state. The caller finalizes `out` to fit its
 /// sink mode and owns the emitted/duplicates bookkeeping afterwards.
-/// `pool` supplies the cluster-parallel workers and their arena-parked
-/// transports; a listing_session passes its persistent pool so transport
-/// and kernel scratch stay warm across queries. Output equals the
-/// sequential ground truth exactly (tested property).
+/// `pool` supplies the cluster-parallel workers; `scratch` supplies every
+/// piece of mutable per-run workspace (per-worker-slot transports and
+/// kernel scratch) — the driver touches no state shared beyond its
+/// arguments, so any number of runs may share one read-only graph, and a
+/// listing_session serves concurrent run() calls by handing each one a
+/// private leased scratch (DESIGN.md §12). Output equals the sequential
+/// ground truth exactly (tested property).
 listing_report list_triangles_congest(const graph& g, const listing_query& q,
                                       runtime::thread_pool& pool,
+                                      runtime::query_scratch& scratch,
                                       clique_collector& out);
 
 /// Theorem 36 (unified driver for p >= 4; see DESIGN.md §2.4 on K4).
 /// Contract as list_triangles_congest.
 listing_report list_kp_congest(const graph& g, const listing_query& q,
                                runtime::thread_pool& pool,
+                               runtime::query_scratch& scratch,
                                clique_collector& out);
 
 /// Convenience overloads for tests/benches: run on a private pool of

@@ -46,11 +46,16 @@ graph remove_edges(const graph& cur, const edge_list& removed) {
 
 listing_report list_triangles_congest(const graph& g, const listing_query& q,
                                       runtime::thread_pool& pool,
+                                      runtime::query_scratch& scratch,
                                       clique_collector& out) {
   DCL_EXPECTS(q.p == 3, "use list_kp_congest for p >= 4");
   DCL_EXPECTS(q.epsilon < 1.0,
               "epsilon must be below 1 (0 selects the default)");
   listing_report rep;  // fresh per run — never resets caller state
+  // Every mutable byte of this run lives in `scratch` (one arena per
+  // worker slot) or on this stack frame; the pool and graph stay strictly
+  // read-only, which is what lets many runs share them concurrently.
+  scratch.ensure_workers(pool.size());
 
   const double epsilon = q.epsilon > 0 ? q.epsilon : 1.0 / 18.0;
   const bool tracing = q.trace;
@@ -105,15 +110,15 @@ listing_report list_triangles_congest(const graph& g, const listing_query& q,
           detail::cluster_outcome oc(3);
           const auto& a = anatomy[size_t(ci)];
           if (a.e_minus.empty()) return oc;
-          // The worker's arena-parked transport keeps delivery scratch and
-          // staging outboxes capacity-warm across this worker's clusters.
+          // The worker slot's lease-parked transport keeps delivery scratch
+          // and staging outboxes capacity-warm across this slot's clusters.
           network net_c(cur, oc.ledger,
-                        &pool.arena(worker).get<transport>(),
+                        &scratch.arena(worker).get<transport>(),
                         tracing ? &oc.rec : nullptr);
           oc.stats = list_k3_in_cluster(
               net_c, cur, a, q.lb, splitmix64(q.seed + std::uint64_t(ci)),
               oc.cliques, "cluster" + std::to_string(ci),
-              &pool.arena(worker), q.kernel);
+              &scratch.arena(worker), q.kernel);
           oc.considered = true;
           return oc;
         });
@@ -176,8 +181,9 @@ listing_report list_triangles_congest(const graph& g, const listing_query& q,
 clique_set list_triangles_congest(const graph& g, const listing_query& q,
                                   listing_report* report, int sim_threads) {
   runtime::thread_pool pool(sim_threads);
+  runtime::query_scratch scratch;
   clique_collector out(3);
-  listing_report rep = list_triangles_congest(g, q, pool, out);
+  listing_report rep = list_triangles_congest(g, q, pool, scratch, out);
   clique_set result = out.finalize();
   rep.emitted = out.emitted();
   rep.duplicates = out.duplicates();

@@ -133,12 +133,17 @@ delivery_result deliver_eprime(network& net_c, const graph& g,
 
 listing_report list_kp_congest(const graph& g, const listing_query& q,
                                runtime::thread_pool& pool,
+                               runtime::query_scratch& scratch,
                                clique_collector& out) {
   DCL_EXPECTS(q.p >= 4 && q.p <= kCongestMaxP,
               "list_kp_congest supports 4 <= p <= 6");
   DCL_EXPECTS(q.epsilon < 1.0,
               "epsilon must be below 1 (0 selects the default)");
   listing_report rep;  // fresh per run — never resets caller state
+  // Every mutable byte of this run lives in `scratch` (one arena per
+  // worker slot) or on this stack frame; the pool and graph stay strictly
+  // read-only, which is what lets many runs share them concurrently.
+  scratch.ensure_workers(pool.size());
 
   const double epsilon =
       q.epsilon > 0 ? q.epsilon : (q.p == 4 ? 1.0 / 12.0 : 1.0 / 18.0);
@@ -208,8 +213,11 @@ listing_report list_kp_congest(const graph& g, const listing_query& q,
       std::sort(targets.begin(), targets.end());
       if (!targets.empty()) {
         clique_collector exh_out(q.p);
+        // Runs sequentially before the cluster fan-out, so slot 0 is free:
+        // the exhaustive listing's workspace stays warm across levels and
+        // queries instead of being rebuilt call-local.
         two_hop_listing(exh_net, cur, targets, alpha, q.p, exh_out,
-                        "exhaustive", {}, nullptr, q.kernel);
+                        "exhaustive", {}, &scratch.arena(0), q.kernel);
         const auto found = exh_out.finalize();
         for (std::int64_t t = 0; t < found.size(); ++t) out.emit(found[t]);
         level_ledger.merge_parallel(exh_ledger);
@@ -240,10 +248,10 @@ listing_report list_kp_congest(const graph& g, const listing_query& q,
           const auto& a = anatomy[size_t(ci)];
           if (a.v_minus.size() < 2) return oc;
           oc.considered = true;
-          // The worker's arena-parked transport keeps delivery scratch and
-          // staging outboxes capacity-warm across this worker's clusters.
+          // The worker slot's lease-parked transport keeps delivery scratch
+          // and staging outboxes capacity-warm across this slot's clusters.
           network net_c(cur, oc.ledger,
-                        &pool.arena(worker).get<transport>(),
+                        &scratch.arena(worker).get<transport>(),
                         tracing ? &oc.rec : nullptr);
           const std::string cl = "cluster" + std::to_string(ci);
 
@@ -267,7 +275,7 @@ listing_report list_kp_congest(const graph& g, const listing_query& q,
           oc.stats = list_kp_in_cluster(
               net_c, cur, a, del.eprime, q.p, q.lb,
               splitmix64(q.seed + std::uint64_t(ci)), oc.cliques, cl,
-              &pool.arena(worker), q.kernel);
+              &scratch.arena(worker), q.kernel);
 
           // Removal rule (DESIGN.md §2.4/2.5): E− edges inside V− with a
           // good endpoint are fully covered by this cluster's listing.
@@ -337,8 +345,9 @@ listing_report list_kp_congest(const graph& g, const listing_query& q,
 clique_set list_kp_congest(const graph& g, const listing_query& q,
                            listing_report* report, int sim_threads) {
   runtime::thread_pool pool(sim_threads);
+  runtime::query_scratch scratch;
   clique_collector out(q.p);
-  listing_report rep = list_kp_congest(g, q, pool, out);
+  listing_report rep = list_kp_congest(g, q, pool, scratch, out);
   clique_set result = out.finalize();
   rep.emitted = out.emitted();
   rep.duplicates = out.duplicates();

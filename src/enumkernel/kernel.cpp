@@ -7,7 +7,7 @@ namespace dcl::enumkernel {
 
 namespace detail {
 
-vertex remap_edges_dense(const edge_list& edges, enum_scratch& ws) {
+vertex remap_edges_dense(std::span<const edge> edges, enum_scratch& ws) {
   ws.canon.clear();
   ws.canon.reserve(edges.size());
   for (const auto& e : edges) {

@@ -443,7 +443,7 @@ namespace detail {
 /// Canonicalizes `edges` into ws.canon (self-loops dropped, duplicates
 /// merged) and remaps endpoints to dense local ids 0..n_local-1 via
 /// ws.members (ascending, so the remap is monotone). Returns n_local.
-vertex remap_edges_dense(const edge_list& edges, enum_scratch& ws);
+vertex remap_edges_dense(std::span<const edge> edges, enum_scratch& ws);
 
 /// Builds the local CSR over ws.canon (which must hold local-id edges) into
 /// ws.csr_offsets / ws.csr_adj. Adjacency comes out ascending because the
@@ -489,8 +489,10 @@ std::int64_t count_cliques(
 /// and are remapped densely internally (no throwaway parent graph), so
 /// sparse billion-scale ids cost nothing. Sink contract and determinism as
 /// in enumerate_cliques; emitted tuples use the caller's original ids.
+/// Accepts any contiguous edge range (an edge_list converts implicitly),
+/// so a slice of a larger concatenated buffer enumerates without a copy.
 template <typename Sink>
-std::int64_t enumerate_cliques_in_edges(const edge_list& edges, int p,
+std::int64_t enumerate_cliques_in_edges(std::span<const edge> edges, int p,
                                         enum_scratch& ws, Sink&& sink,
                                         kernel_mode mode =
                                             kernel_mode::auto_select) {
@@ -518,6 +520,42 @@ std::int64_t enumerate_cliques_in_edges(const edge_list& edges, int p,
           tuple[i] = ws.members[size_t(local_clique[i])];
         sink(std::span<const vertex>(tuple, local_clique.size()));
       });
+}
+
+/// One tenant's slice of a concatenated multi-tenant edge buffer: the
+/// half-open range [begin, end) into the `edges` span handed to
+/// enumerate_cliques_in_edge_segments.
+struct edge_segment {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+};
+
+/// Admission-batched sweep over owner-tagged arc ranges (DESIGN.md §12):
+/// `edges` concatenates several tenants' edge sets back to back and
+/// segments[i] delimits tenant i's slice. The sweep walks the segments in
+/// order through ONE warm scratch/binding, enumerating each slice exactly
+/// as a solo enumerate_cliques_in_edges(slice) call would — identical
+/// canonicalization, dense remap, orientation, and emission sequence — and
+/// calls sink(owner_index, clique) per clique. Per-tenant output is
+/// therefore bit-identical to that tenant's solo run: segments never see
+/// each other's edges, so coalescing can't invent cross-tenant cliques.
+/// Returns the total clique count across segments.
+template <typename Sink>
+std::int64_t enumerate_cliques_in_edge_segments(
+    std::span<const edge> edges, std::span<const edge_segment> segments,
+    int p, enum_scratch& ws, Sink&& sink,
+    kernel_mode mode = kernel_mode::auto_select) {
+  std::int64_t total = 0;
+  for (std::size_t owner = 0; owner < segments.size(); ++owner) {
+    const edge_segment& s = segments[owner];
+    DCL_EXPECTS(s.begin >= 0 && s.begin <= s.end &&
+                    s.end <= std::int64_t(edges.size()),
+                "edge segment out of range");
+    total += enumerate_cliques_in_edges(
+        edges.subspan(size_t(s.begin), size_t(s.end - s.begin)), p, ws,
+        [&](std::span<const vertex> c) { sink(owner, c); }, mode);
+  }
+  return total;
 }
 
 /// Convenience wrapper collecting the edge-set cliques into a normalized

@@ -13,23 +13,26 @@ namespace dcl::local {
 // ------------------------------------------------------- parallel driver
 
 clique_set list_cliques_parallel(const enumkernel::dag& d, int p,
-                                 thread_pool& pool, std::int64_t grain,
+                                 thread_pool& pool,
+                                 runtime::query_scratch& scratch,
+                                 std::int64_t grain,
                                  parallel_listing_stats* stats,
                                  enumkernel::kernel_mode kmode) {
   DCL_EXPECTS(p >= 3, "parallel lister handles p >= 3");
   const int t = pool.size();
-  // The private output buffers live in the worker arenas (no tasks are in
-  // flight here, so touching every arena from the caller is race-free):
-  // capacity survives across runs on the same pool.
+  scratch.ensure_workers(t);
+  // The private output buffers live in the run's leased per-slot arenas
+  // (no tasks are in flight here, so touching every slot from the caller
+  // is race-free): capacity survives across runs on the same bundle.
   for (int w = 0; w < t; ++w)
-    pool.arena(w).get<engine_worker_scratch>().out.clear();
+    scratch.arena(w).get<engine_worker_scratch>().out.clear();
   std::vector<std::int64_t> roots(static_cast<size_t>(t), 0);
   std::vector<std::int64_t> found(static_cast<size_t>(t), 0);
 
   pool.for_each_chunk(
       d.num_arcs(), grain,
       [&](int w, std::int64_t begin, std::int64_t end) {
-        auto& ws = pool.arena(w).get<engine_worker_scratch>();
+        auto& ws = scratch.arena(w).get<engine_worker_scratch>();
         enumkernel::arc_enumerator en(d, p, ws.enum_ws, kmode);
         auto& buf = ws.out;
         found[size_t(w)] +=
@@ -44,7 +47,7 @@ clique_set list_cliques_parallel(const enumkernel::dag& d, int p,
   // into the result.
   clique_collector collector(p);
   for (int w = 0; w < t; ++w)
-    collector.merge_buffer(pool.arena(w).get<engine_worker_scratch>().out,
+    collector.merge_buffer(scratch.arena(w).get<engine_worker_scratch>().out,
                            /*tuples_presorted=*/true);
   if (stats) {
     stats->threads = t;
@@ -59,18 +62,21 @@ clique_set list_cliques_parallel(const enumkernel::dag& d, int p,
 }
 
 std::int64_t count_cliques_parallel(const enumkernel::dag& d, int p,
-                                    thread_pool& pool, std::int64_t grain,
+                                    thread_pool& pool,
+                                    runtime::query_scratch& scratch,
+                                    std::int64_t grain,
                                     parallel_listing_stats* stats,
                                     enumkernel::kernel_mode kmode) {
   DCL_EXPECTS(p >= 3, "parallel counter handles p >= 3");
   const int t = pool.size();
+  scratch.ensure_workers(t);
   std::vector<std::int64_t> roots(static_cast<size_t>(t), 0);
   std::vector<std::int64_t> found(static_cast<size_t>(t), 0);
 
   pool.for_each_chunk(
       d.num_arcs(), grain,
       [&](int w, std::int64_t begin, std::int64_t end) {
-        auto& ws = pool.arena(w).get<engine_worker_scratch>();
+        auto& ws = scratch.arena(w).get<engine_worker_scratch>();
         enumkernel::arc_enumerator en(d, p, ws.enum_ws, kmode);
         found[size_t(w)] += en.count_range(begin, end);
         roots[size_t(w)] += end - begin;
@@ -124,10 +130,11 @@ clique_set list_cliques_local(const graph& g, const engine_options& opt,
   const double orient_s = seconds_since(t0);
 
   thread_pool pool(opt.num_threads);
+  runtime::query_scratch scratch;
   const auto t1 = std::chrono::steady_clock::now();
   parallel_listing_stats stats;
-  clique_set out =
-      list_cliques_parallel(d, opt.p, pool, opt.grain, &stats, opt.kernel);
+  clique_set out = list_cliques_parallel(d, opt.p, pool, scratch, opt.grain,
+                                         &stats, opt.kernel);
   if (report) {
     report->max_out_degree = d.max_out_degree;
     report->dag_arcs = d.num_arcs();
@@ -154,10 +161,11 @@ std::int64_t count_cliques_local(const graph& g, const engine_options& opt,
   const double orient_s = seconds_since(t0);
 
   thread_pool pool(opt.num_threads);
+  runtime::query_scratch scratch;
   const auto t1 = std::chrono::steady_clock::now();
   parallel_listing_stats stats;
-  const std::int64_t total =
-      count_cliques_parallel(d, opt.p, pool, opt.grain, &stats, opt.kernel);
+  const std::int64_t total = count_cliques_parallel(
+      d, opt.p, pool, scratch, opt.grain, &stats, opt.kernel);
   if (report) {
     report->max_out_degree = d.max_out_degree;
     report->dag_arcs = d.num_arcs();

@@ -23,11 +23,13 @@ namespace dcl::local {
 /// class moved to src/runtime/thread_pool.hpp unchanged in semantics.
 using thread_pool = runtime::thread_pool;
 
-/// Per-worker engine workspace, keyed in the worker's runtime arena: the
-/// kernel scratch (egonet/DFS buffers) and the private flat output buffer
-/// of the listing path both warm up once and are reused by every chunk —
-/// and by every later run on the same pool, which is what makes a
-/// listing_session's repeated queries allocation-free after the first.
+/// Per-worker engine workspace, keyed per worker slot in the run's
+/// query_scratch bundle: the kernel scratch (egonet/DFS buffers) and the
+/// private flat output buffer of the listing path both warm up once and
+/// are reused by every chunk — and by every later run on the same bundle,
+/// which is what makes a listing_session's repeated queries
+/// allocation-free after the first (the session leases one bundle per
+/// in-flight query, so concurrent queries never share one).
 struct engine_worker_scratch {
   enumkernel::enum_scratch enum_ws;
   std::vector<vertex> out;
@@ -43,15 +45,20 @@ struct parallel_listing_stats {
 
 /// Lists every p-clique of the DAG's underlying graph (p >= 3). The result
 /// is normalized (sorted canonical tuples) and deterministic across thread
-/// counts, schedules, and kernel modes.
+/// counts, schedules, and kernel modes. `scratch` owns all per-run mutable
+/// state (one engine_worker_scratch per worker slot); the DAG and pool are
+/// read strictly shared, so concurrent runs against one DAG are safe as
+/// long as each holds its own scratch bundle and pool job slot.
 clique_set list_cliques_parallel(
-    const enumkernel::dag& d, int p, thread_pool& pool, std::int64_t grain,
+    const enumkernel::dag& d, int p, thread_pool& pool,
+    runtime::query_scratch& scratch, std::int64_t grain,
     parallel_listing_stats* stats = nullptr,
     enumkernel::kernel_mode kmode = enumkernel::kernel_mode::auto_select);
 
 /// Counting-only twin of list_cliques_parallel — no buffers, no merge.
 std::int64_t count_cliques_parallel(
-    const enumkernel::dag& d, int p, thread_pool& pool, std::int64_t grain,
+    const enumkernel::dag& d, int p, thread_pool& pool,
+    runtime::query_scratch& scratch, std::int64_t grain,
     parallel_listing_stats* stats = nullptr,
     enumkernel::kernel_mode kmode = enumkernel::kernel_mode::auto_select);
 

@@ -1,22 +1,35 @@
 #pragma once
-// Per-worker scratch arenas. A scratch_arena hands out one persistent,
-// default-constructed instance per type: the first get<T>() on a worker
-// constructs it, every later get<T>() on the same worker returns the same
-// object with its capacity intact. Tasks key their workspace by a dedicated
-// struct type (e.g. one staging struct per call site), so two call sites
-// never alias each other's buffers:
+// Per-worker scratch arenas and the lease pool that hands them out per
+// in-flight query.
+//
+// A scratch_arena hands out one persistent, default-constructed instance
+// per type: the first get<T>() on a worker constructs it, every later
+// get<T>() on the same worker returns the same object with its capacity
+// intact. Tasks key their workspace by a dedicated struct type (e.g. one
+// staging struct per call site), so two call sites never alias each
+// other's buffers:
 //
 //   struct learn_scratch { message_batch requests, replies; };
 //   auto& ws = arena.get<learn_scratch>();
 //   ws.requests.clear();  // capacity survives from the previous task
 //
-// Arenas are owned by the thread_pool, one per worker; a task only ever
-// touches the arena of the worker it runs on, so no synchronization is
-// needed.
+// Ownership model (DESIGN.md §12): arenas are bundled per *query*, not per
+// pool worker. A query_scratch owns one arena per worker slot of the run
+// it backs; a lease_pool<T> recycles those bundles across queries, so
+// concurrent queries each hold a private bundle while sequential queries
+// keep re-checking-out the same warm one. Within a run, a task only ever
+// touches the arena of the worker slot it runs on, so no synchronization
+// is needed inside a bundle.
 
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <typeindex>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
 
 namespace dcl::runtime {
 
@@ -51,6 +64,135 @@ class scratch_arena {
   };
 
   std::map<std::type_index, std::unique_ptr<holder_base>> slots_;
+};
+
+/// The per-query scratch bundle: one arena per worker slot. ensure_workers()
+/// must be called before a fan-out (it may grow the slot table and is not
+/// safe against concurrent arena() calls); arena(w) from inside tasks is
+/// then a plain indexed read — each worker touches only its own slot.
+/// Arena addresses are stable across growth, so parked capacity (kernel
+/// scratch, transports) survives a later, wider run.
+class query_scratch {
+ public:
+  query_scratch() = default;
+  query_scratch(query_scratch&&) = default;
+  query_scratch& operator=(query_scratch&&) = default;
+
+  /// Grows the slot table to at least n arenas (never shrinks — warm
+  /// capacity is the point). Call from the run's setup, never from a task.
+  void ensure_workers(int n) {
+    while (int(arenas_.size()) < n)
+      arenas_.push_back(std::make_unique<scratch_arena>());
+  }
+
+  int workers() const { return int(arenas_.size()); }
+
+  /// The arena backing worker slot w of the current run.
+  scratch_arena& arena(int w) {
+    DCL_EXPECTS(w >= 0 && w < int(arenas_.size()),
+                "query_scratch: worker slot out of range (ensure_workers "
+                "not called?)");
+    return *arenas_[size_t(w)];
+  }
+
+ private:
+  std::vector<std::unique_ptr<scratch_arena>> arenas_;
+};
+
+/// Cumulative lease-pool accounting. `misses` counts acquires that had to
+/// construct a fresh T because the free list was empty — on a steady-state
+/// serving session it stops growing once the pool holds one T per peak
+/// concurrent query (the warm re-checkout path allocates nothing).
+struct lease_pool_stats {
+  std::int64_t acquired = 0;  ///< total checkouts
+  std::int64_t misses = 0;    ///< checkouts that constructed a fresh T
+  std::int64_t parked = 0;    ///< instances currently on the free list
+};
+
+/// A mutex-guarded free list of T instances checked out one-per-in-flight
+/// user. acquire() pops the most recently parked (warmest) instance, or
+/// default-constructs one when the list is empty; the returned RAII lease
+/// re-parks the instance — capacity intact — on destruction. T only needs
+/// to be default-constructible; it is never copied or moved.
+template <class T>
+class lease_pool {
+ public:
+  class lease {
+   public:
+    lease() = default;
+    lease(lease&& o) noexcept
+        : pool_(std::exchange(o.pool_, nullptr)), value_(std::move(o.value_)) {}
+    lease& operator=(lease&& o) noexcept {
+      if (this != &o) {
+        release();
+        pool_ = std::exchange(o.pool_, nullptr);
+        value_ = std::move(o.value_);
+      }
+      return *this;
+    }
+    ~lease() { release(); }
+
+    lease(const lease&) = delete;
+    lease& operator=(const lease&) = delete;
+
+    explicit operator bool() const { return value_ != nullptr; }
+    T& operator*() const { return *value_; }
+    T* operator->() const { return value_.get(); }
+
+   private:
+    friend class lease_pool;
+    lease(lease_pool* pool, std::unique_ptr<T> value)
+        : pool_(pool), value_(std::move(value)) {}
+
+    void release() {
+      if (pool_ != nullptr && value_ != nullptr)
+        pool_->park(std::move(value_));
+      pool_ = nullptr;
+      value_ = nullptr;
+    }
+
+    lease_pool* pool_ = nullptr;
+    std::unique_ptr<T> value_;
+  };
+
+  lease_pool() = default;
+  lease_pool(const lease_pool&) = delete;
+  lease_pool& operator=(const lease_pool&) = delete;
+
+  /// Checks out one T: the warmest parked instance when one is free, a
+  /// fresh default-constructed one otherwise (counted as a miss).
+  lease acquire() {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      ++stats_.acquired;
+      if (!free_.empty()) {
+        std::unique_ptr<T> v = std::move(free_.back());
+        free_.pop_back();
+        --stats_.parked;
+        return lease(this, std::move(v));
+      }
+      ++stats_.misses;
+    }
+    // Construction happens outside the lock: a slow first-time build must
+    // not stall other queries' warm checkouts.
+    return lease(this, std::make_unique<T>());
+  }
+
+  lease_pool_stats stats() const {
+    std::lock_guard<std::mutex> lk(m_);
+    return stats_;
+  }
+
+ private:
+  void park(std::unique_ptr<T> value) {
+    std::lock_guard<std::mutex> lk(m_);
+    free_.push_back(std::move(value));
+    ++stats_.parked;
+  }
+
+  mutable std::mutex m_;
+  std::vector<std::unique_ptr<T>> free_;
+  lease_pool_stats stats_;
 };
 
 }  // namespace dcl::runtime

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <utility>
 #include <vector>
 
 #include "core/api/list_cliques.hpp"
@@ -88,6 +89,87 @@ TEST(ScratchArena, OneInstancePerTypePersists) {
   EXPECT_EQ(arena.get<b_t>().v, std::vector<int>{2});   // no aliasing
   EXPECT_NE(static_cast<void*>(&arena.get<a_t>()),
             static_cast<void*>(&arena.get<b_t>()));
+}
+
+// --------------------------------------------------------- query_scratch
+
+TEST(QueryScratch, ArenasAreStableAcrossGrowth) {
+  runtime::query_scratch qs;
+  qs.ensure_workers(2);
+  struct slot {
+    std::vector<int> v;
+  };
+  qs.arena(0).get<slot>().v.push_back(7);
+  runtime::scratch_arena* a0 = &qs.arena(0);
+  qs.ensure_workers(16);  // growth must not move existing arenas
+  EXPECT_EQ(qs.workers(), 16);
+  EXPECT_EQ(&qs.arena(0), a0);
+  EXPECT_EQ(qs.arena(0).get<slot>().v, std::vector<int>{7});
+}
+
+TEST(QueryScratch, EnsureWorkersNeverShrinks) {
+  runtime::query_scratch qs;
+  qs.ensure_workers(8);
+  qs.ensure_workers(2);
+  EXPECT_EQ(qs.workers(), 8);
+}
+
+// ------------------------------------------------------------ lease_pool
+
+TEST(LeasePool, WarmReCheckoutReturnsSameInstance) {
+  struct bundle {
+    std::vector<int> data;
+  };
+  runtime::lease_pool<bundle> pool;
+  bundle* first = nullptr;
+  {
+    auto lease = pool.acquire();
+    first = &*lease;
+    lease->data.assign(100, 42);
+  }  // re-parked warm
+  {
+    auto lease = pool.acquire();
+    EXPECT_EQ(&*lease, first);  // same object, capacity intact
+    EXPECT_EQ(lease->data.size(), 100u);
+  }
+  const auto s = pool.stats();
+  EXPECT_EQ(s.acquired, 2);
+  EXPECT_EQ(s.misses, 1);  // only the first checkout constructed
+  EXPECT_EQ(s.parked, 1);
+}
+
+TEST(LeasePool, ConcurrentCheckoutsGetDistinctInstances) {
+  struct bundle {
+    int x = 0;
+  };
+  runtime::lease_pool<bundle> pool;
+  auto a = pool.acquire();
+  auto b = pool.acquire();
+  auto c = pool.acquire();
+  EXPECT_NE(&*a, &*b);
+  EXPECT_NE(&*b, &*c);
+  EXPECT_NE(&*a, &*c);
+  const auto s = pool.stats();
+  EXPECT_EQ(s.acquired, 3);
+  EXPECT_EQ(s.misses, 3);
+  EXPECT_EQ(s.parked, 0);  // all three still checked out
+}
+
+TEST(LeasePool, MovedFromLeaseDoesNotDoublePark) {
+  struct bundle {};
+  runtime::lease_pool<bundle> pool;
+  {
+    auto a = pool.acquire();
+    auto b = std::move(a);
+    EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): moved-from query
+    EXPECT_TRUE(b);
+  }
+  EXPECT_EQ(pool.stats().parked, 1);
+  // Steady state: peak concurrency was 1, so misses stay at 1 forever.
+  for (int i = 0; i < 10; ++i) auto l = pool.acquire();
+  const auto s = pool.stats();
+  EXPECT_EQ(s.misses, 1);
+  EXPECT_EQ(s.acquired, 11);
 }
 
 // ----------------------------------------------------------- run_indexed

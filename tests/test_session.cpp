@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "core/api/list_cliques.hpp"
@@ -316,6 +320,173 @@ TEST(ListingSession, SessionKernelKnobIsDefaultQueryOverrides) {
     EXPECT_TRUE(overridden.cliques == want.cliques);
     expect_report_identical(overridden.report, want.report);
   }
+}
+
+// ------------------------------------------------ concurrent run() hammer
+//
+// The tentpole contract (DESIGN.md §12): any number of threads may call
+// run() / cliques_in_edges() on one session at once, and every output —
+// cliques, counts, stream batches, full reports, and recorded traces —
+// is bit-identical to a solo run. GTest assertions are not thread-safe,
+// so workers record the first mismatch into a per-thread string and the
+// main thread asserts after joining.
+
+/// Bool twin of expect_report_identical, usable off the main thread.
+bool reports_equal(const listing_report& a, const listing_report& b) {
+  if (a.ledger.rounds() != b.ledger.rounds()) return false;
+  if (a.ledger.messages() != b.ledger.messages()) return false;
+  if (a.ledger.phases().size() != b.ledger.phases().size()) return false;
+  auto ita = a.ledger.phases().begin();
+  for (auto itb = b.ledger.phases().begin(); itb != b.ledger.phases().end();
+       ++ita, ++itb) {
+    if (ita->first != itb->first) return false;
+    if (ita->second.rounds != itb->second.rounds) return false;
+    if (ita->second.messages != itb->second.messages) return false;
+  }
+  if (a.model_decomposition_rounds != b.model_decomposition_rounds)
+    return false;
+  if (a.levels.size() != b.levels.size()) return false;
+  for (std::size_t i = 0; i < a.levels.size(); ++i) {
+    if (a.levels[i].edges_before != b.levels[i].edges_before) return false;
+    if (a.levels[i].edges_removed != b.levels[i].edges_removed) return false;
+    if (a.levels[i].clusters != b.levels[i].clusters) return false;
+    if (a.levels[i].clusters_listed != b.levels[i].clusters_listed)
+      return false;
+    if (a.levels[i].deferred_clusters != b.levels[i].deferred_clusters)
+      return false;
+    if (a.levels[i].bad_vertices != b.levels[i].bad_vertices) return false;
+    if (a.levels[i].low_degree_targets != b.levels[i].low_degree_targets)
+      return false;
+  }
+  if (a.emitted != b.emitted || a.duplicates != b.duplicates) return false;
+  if (a.used_fallback != b.used_fallback) return false;
+  return std::abs(a.max_normalized_load - b.max_normalized_load) == 0.0;
+}
+
+/// The recorded trace as its exact serialized bytes ("" when untraced):
+/// byte equality here IS trace bit-identity.
+std::string trace_bytes(const listing_report& r) {
+  if (!r.trace) return {};
+  std::ostringstream os;
+  r.trace->write_binary(os);
+  return os.str();
+}
+
+void hammer_session(listing_engine engine, bool trace, int p,
+                    const graph& g) {
+  listing_session s(g, {.engine = engine, .threads = 2});
+
+  listing_query qc;
+  qc.p = p;
+  qc.trace = trace;
+  listing_query qn = qc;
+  qn.mode = sink_mode::count;
+  listing_query qs = qc;
+  qs.mode = sink_mode::stream;
+  qs.trace = false;  // streams checked for payload, not ledger, here
+  listing_query qe = qc;
+  qe.trace = false;  // edge-scoped runs have no CONGEST accounting
+
+  // Solo oracles, computed before any concurrency starts.
+  const auto want = s.run(qc);
+  const std::string want_trace = trace_bytes(want.report);
+  if (trace) ASSERT_FALSE(want_trace.empty());
+  const auto want_count = s.run(qn);
+  const auto want_edges = s.cliques_in_edges(qe, g.edges());
+  ASSERT_TRUE(want_edges.cliques == want.cliques);
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2;
+  std::vector<std::string> errors(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::string& err = errors[std::size_t(t)];
+      for (int it = 0; it < kIters && err.empty(); ++it) {
+        const auto col = s.run(qc);
+        if (!(col.cliques == want.cliques)) {
+          err = "collect cliques diverged";
+          return;
+        }
+        if (!reports_equal(col.report, want.report)) {
+          err = "collect report diverged";
+          return;
+        }
+        if (trace_bytes(col.report) != want_trace) {
+          err = "recorded trace diverged";
+          return;
+        }
+        const auto cnt = s.run(qn);
+        if (cnt.count != want_count.count ||
+            !reports_equal(cnt.report, want_count.report)) {
+          err = "count run diverged";
+          return;
+        }
+        clique_set streamed(p);
+        s.run(qs, [&](std::span<const vertex> batch) {
+          streamed.add_flat(batch, /*tuples_presorted=*/true);
+        });
+        if (!(streamed == want.cliques)) {
+          err = "stream payload diverged";
+          return;
+        }
+        const auto scoped = s.cliques_in_edges(qe, g.edges());
+        if (!(scoped.cliques == want_edges.cliques) ||
+            scoped.report.emitted != want_edges.report.emitted ||
+            scoped.report.duplicates != want_edges.report.duplicates) {
+          err = "edge-scoped run diverged";
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t)
+    EXPECT_EQ(errors[std::size_t(t)], "") << "thread " << t;
+
+  // The lease pool never constructs more bundles than its peak number of
+  // concurrent checkouts: bind-time warm-up plus at most one per thread
+  // (each thread holds at most one lease at a time).
+  const auto stats = s.lease_stats();
+  EXPECT_LE(stats.misses, kThreads + 1);
+  EXPECT_EQ(stats.parked, stats.misses);  // all bundles back on the list
+}
+
+TEST(ListingSession, ConcurrentRunsBitIdenticalCongest) {
+  hammer_session(listing_engine::congest_sim, /*trace=*/false, 3,
+                 gen::ring_of_cliques(4, 6));
+}
+
+TEST(ListingSession, ConcurrentRunsBitIdenticalCongestTraced) {
+  hammer_session(listing_engine::congest_sim, /*trace=*/true, 3,
+                 gen::ring_of_cliques(4, 6));
+}
+
+TEST(ListingSession, ConcurrentRunsBitIdenticalCongestK4) {
+  hammer_session(listing_engine::congest_sim, /*trace=*/false, 4,
+                 gen::gnp(36, 0.25, 11));
+}
+
+TEST(ListingSession, ConcurrentRunsBitIdenticalLocal) {
+  hammer_session(listing_engine::local_kclist, /*trace=*/false, 4,
+                 gen::gnp(60, 0.15, 7));
+}
+
+TEST(ListingSession, SequentialRunsReuseOneWarmLease) {
+  // The steady-state serving path allocates no scratch: bind-time warm-up
+  // constructs the one bundle (the only miss), and every sequential query
+  // re-checks out that same warm bundle.
+  const auto g = gen::gnp(40, 0.2, 5);
+  listing_session s(g, {.threads = 2});
+  listing_query q;
+  for (int i = 0; i < 6; ++i) s.run(q);
+  listing_query eq = q;
+  eq.mode = sink_mode::count;
+  s.cliques_in_edges(eq, g.edges());
+  const auto st = s.lease_stats();
+  EXPECT_EQ(st.misses, 1);
+  EXPECT_EQ(st.acquired, 8);  // warm-up + 6 runs + 1 edge query
+  EXPECT_EQ(st.parked, 1);
 }
 
 TEST(ListingSession, ReportsAreFreshPerRun) {
