@@ -18,6 +18,8 @@
 #include <string>
 #include <thread>
 
+#include "support/simd.hpp"
+
 namespace dcl::bench {
 
 inline double now_seconds() {
@@ -68,7 +70,8 @@ inline std::string utc_timestamp() {
 
 /// One `"meta": {...}` JSON member shared by every standalone bench: the
 /// provenance a perf trajectory needs to interpret a number — commit,
-/// machine width, build type, and when it ran.
+/// machine width, build type, CPU vector features (a bitmap_vector column
+/// is meaningless without knowing which tier ran), and when it ran.
 inline std::string meta_json() {
   std::ostringstream os;
   os << "\"meta\": {\"git_sha\": \"" << git_sha()
@@ -79,6 +82,10 @@ inline std::string meta_json() {
 #else
      << "debug"
 #endif
+     << "\", \"cpu_avx2\": " << (simd::cpu_has_avx2() ? "true" : "false")
+     << ", \"cpu_neon\": " << (simd::cpu_has_neon() ? "true" : "false")
+     << ", \"simd_detected\": \""
+     << simd::simd_mode_name(simd::detected_mode())
      << "\", \"timestamp_utc\": \"" << utc_timestamp() << "\"}";
   return os.str();
 }

@@ -65,8 +65,18 @@ int main(int argc, char** argv) {
             << "  \"p\": " << p << ",\n"
             << "  \"cliques\": " << cliques << ",\n"
             << "  \"hardware_threads\": "
-            << std::thread::hardware_concurrency() << ",\n"
-            << "  \"results\": [\n";
+            << std::thread::hardware_concurrency() << ",\n";
+  // Archived numbers are only meaningful relative to the machine that
+  // produced them; when the sweep oversubscribes the cores available the
+  // scaling columns measure scheduler time-slicing, not the engine. Say so
+  // in the artifact itself instead of relying on readers to cross-check
+  // hardware_threads against the thread axis.
+  if (std::thread::hardware_concurrency() < unsigned(max_threads))
+    js << "  \"caveat\": \"thread sweep oversubscribes this machine ("
+       << std::thread::hardware_concurrency() << " hardware thread(s) < "
+       << max_threads << " max bench threads); rows above 1 thread measure "
+       << "oversubscription overhead, not parallel scaling\",\n";
+  js << "  \"results\": [\n";
 
   bool first = true;
   for (int threads = 1; threads <= max_threads; threads *= 2) {

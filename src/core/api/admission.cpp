@@ -23,6 +23,7 @@ serving_session::class_key serving_session::make_key(const listing_query& q,
                    q.p,
                    int(q.mode),
                    int(q.kernel),
+                   int(q.simd),
                    int(q.lb),
                    q.seed,
                    q.epsilon,

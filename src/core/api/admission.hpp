@@ -113,12 +113,12 @@ class serving_session {
 
  private:
   /// Everything the compatibility decision keys on, in one ordered tuple:
-  /// scope, p, mode, kernel, lb, seed, epsilon, beta, gamma, max_levels,
-  /// base_case_edges, trace. (stream_batch_tuples is absent on purpose —
-  /// stream queries never enter the queue.)
+  /// scope, p, mode, kernel, simd, lb, seed, epsilon, beta, gamma,
+  /// max_levels, base_case_edges, trace. (stream_batch_tuples is absent on
+  /// purpose — stream queries never enter the queue.)
   using class_key =
-      std::tuple<bool, int, int, int, int, std::uint64_t, double, double,
-                 double, int, std::int64_t, bool>;
+      std::tuple<bool, int, int, int, int, int, std::uint64_t, double,
+                 double, double, int, std::int64_t, bool>;
   static class_key make_key(const listing_query& q, bool edge_scoped);
 
   /// One tenant's in-flight query. The owning thread blocks in submit()

@@ -165,17 +165,18 @@ query_result listing_session::run_local(const listing_query& q,
                                         query_lease& lease,
                                         runtime::thread_pool& pool) {
   const enumkernel::kernel_mode kmode = effective_kernel(q);
+  const simd_mode smode = effective_simd(q);
   query_result res{clique_set(q.p), 0, {}};
   if (q.mode == sink_mode::count) {
     // The counting twin: same traversal, no tuple assembly, no buffers, no
     // merge — nothing is materialized anywhere.
-    res.count = local::count_cliques_parallel(dag_, q.p, pool, lease.scratch,
-                                              opt_.grain, nullptr, kmode);
+    res.count = local::count_cliques_parallel(
+        dag_, q.p, pool, lease.scratch, opt_.grain, nullptr, kmode, smode);
     res.report.emitted = res.count;
     return res;
   }
-  clique_set out = local::list_cliques_parallel(dag_, q.p, pool, lease.scratch,
-                                                opt_.grain, nullptr, kmode);
+  clique_set out = local::list_cliques_parallel(
+      dag_, q.p, pool, lease.scratch, opt_.grain, nullptr, kmode, smode);
   res.count = out.size();
   res.report.emitted = out.size();
   if (q.mode == sink_mode::collect)
@@ -191,6 +192,7 @@ query_result listing_session::run_congest(const listing_query& q,
                                           runtime::thread_pool& pool) {
   listing_query eq = q;
   eq.kernel = effective_kernel(q);
+  eq.simd = effective_simd(q);
   clique_collector out(q.p);
   listing_report rep =
       q.p == 3 ? list_triangles_congest(*g_, eq, pool, lease.scratch, out)
@@ -253,10 +255,12 @@ query_result listing_session::run_edges(const listing_query& q,
   lease.scratch.ensure_workers(1);
   auto& scratch = lease.scratch.arena(0).get<edge_query_scratch>();
   const enumkernel::kernel_mode kmode = effective_kernel(q);
+  const simd_mode smode = effective_simd(q);
   query_result res{clique_set(q.p), 0, {}};
   if (q.mode == sink_mode::count) {
     res.count = enumkernel::enumerate_cliques_in_edges(
-        edges, q.p, scratch.ws, [](std::span<const vertex>) {}, kmode);
+        edges, q.p, scratch.ws, [](std::span<const vertex>) {}, kmode,
+        smode);
     res.report.emitted = res.count;
     return res;
   }
@@ -268,7 +272,7 @@ query_result listing_session::run_edges(const listing_query& q,
       [&](std::span<const vertex> c) {
         scratch.buf.insert(scratch.buf.end(), c.begin(), c.end());
       },
-      kmode);
+      kmode, smode);
   clique_collector out(q.p);
   out.merge_buffer(scratch.buf, /*tuples_presorted=*/true);
   if (q.mode == sink_mode::collect) {
@@ -297,6 +301,7 @@ std::vector<query_result> listing_session::cliques_in_edges_batch(
   lease->scratch.ensure_workers(1);
   auto& scratch = lease->scratch.arena(0).get<edge_query_scratch>();
   const enumkernel::kernel_mode kmode = effective_kernel(q);
+  const simd_mode smode = effective_simd(q);
 
   // One owner-tagged concatenated buffer; segment i delimits tenant i's
   // slice. The sweep enumerates each slice exactly as that tenant's solo
@@ -321,7 +326,7 @@ std::vector<query_result> listing_session::cliques_in_edges_batch(
         [&](std::size_t owner, std::span<const vertex>) {
           ++out[owner].count;
         },
-        kmode);
+        kmode, smode);
     for (auto& r : out) r.report.emitted = r.count;
     return out;
   }
@@ -334,7 +339,7 @@ std::vector<query_result> listing_session::cliques_in_edges_batch(
       [&](std::size_t owner, std::span<const vertex> c) {
         bufs[owner].insert(bufs[owner].end(), c.begin(), c.end());
       },
-      kmode);
+      kmode, smode);
   for (std::size_t i = 0; i < edge_sets.size(); ++i) {
     clique_collector coll(q.p);
     coll.merge_buffer(bufs[i], /*tuples_presorted=*/true);

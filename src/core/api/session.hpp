@@ -83,6 +83,11 @@ struct session_options {
   /// this for that run. Purely a performance knob — cliques, counts,
   /// stream batches, and reports are bit-identical across all values.
   enumkernel::kernel_mode kernel = enumkernel::kernel_mode::auto_select;
+  /// Session-wide vector backend for the kernel's bitmap loops and the
+  /// drivers' sorted intersections (DESIGN.md §13). Same override rule as
+  /// `kernel`: an explicit per-query listing_query::simd wins. Purely a
+  /// performance knob — every output is bit-identical across tiers.
+  simd_mode simd = simd_mode::auto_select;
 };
 
 /// What one run() returns. The report is freshly constructed per run —
@@ -177,6 +182,11 @@ class listing_session {
   enumkernel::kernel_mode effective_kernel(const listing_query& q) const {
     return q.kernel != enumkernel::kernel_mode::auto_select ? q.kernel
                                                             : opt_.kernel;
+  }
+
+  /// Per-run vector backend: same precedence as effective_kernel.
+  simd_mode effective_simd(const listing_query& q) const {
+    return q.simd != simd_mode::auto_select ? q.simd : opt_.simd;
   }
 
   /// Checks out a lease and decides where this run executes: the first

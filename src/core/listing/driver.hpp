@@ -77,6 +77,11 @@ struct listing_query {
   /// dense bitmaps, or per-egonet auto-selection. Cliques, counts, stream
   /// batches, and the ledger are bit-identical across the three values.
   enumkernel::kernel_mode kernel = enumkernel::kernel_mode::auto_select;
+  /// Vector backend for the kernel's bitmap loops and the drivers'
+  /// sorted intersections (DESIGN.md §13): auto_select resolves to the
+  /// best tier the CPU supports; a fixed tier the machine cannot run
+  /// degrades to scalar. Every output is bit-identical across tiers.
+  simd_mode simd = simd_mode::auto_select;
 };
 
 /// Back-compat monolithic option block of dcl::list_cliques: the binding
@@ -102,6 +107,8 @@ struct listing_options {
   std::int64_t base_case_edges = 64;  ///< gather centrally below this
   /// Enumeration-kernel traversal (see listing_query::kernel).
   enumkernel::kernel_mode kernel = enumkernel::kernel_mode::auto_select;
+  /// Vector backend (see listing_query::simd).
+  simd_mode simd = simd_mode::auto_select;
 
   /// The per-query half, for handing to a listing_session (always
   /// sink_mode::collect — the wrapper's historical shape).
@@ -116,6 +123,7 @@ struct listing_options {
     q.max_levels = max_levels;
     q.base_case_edges = base_case_edges;
     q.kernel = kernel;
+    q.simd = simd;
     return q;
   }
 };

@@ -37,7 +37,8 @@ struct cluster_outcome {
 void central_fallback(
     const graph& cur, int p, clique_collector& out, cost_ledger& ledger,
     trace_recorder* rec = nullptr,
-    enumkernel::kernel_mode kmode = enumkernel::kernel_mode::auto_select);
+    enumkernel::kernel_mode kmode = enumkernel::kernel_mode::auto_select,
+    simd_mode smode = simd_mode::auto_select);
 
 /// The graph minus a sorted, deduplicated list of removed edges.
 graph remove_edges(const graph& cur, const edge_list& removed);

@@ -21,13 +21,13 @@ namespace detail {
 /// leader (cost charged exactly) and list centrally.
 void central_fallback(const graph& cur, int p, clique_collector& out,
                       cost_ledger& ledger, trace_recorder* rec,
-                      enumkernel::kernel_mode kmode) {
+                      enumkernel::kernel_mode kmode, simd_mode smode) {
   network net(cur, ledger, nullptr, rec);
   net.charge_gather_all_edges("fallback/gather");
   enumkernel::enum_scratch ws;
   enumkernel::enumerate_cliques(
       cur, p, ws, [&](std::span<const vertex> c) { out.emit(c); },
-      enumkernel::orientation_policy::degeneracy, kmode);
+      enumkernel::orientation_policy::degeneracy, kmode, smode);
 }
 
 graph remove_edges(const graph& cur, const edge_list& removed) {
@@ -77,7 +77,8 @@ listing_report list_triangles_congest(const graph& g, const listing_query& q,
 
     if (cur.num_edges() <= q.base_case_edges) {
       const auto t0 = std::chrono::steady_clock::now();
-      detail::central_fallback(cur, 3, out, rep.ledger, seq, q.kernel);
+      detail::central_fallback(cur, 3, out, rep.ledger, seq, q.kernel,
+                               q.simd);
       rep.phase_seconds["fallback"] += detail::seconds_since(t0);
       rep.levels.push_back(ls);
       done = true;
@@ -118,7 +119,7 @@ listing_report list_triangles_congest(const graph& g, const listing_query& q,
           oc.stats = list_k3_in_cluster(
               net_c, cur, a, q.lb, splitmix64(q.seed + std::uint64_t(ci)),
               oc.cliques, "cluster" + std::to_string(ci),
-              &scratch.arena(worker), q.kernel);
+              &scratch.arena(worker), q.kernel, q.simd);
           oc.considered = true;
           return oc;
         });
@@ -151,7 +152,8 @@ listing_report list_triangles_congest(const graph& g, const listing_query& q,
       // No progress possible through the decomposition (degenerate input);
       // fall back to central listing of the residual graph.
       const auto t0 = std::chrono::steady_clock::now();
-      detail::central_fallback(cur, 3, out, rep.ledger, seq, q.kernel);
+      detail::central_fallback(cur, 3, out, rep.ledger, seq, q.kernel,
+                               q.simd);
       rep.phase_seconds["fallback"] += detail::seconds_since(t0);
       rep.used_fallback = true;
       done = true;
@@ -163,7 +165,8 @@ listing_report list_triangles_congest(const graph& g, const listing_query& q,
   if (!done && cur.num_edges() > 0) {
     // Level budget exhausted: unconditional correctness via the fallback.
     const auto t0 = std::chrono::steady_clock::now();
-    detail::central_fallback(cur, 3, out, rep.ledger, seq, q.kernel);
+    detail::central_fallback(cur, 3, out, rep.ledger, seq, q.kernel,
+                             q.simd);
     rep.phase_seconds["fallback"] += detail::seconds_since(t0);
     rep.used_fallback = true;
   }

@@ -32,7 +32,7 @@ struct delivery_result {
 delivery_result deliver_eprime(network& net_c, const graph& g,
                                const cluster_anatomy& a,
                                std::int64_t n_budget,
-                               std::string_view phase) {
+                               std::string_view phase, simd_mode smode) {
   delivery_result res;
   const std::int64_t k = std::int64_t(a.v_minus.size());
   std::vector<vertex> v1_index(size_t(g.num_vertices()), -1);
@@ -86,7 +86,8 @@ delivery_result deliver_eprime(network& net_c, const graph& g,
     if (star_nbrs.size() < 2) continue;
     rounds_i = std::max(rounds_i, std::int64_t(star_nbrs.size()));
     for (vertex u : star_nbrs) {
-      sorted_intersection_into(g.neighbors(u), star_nbrs, common);
+      sorted_intersection_into(g.neighbors(u), star_nbrs, common,
+                               kGallopFactor, smode);
       messages += std::int64_t(star_nbrs.size()) + std::int64_t(common.size());
       rounds_i = std::max(rounds_i, std::int64_t(common.size()));
       for (vertex w : common)
@@ -167,7 +168,8 @@ listing_report list_kp_congest(const graph& g, const listing_query& q,
     ls.edges_before = cur.num_edges();
     if (cur.num_edges() <= q.base_case_edges) {
       const auto t0 = std::chrono::steady_clock::now();
-      detail::central_fallback(cur, q.p, out, rep.ledger, seq, q.kernel);
+      detail::central_fallback(cur, q.p, out, rep.ledger, seq, q.kernel,
+                               q.simd);
       rep.phase_seconds["fallback"] += detail::seconds_since(t0);
       rep.levels.push_back(ls);
       done = true;
@@ -217,7 +219,8 @@ listing_report list_kp_congest(const graph& g, const listing_query& q,
         // the exhaustive listing's workspace stays warm across levels and
         // queries instead of being rebuilt call-local.
         two_hop_listing(exh_net, cur, targets, alpha, q.p, exh_out,
-                        "exhaustive", {}, &scratch.arena(0), q.kernel);
+                        "exhaustive", {}, &scratch.arena(0), q.kernel,
+                        q.simd);
         const auto found = exh_out.finalize();
         for (std::int64_t t = 0; t < found.size(); ++t) out.emit(found[t]);
         level_ledger.merge_parallel(exh_ledger);
@@ -255,8 +258,8 @@ listing_report list_kp_congest(const graph& g, const listing_query& q,
                         tracing ? &oc.rec : nullptr);
           const std::string cl = "cluster" + std::to_string(ci);
 
-          const auto del =
-              deliver_eprime(net_c, cur, a, n_budget, cl + "/deliver");
+          const auto del = deliver_eprime(net_c, cur, a, n_budget,
+                                         cl + "/deliver", q.simd);
           oc.bad_vertices = std::int64_t(del.s_bad.size());
 
           // Lemma 44 overload test: defer clusters whose communication
@@ -275,7 +278,7 @@ listing_report list_kp_congest(const graph& g, const listing_query& q,
           oc.stats = list_kp_in_cluster(
               net_c, cur, a, del.eprime, q.p, q.lb,
               splitmix64(q.seed + std::uint64_t(ci)), oc.cliques, cl,
-              &scratch.arena(worker), q.kernel);
+              &scratch.arena(worker), q.kernel, q.simd);
 
           // Removal rule (DESIGN.md §2.4/2.5): E− edges inside V− with a
           // good endpoint are fully covered by this cluster's listing.
@@ -316,7 +319,8 @@ listing_report list_kp_congest(const graph& g, const listing_query& q,
 
     if (removed.empty()) {
       const auto t0 = std::chrono::steady_clock::now();
-      detail::central_fallback(cur, q.p, out, rep.ledger, seq, q.kernel);
+      detail::central_fallback(cur, q.p, out, rep.ledger, seq, q.kernel,
+                               q.simd);
       rep.phase_seconds["fallback"] += detail::seconds_since(t0);
       rep.used_fallback = true;
       done = true;
@@ -327,7 +331,8 @@ listing_report list_kp_congest(const graph& g, const listing_query& q,
   }
   if (!done && cur.num_edges() > 0) {
     const auto t0 = std::chrono::steady_clock::now();
-    detail::central_fallback(cur, q.p, out, rep.ledger, seq, q.kernel);
+    detail::central_fallback(cur, q.p, out, rep.ledger, seq, q.kernel,
+                             q.simd);
     rep.phase_seconds["fallback"] += detail::seconds_since(t0);
     rep.used_fallback = true;
   }

@@ -27,7 +27,8 @@ two_hop_stats two_hop_listing(network& net, const graph& g,
                               clique_collector& out, std::string_view phase,
                               std::span<const vertex> id_map,
                               runtime::scratch_arena* arena,
-                              enumkernel::kernel_mode kmode) {
+                              enumkernel::kernel_mode kmode,
+                              simd_mode smode) {
   DCL_EXPECTS(p >= 3, "clique arity must be at least 3");
   DCL_EXPECTS(id_map.empty() || vertex(id_map.size()) == g.num_vertices(),
               "id_map must cover all vertices");
@@ -52,8 +53,8 @@ two_hop_stats two_hop_listing(network& net, const graph& g,
     rounds_a = std::max<std::int64_t>(rounds_a, g.degree(v));
     stats.messages += std::int64_t(g.degree(v)) * g.degree(v);
     for (vertex u : g.neighbors(v)) {
-      const auto common =
-          sorted_intersection_size(g.neighbors(u), g.neighbors(v));
+      const auto common = sorted_intersection_size(
+          g.neighbors(u), g.neighbors(v), kGallopFactor, smode);
       rounds_b = std::max(rounds_b, common);
       stats.messages += common;
     }
@@ -76,7 +77,8 @@ two_hop_stats two_hop_listing(network& net, const graph& g,
     const auto nv = g.neighbors(v);
     learned.clear();
     for (vertex u : nv) {
-      sorted_intersection_into(g.neighbors(u), nv, ws.common);
+      sorted_intersection_into(g.neighbors(u), nv, ws.common,
+                               kGallopFactor, smode);
       for (vertex w : ws.common) {
         if (w > u) learned.push_back({u, w});
       }
@@ -97,7 +99,7 @@ two_hop_stats two_hop_listing(network& net, const graph& g,
             for (auto& z : tuple) z = id_map[size_t(z)];
           out.emit(tuple);
         },
-        kmode);
+        kmode, smode);
   }
   return stats;
 }

@@ -39,6 +39,7 @@ two_hop_stats two_hop_listing(
     std::int64_t alpha, int p, clique_collector& out, std::string_view phase,
     std::span<const vertex> id_map = {},
     runtime::scratch_arena* arena = nullptr,
-    enumkernel::kernel_mode kmode = enumkernel::kernel_mode::auto_select);
+    enumkernel::kernel_mode kmode = enumkernel::kernel_mode::auto_select,
+    simd_mode smode = simd_mode::auto_select);
 
 }  // namespace dcl

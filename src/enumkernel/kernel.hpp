@@ -40,6 +40,7 @@
 #include "enumkernel/orient.hpp"
 #include "graph/clique_enum.hpp"
 #include "support/check.hpp"
+#include "support/simd.hpp"
 
 namespace dcl::enumkernel {
 
@@ -68,6 +69,18 @@ namespace dcl::enumkernel {
 /// deep enough to re-read the rows it built: at depth 2 (p == 4) the
 /// traversal is a single base-level scan, so the row build never
 /// amortizes and the scalar path wins on every benched case.
+///
+/// Re-validated under the vector tier (PR 9, AVX2, gnp(200, d) sweeps with
+/// both kernels pinned to simd_mode::avx2): the crossovers do not move.
+/// At p = 5/6 the bitmap-over-scalar ratio sits at 0.95–1.05 through
+/// d = 0.09–0.25 (parity around the divisor-8 boundary, exactly as on the
+/// scalar tier) and drops to 0.72 by d = 0.4; at p = 4 bitmap still loses
+/// 1.04–1.15x on every case up to gnp(600, 0.7) because egonet-build label
+/// lookups, which no tier vectorizes, dominate depth-2 runs; and bitmap is
+/// already at parity or ahead down to 24-vertex graphs, so the n >= 8 floor
+/// stays conservative. Vector lanes widen the bitmap path's win where it
+/// already won (up to 2.15x at 4-word rows) without shifting where it
+/// starts winning, so all four constants are unchanged from PR 7.
 inline constexpr std::int32_t kBitmapMinVertices = 8;
 inline constexpr std::int32_t kBitmapMaxVertices = 4096;  ///< row-memory cap
 inline constexpr std::int64_t kBitmapDensityDivisor = 8;
@@ -108,6 +121,7 @@ struct enum_scratch {
   std::vector<std::uint64_t> bit_masks;  ///< (top+1) × ⌈n/64⌉ live masks
   std::vector<std::int32_t> bit_word;    ///< per-level cursor: word index
   std::vector<std::uint64_t> bit_rem;    ///< per-level cursor: unread bits
+  std::vector<std::uint64_t> bit_tmp;    ///< vector-tier base-level AND out
 
   // Edge-list entry: canonicalized edges, dense remap, local CSR.
   edge_list canon;                     ///< deduped edges, local ids
@@ -124,10 +138,16 @@ class arc_enumerator {
  public:
   /// p in [3, kMaxCliqueArity]; `d` and `ws` must outlive the binding.
   /// `mode` picks the level-descent strategy (auto_select decides per
-  /// egonet); results are identical for every mode.
+  /// egonet); `simd` picks the vector backend for the bitmap loops
+  /// (resolved once here via simd::ops_for — the scalar tier keeps the
+  /// fully inlined PR 7 word loops, so forcing scalar is exactly the old
+  /// kernel). Results are identical for every (mode, simd) pair.
   arc_enumerator(const dag& d, int p, enum_scratch& ws,
-                 kernel_mode mode = kernel_mode::auto_select)
+                 kernel_mode mode = kernel_mode::auto_select,
+                 simd_mode simd = simd_mode::auto_select)
       : dag_(d), p_(p), top_(p - 2), mode_(mode), ws_(ws) {
+    const simd::simd_ops* resolved = simd::ops_for(simd);
+    vec_ = resolved->tier == simd_mode::scalar ? nullptr : resolved;
     DCL_EXPECTS(p >= 3 && p <= kMaxCliqueArity,
                 "arc_enumerator supports p in [3, kMaxCliqueArity]");
     ws.builder.ensure(d.n);
@@ -372,23 +392,51 @@ class arc_enumerator {
       bool frame_done = false;
       if (l == 2) {
         // Base: every live arc (a -> w) inside the level-2 candidate set
-        // closes one clique with the roots and the DFS prefix.
-        for (std::int32_t wi = 0; wi < words; ++wi) {
-          std::uint64_t bits = mask_l[wi];
-          while (bits != 0) {
-            const std::int32_t a = (wi << 6) + std::countr_zero(bits);
-            bits &= bits - 1;
-            const std::uint64_t* row =
-                rows.data() + size_t(a) * size_t(words);
-            for (std::int32_t wj = 0; wj < words; ++wj) {
-              std::uint64_t x = row[wj] & mask_l[wj];
-              total += std::popcount(x);
-              if constexpr (!CountOnly) {
-                while (x != 0) {
-                  const std::int32_t w = (wj << 6) + std::countr_zero(x);
-                  x &= x - 1;
-                  const std::int32_t extra[2] = {a, w};
-                  emit(extra, 2);
+        // closes one clique with the roots and the DFS prefix. The vector
+        // tier runs the whole counting sweep as one coarse backend call
+        // (per-word dispatch would drown 1-2-word egonets in call
+        // overhead); listing ANDs each row into bit_tmp and bit-scans it
+        // — the same word-ascending order as the inline loops, so the
+        // emission sequence is tier-invariant.
+        if (vec_ != nullptr && CountOnly) {
+          total += vec_->bitmap_base_count(rows.data(), words, mask_l);
+        } else if (vec_ != nullptr) {
+          if (std::int32_t(ws_.bit_tmp.size()) < words)
+            ws_.bit_tmp.resize(size_t(words));
+          std::uint64_t* tmp = ws_.bit_tmp.data();
+          for (std::int32_t wi = 0; wi < words; ++wi) {
+            std::uint64_t bits = mask_l[wi];
+            while (bits != 0) {
+              const std::int32_t a = (wi << 6) + std::countr_zero(bits);
+              bits &= bits - 1;
+              const std::uint64_t* row =
+                  rows.data() + size_t(a) * size_t(words);
+              vec_->and_words_into(tmp, row, mask_l, words);
+              simd::iterate_set_bits(tmp, words, [&](std::int32_t w) {
+                ++total;
+                const std::int32_t extra[2] = {a, w};
+                emit(extra, 2);
+              });
+            }
+          }
+        } else {
+          for (std::int32_t wi = 0; wi < words; ++wi) {
+            std::uint64_t bits = mask_l[wi];
+            while (bits != 0) {
+              const std::int32_t a = (wi << 6) + std::countr_zero(bits);
+              bits &= bits - 1;
+              const std::uint64_t* row =
+                  rows.data() + size_t(a) * size_t(words);
+              for (std::int32_t wj = 0; wj < words; ++wj) {
+                std::uint64_t x = row[wj] & mask_l[wj];
+                total += std::popcount(x);
+                if constexpr (!CountOnly) {
+                  while (x != 0) {
+                    const std::int32_t w = (wj << 6) + std::countr_zero(x);
+                    x &= x - 1;
+                    const std::int32_t extra[2] = {a, w};
+                    emit(extra, 2);
+                  }
                 }
               }
             }
@@ -411,9 +459,14 @@ class arc_enumerator {
               rows.data() + size_t(a) * size_t(words);
           std::uint64_t* child =
               masks.data() + size_t(l - 1) * size_t(words);
-          std::uint64_t any = 0;
-          for (std::int32_t wj = 0; wj < words; ++wj)
-            any |= (child[wj] = mask_l[wj] & row[wj]);
+          std::uint64_t any;
+          if (vec_ != nullptr) {
+            any = vec_->and_words_into(child, mask_l, row, words);
+          } else {
+            any = 0;
+            for (std::int32_t wj = 0; wj < words; ++wj)
+              any |= (child[wj] = mask_l[wj] & row[wj]);
+          }
           if (any == 0) continue;
           ws_.prefix.push_back(a);
           --l;
@@ -435,6 +488,9 @@ class arc_enumerator {
   const int p_;
   const std::int32_t top_;  ///< egonet levels = p - 2
   const kernel_mode mode_;
+  /// Resolved vector backend, or nullptr for the scalar tier (the PR 7
+  /// inline word loops — no indirect calls on the scalar path at all).
+  const simd::simd_ops* vec_ = nullptr;
   enum_scratch& ws_;
 };
 
@@ -461,7 +517,8 @@ template <typename Sink>
 std::int64_t enumerate_cliques(
     const graph& g, int p, enum_scratch& ws, Sink&& sink,
     orientation_policy policy = orientation_policy::degeneracy,
-    kernel_mode mode = kernel_mode::auto_select) {
+    kernel_mode mode = kernel_mode::auto_select,
+    simd_mode simd = simd_mode::auto_select) {
   DCL_EXPECTS(p >= 2 && p <= kMaxCliqueArity,
               "clique arity must lie in [2, kMaxCliqueArity]");
   if (p == 2) {
@@ -472,7 +529,7 @@ std::int64_t enumerate_cliques(
     return g.num_edges();
   }
   orient_into(g.view(), policy, ws.orient_ws, ws.d);
-  arc_enumerator en(ws.d, p, ws, mode);
+  arc_enumerator en(ws.d, p, ws, mode, simd);
   return en.list_range(0, ws.d.num_arcs(), sink);
 }
 
@@ -480,7 +537,8 @@ std::int64_t enumerate_cliques(
 std::int64_t count_cliques(
     const graph& g, int p, enum_scratch& ws,
     orientation_policy policy = orientation_policy::degeneracy,
-    kernel_mode mode = kernel_mode::auto_select);
+    kernel_mode mode = kernel_mode::auto_select,
+    simd_mode simd = simd_mode::auto_select);
 
 /// Enumerates every p-clique of an explicit edge set (not a full graph) —
 /// the cluster-local hot path: every CONGEST cluster finishes by listing
@@ -495,7 +553,9 @@ template <typename Sink>
 std::int64_t enumerate_cliques_in_edges(std::span<const edge> edges, int p,
                                         enum_scratch& ws, Sink&& sink,
                                         kernel_mode mode =
-                                            kernel_mode::auto_select) {
+                                            kernel_mode::auto_select,
+                                        simd_mode simd =
+                                            simd_mode::auto_select) {
   DCL_EXPECTS(p >= 2 && p <= kMaxCliqueArity,
               "clique arity must lie in [2, kMaxCliqueArity]");
   const vertex n_local = detail::remap_edges_dense(edges, ws);
@@ -510,7 +570,7 @@ std::int64_t enumerate_cliques_in_edges(std::span<const edge> edges, int p,
   }
   const csr_view local = detail::build_local_csr(ws, n_local);
   orient_into(local, orientation_policy::degeneracy, ws.orient_ws, ws.d);
-  arc_enumerator en(ws.d, p, ws, mode);
+  arc_enumerator en(ws.d, p, ws, mode, simd);
   return en.list_range(
       0, ws.d.num_arcs(), [&](std::span<const vertex> local_clique) {
         // ws.members is ascending, so the monotone remap keeps the tuple
@@ -544,7 +604,8 @@ template <typename Sink>
 std::int64_t enumerate_cliques_in_edge_segments(
     std::span<const edge> edges, std::span<const edge_segment> segments,
     int p, enum_scratch& ws, Sink&& sink,
-    kernel_mode mode = kernel_mode::auto_select) {
+    kernel_mode mode = kernel_mode::auto_select,
+    simd_mode simd = simd_mode::auto_select) {
   std::int64_t total = 0;
   for (std::size_t owner = 0; owner < segments.size(); ++owner) {
     const edge_segment& s = segments[owner];
@@ -553,7 +614,7 @@ std::int64_t enumerate_cliques_in_edge_segments(
                 "edge segment out of range");
     total += enumerate_cliques_in_edges(
         edges.subspan(size_t(s.begin), size_t(s.end - s.begin)), p, ws,
-        [&](std::span<const vertex> c) { sink(owner, c); }, mode);
+        [&](std::span<const vertex> c) { sink(owner, c); }, mode, simd);
   }
   return total;
 }
@@ -562,6 +623,7 @@ std::int64_t enumerate_cliques_in_edge_segments(
 /// clique_set (what the CONGEST listers historically returned).
 clique_set cliques_in_edge_set(const edge_list& edges, int p,
                                enum_scratch& ws,
-                               kernel_mode mode = kernel_mode::auto_select);
+                               kernel_mode mode = kernel_mode::auto_select,
+                               simd_mode simd = simd_mode::auto_select);
 
 }  // namespace dcl::enumkernel

@@ -151,15 +151,14 @@ std::size_t gallop_to(std::span<const vertex> v, std::size_t start,
   return std::size_t(std::lower_bound(first, last, key) - v.begin());
 }
 
-/// Calls on_match(x) for every common element, ascending. Dispatches to the
-/// galloping walk when the length skew crosses gallop_factor (0 disables
-/// galloping). The skew test divides instead of multiplying so arbitrary
-/// caller-supplied factors cannot overflow.
+/// Calls on_match(x) for every common element, ascending — the scalar
+/// paths: galloping walk when the length skew crosses gallop_factor (0
+/// disables galloping), linear merge otherwise. The skew test divides
+/// instead of multiplying so arbitrary caller-supplied factors cannot
+/// overflow. Callers must pre-swap so a is the shorter range.
 template <typename OnMatch>
 void intersect_sorted(std::span<const vertex> a, std::span<const vertex> b,
                       std::size_t gallop_factor, OnMatch&& on_match) {
-  if (a.size() > b.size()) std::swap(a, b);
-  if (a.empty()) return;
   if (gallop_factor != 0 && b.size() / a.size() >= gallop_factor) {
     std::size_t j = 0;
     for (const vertex x : a) {
@@ -186,11 +185,30 @@ void intersect_sorted(std::span<const vertex> a, std::span<const vertex> b,
   }
 }
 
+/// True when this (pre-swapped) pair should run the vector backend: the
+/// pair is balanced enough that the merge walk would run (gallop wins on
+/// skew for every tier — O(s·log(l/s)) beats any constant-factor widening)
+/// and the shorter side is long enough to amortize block setup.
+bool use_vector_path(std::span<const vertex> a, std::span<const vertex> b,
+                     std::size_t gallop_factor, const simd::simd_ops* ops) {
+  if (ops->tier == simd_mode::scalar) return false;
+  if (gallop_factor != 0 && b.size() / a.size() >= gallop_factor)
+    return false;
+  return std::int64_t(a.size()) >= simd::kVectorIntersectMin;
+}
+
 }  // namespace
 
 std::int64_t sorted_intersection_size(std::span<const vertex> a,
                                       std::span<const vertex> b,
-                                      std::size_t gallop_factor) {
+                                      std::size_t gallop_factor,
+                                      simd_mode simd) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.empty()) return 0;
+  const simd::simd_ops* ops = simd::ops_for(simd);
+  if (use_vector_path(a, b, gallop_factor, ops))
+    return ops->intersect_size(a.data(), std::int64_t(a.size()), b.data(),
+                               std::int64_t(b.size()));
   std::int64_t count = 0;
   intersect_sorted(a, b, gallop_factor, [&](vertex) { ++count; });
   return count;
@@ -198,18 +216,30 @@ std::int64_t sorted_intersection_size(std::span<const vertex> a,
 
 std::vector<vertex> sorted_intersection(std::span<const vertex> a,
                                         std::span<const vertex> b,
-                                        std::size_t gallop_factor) {
+                                        std::size_t gallop_factor,
+                                        simd_mode simd) {
   std::vector<vertex> out;
-  intersect_sorted(a, b, gallop_factor,
-                   [&](vertex x) { out.push_back(x); });
+  sorted_intersection_into(a, b, out, gallop_factor, simd);
   return out;
 }
 
 void sorted_intersection_into(std::span<const vertex> a,
                               std::span<const vertex> b,
                               std::vector<vertex>& out,
-                              std::size_t gallop_factor) {
+                              std::size_t gallop_factor, simd_mode simd) {
   out.clear();
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.empty()) return;
+  const simd::simd_ops* ops = simd::ops_for(simd);
+  if (use_vector_path(a, b, gallop_factor, ops)) {
+    // The backend writes matches ascending; capacity min(|a|, |b|) = |a|.
+    out.resize(a.size());
+    const std::int64_t n =
+        ops->intersect_into(a.data(), std::int64_t(a.size()), b.data(),
+                            std::int64_t(b.size()), out.data());
+    out.resize(std::size_t(n));
+    return;
+  }
   intersect_sorted(a, b, gallop_factor,
                    [&](vertex x) { out.push_back(x); });
 }

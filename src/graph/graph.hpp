@@ -13,6 +13,8 @@
 #include <utility>
 #include <vector>
 
+#include "support/simd.hpp"
+
 namespace dcl {
 
 using vertex = std::int32_t;
@@ -191,15 +193,24 @@ class graph {
 /// is benched against in bench_enum_kernel's intersection rows).
 inline constexpr std::size_t kGallopFactor = 32;
 
-/// Size of the intersection of two ascending-sorted ranges.
+// The intersection routines take strictly-ascending (duplicate-free)
+// ranges — what every adjacency list in this codebase is by construction.
+// The `simd` knob selects the vector backend for the balanced merge walk
+// (the 8x8 block-compare kernel relies on strict ascent); skewed pairs
+// gallop first regardless of tier, and the result — an exact set
+// intersection — is identical for every (gallop_factor, simd) pair.
+
+/// Size of the intersection of two strictly-ascending ranges.
 std::int64_t sorted_intersection_size(
     std::span<const vertex> a, std::span<const vertex> b,
-    std::size_t gallop_factor = kGallopFactor);
+    std::size_t gallop_factor = kGallopFactor,
+    simd_mode simd = simd_mode::auto_select);
 
-/// Intersection of two ascending-sorted ranges.
+/// Intersection of two strictly-ascending ranges.
 std::vector<vertex> sorted_intersection(
     std::span<const vertex> a, std::span<const vertex> b,
-    std::size_t gallop_factor = kGallopFactor);
+    std::size_t gallop_factor = kGallopFactor,
+    simd_mode simd = simd_mode::auto_select);
 
 /// Intersection into a caller-provided buffer (cleared first). The hot-path
 /// variant: repeated calls on one warm buffer are allocation-free, which is
@@ -208,6 +219,7 @@ std::vector<vertex> sorted_intersection(
 void sorted_intersection_into(std::span<const vertex> a,
                               std::span<const vertex> b,
                               std::vector<vertex>& out,
-                              std::size_t gallop_factor = kGallopFactor);
+                              std::size_t gallop_factor = kGallopFactor,
+                              simd_mode simd = simd_mode::auto_select);
 
 }  // namespace dcl

@@ -41,6 +41,9 @@ struct engine_options {
   /// Enumeration traversal (scalar / bitmap / per-egonet auto-selection;
   /// DESIGN.md §11). Output-invariant — the clique set never changes.
   enumkernel::kernel_mode kernel = enumkernel::kernel_mode::auto_select;
+  /// Vector backend for the bitmap loops (DESIGN.md §13). Output-invariant
+  /// like `kernel`; auto_select resolves to the best tier the CPU runs.
+  simd_mode simd = simd_mode::auto_select;
 };
 
 struct engine_report {

@@ -17,7 +17,8 @@ clique_set list_cliques_parallel(const enumkernel::dag& d, int p,
                                  runtime::query_scratch& scratch,
                                  std::int64_t grain,
                                  parallel_listing_stats* stats,
-                                 enumkernel::kernel_mode kmode) {
+                                 enumkernel::kernel_mode kmode,
+                                 simd_mode smode) {
   DCL_EXPECTS(p >= 3, "parallel lister handles p >= 3");
   const int t = pool.size();
   scratch.ensure_workers(t);
@@ -33,7 +34,7 @@ clique_set list_cliques_parallel(const enumkernel::dag& d, int p,
       d.num_arcs(), grain,
       [&](int w, std::int64_t begin, std::int64_t end) {
         auto& ws = scratch.arena(w).get<engine_worker_scratch>();
-        enumkernel::arc_enumerator en(d, p, ws.enum_ws, kmode);
+        enumkernel::arc_enumerator en(d, p, ws.enum_ws, kmode, smode);
         auto& buf = ws.out;
         found[size_t(w)] +=
             en.list_range(begin, end, [&](std::span<const vertex> c) {
@@ -66,7 +67,8 @@ std::int64_t count_cliques_parallel(const enumkernel::dag& d, int p,
                                     runtime::query_scratch& scratch,
                                     std::int64_t grain,
                                     parallel_listing_stats* stats,
-                                    enumkernel::kernel_mode kmode) {
+                                    enumkernel::kernel_mode kmode,
+                                    simd_mode smode) {
   DCL_EXPECTS(p >= 3, "parallel counter handles p >= 3");
   const int t = pool.size();
   scratch.ensure_workers(t);
@@ -77,7 +79,7 @@ std::int64_t count_cliques_parallel(const enumkernel::dag& d, int p,
       d.num_arcs(), grain,
       [&](int w, std::int64_t begin, std::int64_t end) {
         auto& ws = scratch.arena(w).get<engine_worker_scratch>();
-        enumkernel::arc_enumerator en(d, p, ws.enum_ws, kmode);
+        enumkernel::arc_enumerator en(d, p, ws.enum_ws, kmode, smode);
         found[size_t(w)] += en.count_range(begin, end);
         roots[size_t(w)] += end - begin;
       });
@@ -134,7 +136,7 @@ clique_set list_cliques_local(const graph& g, const engine_options& opt,
   const auto t1 = std::chrono::steady_clock::now();
   parallel_listing_stats stats;
   clique_set out = list_cliques_parallel(d, opt.p, pool, scratch, opt.grain,
-                                         &stats, opt.kernel);
+                                         &stats, opt.kernel, opt.simd);
   if (report) {
     report->max_out_degree = d.max_out_degree;
     report->dag_arcs = d.num_arcs();
@@ -165,7 +167,7 @@ std::int64_t count_cliques_local(const graph& g, const engine_options& opt,
   const auto t1 = std::chrono::steady_clock::now();
   parallel_listing_stats stats;
   const std::int64_t total = count_cliques_parallel(
-      d, opt.p, pool, scratch, opt.grain, &stats, opt.kernel);
+      d, opt.p, pool, scratch, opt.grain, &stats, opt.kernel, opt.simd);
   if (report) {
     report->max_out_degree = d.max_out_degree;
     report->dag_arcs = d.num_arcs();

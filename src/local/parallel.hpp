@@ -53,13 +53,15 @@ clique_set list_cliques_parallel(
     const enumkernel::dag& d, int p, thread_pool& pool,
     runtime::query_scratch& scratch, std::int64_t grain,
     parallel_listing_stats* stats = nullptr,
-    enumkernel::kernel_mode kmode = enumkernel::kernel_mode::auto_select);
+    enumkernel::kernel_mode kmode = enumkernel::kernel_mode::auto_select,
+    simd_mode smode = simd_mode::auto_select);
 
 /// Counting-only twin of list_cliques_parallel — no buffers, no merge.
 std::int64_t count_cliques_parallel(
     const enumkernel::dag& d, int p, thread_pool& pool,
     runtime::query_scratch& scratch, std::int64_t grain,
     parallel_listing_stats* stats = nullptr,
-    enumkernel::kernel_mode kmode = enumkernel::kernel_mode::auto_select);
+    enumkernel::kernel_mode kmode = enumkernel::kernel_mode::auto_select,
+    simd_mode smode = simd_mode::auto_select);
 
 }  // namespace dcl::local

@@ -1,0 +1,157 @@
+#pragma once
+// Width-agnostic SIMD primitives with runtime CPU dispatch (DESIGN.md §13).
+//
+// The enumeration kernel's bitmap loops (row AND-descent, popcount
+// counting, bit-scan listing) and the graph layer's sorted-intersection
+// walks are the per-word hot paths of every engine. This header exposes
+// them as a table of width-agnostic function pointers (`simd_ops`) with
+// three backends — scalar, AVX2, NEON — selected once per process from
+// cpuid/hwcaps and overridable per call site via the `simd_mode` knob,
+// which is plumbed like kernel_mode through session_options /
+// engine_options / listing_query.
+//
+// Determinism contract: every primitive is an exact integer/bitwise
+// computation (no floating point, no reordered reductions — OR and ADD
+// over disjoint lanes are associative-commutative on these domains), and
+// every backend produces bit-identical results for identical inputs. The
+// kernel keeps its emission order regardless of tier, so clique sets,
+// counts, stream batches, reports, and trace bytes are invariant across
+// simd_mode × kernel_mode × engines × sim_threads (tested).
+//
+// Dispatch contract: backends unavailable at compile time (the AVX2 TU
+// builds a stub unless the compiler accepts -mavx2; NEON likewise) or at
+// run time (CPU lacks the feature) degrade to scalar — a forced
+// simd_mode::avx2 on a non-AVX2 machine runs scalar rather than faulting.
+// `DCL_SIMD=scalar|avx2|neon|auto` and `DCL_FORCE_SCALAR=1` override
+// detection process-wide (read once, cached).
+//
+// This header lives at the bottom of the include graph (no project
+// includes), so thin headers — graph.hpp, driver.hpp, session.hpp — can
+// name the knob without pulling in the kernel.
+
+#include <bit>
+#include <cstdint>
+
+namespace dcl {
+
+/// Vector backend selection, carried alongside kernel_mode everywhere a
+/// query travels. auto_select resolves to the best tier the CPU supports
+/// (AVX2 on x86-64, NEON on aarch64, scalar otherwise); a fixed tier that
+/// the machine cannot run falls back to scalar. Purely a performance knob:
+/// outputs are bit-identical across all values.
+enum class simd_mode { auto_select, scalar, avx2, neon };
+
+namespace simd {
+
+/// Backend table. All word counts are in 64-bit words; all span lengths in
+/// elements. Pointers may be unaligned; n == 0 is valid everywhere.
+struct simd_ops {
+  simd_mode tier;    ///< the tier this table implements (never auto_select)
+  const char* name;  ///< "scalar" / "avx2" / "neon"
+
+  /// dst[i] = a[i] & b[i] for i in [0, n). Returns a value that is nonzero
+  /// iff any dst word is nonzero (backends may return the OR of all words
+  /// or any other nonzero witness — callers test emptiness only).
+  std::uint64_t (*and_words_into)(std::uint64_t* dst, const std::uint64_t* a,
+                                  const std::uint64_t* b, std::int32_t n);
+
+  /// Σ popcount(w[i]).
+  std::int64_t (*popcount_words)(const std::uint64_t* w, std::int32_t n);
+
+  /// Σ popcount(a[i] & b[i]) without materializing the AND.
+  std::int64_t (*and_popcount_words)(const std::uint64_t* a,
+                                     const std::uint64_t* b, std::int32_t n);
+
+  /// The bitmap kernel's whole counting base level in one call: for every
+  /// set bit a of mask[0..words), add popcount(rows[a*words..] & mask).
+  /// Coarse on purpose — egonets are often 1-2 words wide, so per-word
+  /// dispatch would drown in call overhead; this amortizes one indirect
+  /// call over the full candidate sweep.
+  std::int64_t (*bitmap_base_count)(const std::uint64_t* rows,
+                                    std::int32_t words,
+                                    const std::uint64_t* mask);
+
+  /// |a ∩ b| over strictly-ascending int32 ranges (adjacency lists are
+  /// duplicate-free by construction; the block-compare kernels rely on it).
+  std::int64_t (*intersect_size)(const std::int32_t* a, std::int64_t na,
+                                 const std::int32_t* b, std::int64_t nb);
+
+  /// a ∩ b written ascending to `out` (capacity >= min(na, nb)); returns
+  /// the match count. Same strictly-ascending precondition.
+  std::int64_t (*intersect_into)(const std::int32_t* a, std::int64_t na,
+                                 const std::int32_t* b, std::int64_t nb,
+                                 std::int32_t* out);
+};
+
+/// The scalar table: always available, the reference every backend must
+/// match bit for bit (tested in test_simd).
+const simd_ops* scalar_ops();
+
+namespace detail {
+/// Per-backend tables, or nullptr when the TU was compiled without the
+/// matching ISA (so a generic build never references missing intrinsics).
+const simd_ops* avx2_table();
+const simd_ops* neon_table();
+}  // namespace detail
+
+/// True when the running CPU supports the feature (independent of whether
+/// the matching backend was compiled in).
+bool cpu_has_avx2();
+bool cpu_has_neon();
+
+/// Pure tier choice from capability bits — the testable core of detection:
+/// force_scalar wins, then AVX2, then NEON, else scalar.
+constexpr simd_mode choose_mode(bool has_avx2, bool has_neon,
+                                bool force_scalar) {
+  if (force_scalar) return simd_mode::scalar;
+  if (has_avx2) return simd_mode::avx2;
+  if (has_neon) return simd_mode::neon;
+  return simd_mode::scalar;
+}
+
+/// Pure resolution of a DCL_SIMD-style override ("scalar"/"avx2"/"neon"/
+/// "auto"/unset) against capability bits. An explicit tier the machine
+/// cannot run degrades to scalar — never a fault, never a silent switch to
+/// a different vector ISA. Unrecognized values behave like "auto".
+simd_mode resolve_mode(const char* env, bool has_avx2, bool has_neon,
+                       bool force_scalar);
+
+/// The process-wide tier auto_select resolves to: resolve_mode over the
+/// real CPU bits and the DCL_SIMD / DCL_FORCE_SCALAR environment, computed
+/// once and cached (the env is part of process identity, not per-query
+/// state).
+simd_mode detected_mode();
+
+/// The table for a requested mode: auto_select → detected_mode(); a fixed
+/// tier returns its table when compiled in AND supported by the CPU, else
+/// the scalar table (the graceful-fallback edge of the dispatch contract).
+const simd_ops* ops_for(simd_mode mode);
+
+/// Knob spelling for logs / bench JSON.
+const char* simd_mode_name(simd_mode mode);
+
+/// Calls fn(bit_index) for every set bit of words[0..n), ascending — the
+/// shared bit-scan idiom of the bitmap kernel's listing paths. Inline
+/// template (not in the table): the callback must inline into the scan,
+/// and the scan order is part of the determinism contract, so there is
+/// exactly one implementation for every tier.
+template <typename Fn>
+inline void iterate_set_bits(const std::uint64_t* words, std::int32_t n,
+                             Fn&& fn) {
+  for (std::int32_t wi = 0; wi < n; ++wi) {
+    std::uint64_t bits = words[wi];
+    while (bits != 0) {
+      fn((wi << 6) + std::countr_zero(bits));
+      bits &= bits - 1;
+    }
+  }
+}
+
+/// Minimum shorter-range length before the intersection routines hand a
+/// merge walk to the vector backend: below this the block setup costs more
+/// than the scalar walk (measured in bench_enum_kernel's intersection
+/// rows; the gallop path is unaffected — skewed pairs gallop first).
+inline constexpr std::int64_t kVectorIntersectMin = 16;
+
+}  // namespace simd
+}  // namespace dcl

@@ -1,0 +1,127 @@
+// NEON backend for support/simd.hpp (AArch64). ASIMD is architecturally
+// mandatory on AArch64, so no per-TU flag is needed — the guard below
+// simply turns this TU into a nullptr stub on every other target. The
+// word primitives run on 128-bit lanes (uint64x2 AND/OR, vcntq_u8
+// popcount); the intersections keep the scalar merge walk for now — the
+// 4-lane block-compare variant needs a per-lane match mask NEON lacks a
+// cheap movemask for, and the word loops are where the kernel spends its
+// time (ROADMAP: widen NEON intersections when ARM hardware lands in CI).
+
+#include "support/simd.hpp"
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+
+#include <arm_neon.h>
+
+namespace dcl::simd {
+namespace {
+
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+using i32 = std::int32_t;
+
+u64 neon_and_words_into(u64* dst, const u64* a, const u64* b, i32 n) {
+  i32 i = 0;
+  uint64x2_t acc = vdupq_n_u64(0);
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t v = vandq_u64(vld1q_u64(a + i), vld1q_u64(b + i));
+    vst1q_u64(dst + i, v);
+    acc = vorrq_u64(acc, v);
+  }
+  u64 any = vgetq_lane_u64(acc, 0) | vgetq_lane_u64(acc, 1);
+  for (; i < n; ++i) any |= (dst[i] = a[i] & b[i]);
+  return any;
+}
+
+/// Popcount of one 128-bit lane pair via byte counts + pairwise add.
+inline i64 popcount_u64x2(uint64x2_t v) {
+  const uint8x16_t bytes = vcntq_u8(vreinterpretq_u8_u64(v));
+  return i64(vaddvq_u8(bytes));
+}
+
+i64 neon_popcount_words(const u64* w, i32 n) {
+  i32 i = 0;
+  i64 total = 0;
+  for (; i + 2 <= n; i += 2) total += popcount_u64x2(vld1q_u64(w + i));
+  for (; i < n; ++i) total += std::popcount(w[i]);
+  return total;
+}
+
+i64 neon_and_popcount_words(const u64* a, const u64* b, i32 n) {
+  i32 i = 0;
+  i64 total = 0;
+  for (; i + 2 <= n; i += 2)
+    total += popcount_u64x2(vandq_u64(vld1q_u64(a + i), vld1q_u64(b + i)));
+  for (; i < n; ++i) total += std::popcount(a[i] & b[i]);
+  return total;
+}
+
+i64 neon_bitmap_base_count(const u64* rows, i32 words, const u64* mask) {
+  i64 total = 0;
+  for (i32 wi = 0; wi < words; ++wi) {
+    u64 bits = mask[wi];
+    while (bits != 0) {
+      const i32 a = (wi << 6) + std::countr_zero(bits);
+      bits &= bits - 1;
+      total += neon_and_popcount_words(
+          rows + std::size_t(a) * std::size_t(words), mask, words);
+    }
+  }
+  return total;
+}
+
+i64 neon_intersect_size(const i32* a, i64 na, const i32* b, i64 nb) {
+  i64 i = 0, j = 0, count = 0;
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+i64 neon_intersect_into(const i32* a, i64 na, const i32* b, i64 nb,
+                        i32* out) {
+  i64 i = 0, j = 0, count = 0;
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      out[count++] = a[i];
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+constexpr simd_ops kNeonOps = {
+    simd_mode::neon,         "neon",
+    neon_and_words_into,     neon_popcount_words,
+    neon_and_popcount_words, neon_bitmap_base_count,
+    neon_intersect_size,     neon_intersect_into,
+};
+
+}  // namespace
+
+namespace detail {
+const simd_ops* neon_table() { return &kNeonOps; }
+}  // namespace detail
+
+}  // namespace dcl::simd
+
+#else  // !AArch64 NEON
+
+namespace dcl::simd::detail {
+const simd_ops* neon_table() { return nullptr; }
+}  // namespace dcl::simd::detail
+
+#endif

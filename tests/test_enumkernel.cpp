@@ -93,11 +93,12 @@ clique_set kernel_collect(const graph& g, int p,
                           enumkernel::orientation_policy policy =
                               enumkernel::orientation_policy::degeneracy,
                           enumkernel::kernel_mode mode =
-                              enumkernel::kernel_mode::auto_select) {
+                              enumkernel::kernel_mode::auto_select,
+                          simd_mode simd = simd_mode::auto_select) {
   clique_set out(p);
   enumkernel::enumerate_cliques(
       g, p, ws, [&](std::span<const vertex> c) { out.add_flat(c, true); },
-      policy, mode);
+      policy, mode, simd);
   out.normalize();
   return out;
 }
@@ -105,6 +106,12 @@ clique_set kernel_collect(const graph& g, int p,
 constexpr enumkernel::kernel_mode kAllModes[] = {
     enumkernel::kernel_mode::auto_select, enumkernel::kernel_mode::scalar,
     enumkernel::kernel_mode::bitmap};
+
+// Every simd_mode value: forcing a tier the machine lacks must degrade to
+// scalar and still be bit-identical, so sweeping all four is always valid
+// (and on an AVX2 or NEON machine it genuinely exercises the vector tier).
+constexpr simd_mode kAllSimd[] = {simd_mode::auto_select, simd_mode::scalar,
+                                  simd_mode::avx2, simd_mode::neon};
 
 // ---------------------------------------------------------------------
 
@@ -131,6 +138,64 @@ TEST(EnumKernel, DifferentialSweepGnp) {
                   want.size());
       }
     }
+  }
+}
+
+TEST(EnumKernel, DifferentialSweepSimdTiers) {
+  // The vector backend is a pure performance knob (DESIGN.md §13): every
+  // kernel_mode × simd_mode cell must reproduce the scalar/scalar clique
+  // set and count bit for bit — on gnp across the density range, on the
+  // Kneser graph (sharp combinatorial structure), and on karate (real
+  // degree profile) for p = 3..7.
+  enumkernel::enum_scratch ws;
+  std::vector<graph> graphs;
+  graphs.push_back(gen::gnp(44, 0.35, 17));
+  graphs.push_back(gen::gnp(26, 0.65, 18));  // dense: bitmap + wide rows
+  graphs.push_back(gen::kneser(12, 2));
+  graphs.push_back(
+      read_snap_file(std::string(DCL_TEST_DATA_DIR) + "/karate.txt").g);
+  for (const auto& g : graphs) {
+    for (int p = 3; p <= 7; ++p) {
+      const auto want =
+          kernel_collect(g, p, ws, enumkernel::orientation_policy::degeneracy,
+                         enumkernel::kernel_mode::scalar, simd_mode::scalar);
+      for (const auto mode : kAllModes) {
+        for (const auto simd : kAllSimd) {
+          EXPECT_TRUE(kernel_collect(g, p, ws,
+                                     enumkernel::orientation_policy::degeneracy,
+                                     mode, simd) == want)
+              << "n=" << g.num_vertices() << " p=" << p << " mode="
+              << int(mode) << " simd=" << simd::simd_mode_name(simd);
+          EXPECT_EQ(
+              enumkernel::count_cliques(
+                  g, p, ws, enumkernel::orientation_policy::degeneracy, mode,
+                  simd),
+              want.size())
+              << "n=" << g.num_vertices() << " p=" << p << " mode="
+              << int(mode) << " simd=" << simd::simd_mode_name(simd);
+        }
+      }
+    }
+  }
+}
+
+TEST(EnumKernel, EdgeSetSimdTiersAgree) {
+  // The edge-scoped entry (remap + kernel) across the full tier matrix,
+  // including adversarial raw input: duplicates and a self-loop.
+  const auto base = gen::gnp(30, 0.5, 73);
+  edge_list raw = base.edges();
+  raw.push_back({4, 4});
+  raw.push_back(raw.front());
+  enumkernel::enum_scratch ws;
+  for (int p = 3; p <= 6; ++p) {
+    const auto want = enumkernel::cliques_in_edge_set(
+        raw, p, ws, enumkernel::kernel_mode::scalar, simd_mode::scalar);
+    for (const auto mode : kAllModes)
+      for (const auto simd : kAllSimd)
+        EXPECT_TRUE(enumkernel::cliques_in_edge_set(raw, p, ws, mode, simd) ==
+                    want)
+            << "p=" << p << " mode=" << int(mode)
+            << " simd=" << simd::simd_mode_name(simd);
   }
 }
 
@@ -380,13 +445,16 @@ TEST(EnumKernel, GallopingThresholdIsOutputInvariant) {
     for (const std::size_t factor : {std::size_t{0}, std::size_t{1},
                                      std::size_t{2}, std::size_t{32},
                                      std::size_t{1} << 40}) {
-      EXPECT_TRUE(sorted_intersection(a, b, factor) == want)
-          << "v=" << v << " factor=" << factor;
-      EXPECT_EQ(sorted_intersection_size(a, b, factor),
-                std::int64_t(want.size()));
-      std::vector<vertex> into;
-      sorted_intersection_into(a, b, into, factor);
-      EXPECT_TRUE(into == want);
+      for (const auto simd : kAllSimd) {
+        EXPECT_TRUE(sorted_intersection(a, b, factor, simd) == want)
+            << "v=" << v << " factor=" << factor
+            << " simd=" << simd::simd_mode_name(simd);
+        EXPECT_EQ(sorted_intersection_size(a, b, factor, simd),
+                  std::int64_t(want.size()));
+        std::vector<vertex> into;
+        sorted_intersection_into(a, b, into, factor, simd);
+        EXPECT_TRUE(into == want);
+      }
     }
   }
   static_assert(kGallopFactor == 32,

@@ -472,6 +472,90 @@ TEST(ListingSession, ConcurrentRunsBitIdenticalLocal) {
                  gen::gnp(60, 0.15, 7));
 }
 
+TEST(ListingSession, SimdTiersBitIdenticalAcrossEnginesAndThreads) {
+  // The vector-backend seam contract (DESIGN.md §13), end to end: for
+  // every simd tier (including tiers this machine lacks, which must
+  // degrade to scalar), kernel mode, engine, and worker-pool size, the
+  // clique set, the streamed bytes, the full report, and the recorded
+  // trace bytes are bit-identical to the scalar/scalar single-thread
+  // reference. On an AVX2 (or NEON) machine the forced vector tier runs
+  // genuinely vectorized code through both CONGEST drivers' intersection
+  // paths and the kernel's bitmap loops.
+  constexpr simd_mode kSimd[] = {simd_mode::auto_select, simd_mode::scalar,
+                                 simd_mode::avx2, simd_mode::neon};
+  constexpr enumkernel::kernel_mode kModes[] = {
+      enumkernel::kernel_mode::auto_select, enumkernel::kernel_mode::scalar,
+      enumkernel::kernel_mode::bitmap};
+  struct case_t {
+    graph g;
+    int p;
+  };
+  const std::vector<case_t> cases = {
+      {gen::gnp(44, 0.3, 23), 3},
+      {gen::planted_cliques(36, 0.12, 2, 6, 29), 4},
+  };
+  for (const auto& c : cases) {
+    for (const auto engine :
+         {listing_engine::congest_sim, listing_engine::local_kclist}) {
+      listing_query ref_q;
+      ref_q.p = c.p;
+      ref_q.kernel = enumkernel::kernel_mode::scalar;
+      ref_q.simd = simd_mode::scalar;
+      ref_q.trace = engine == listing_engine::congest_sim;
+      listing_session ref_s(c.g, {.engine = engine, .threads = 1});
+      const auto want = ref_s.run(ref_q);
+      const std::string want_trace = trace_bytes(want.report);
+      for (const int threads : {1, 4}) {
+        listing_session s(c.g, {.engine = engine, .threads = threads});
+        for (const auto mode : kModes) {
+          for (const auto simd : kSimd) {
+            listing_query q;
+            q.p = c.p;
+            q.kernel = mode;
+            q.simd = simd;
+            q.trace = ref_q.trace;
+            const auto got = s.run(q);
+            EXPECT_TRUE(got.cliques == want.cliques)
+                << "p=" << c.p << " threads=" << threads << " mode="
+                << int(mode) << " simd=" << simd::simd_mode_name(simd);
+            EXPECT_EQ(got.count, want.count);
+            if (engine == listing_engine::congest_sim) {
+              expect_report_identical(got.report, want.report);
+              EXPECT_EQ(trace_bytes(got.report), want_trace)
+                  << "simd=" << simd::simd_mode_name(simd);
+            }
+            EXPECT_TRUE(restream(s, q) == want.cliques);
+            const auto scoped = s.cliques_in_edges(q, c.g.edges());
+            EXPECT_TRUE(scoped.cliques == want.cliques);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ListingSession, SessionSimdKnobIsDefaultQueryOverrides) {
+  // session_options::simd applies to every auto_select query; an explicit
+  // per-query simd tier wins. Either way the output never changes.
+  const auto g = gen::ring_of_cliques(4, 8);
+  listing_query q;
+  q.p = 4;
+  listing_session plain(g, {});
+  const auto want = plain.run(q);
+  for (const auto ssimd :
+       {simd_mode::scalar, simd_mode::avx2, simd_mode::neon}) {
+    listing_session s(g, {.simd = ssimd});
+    const auto got = s.run(q);  // q.simd = auto_select → session knob
+    EXPECT_TRUE(got.cliques == want.cliques) << simd::simd_mode_name(ssimd);
+    expect_report_identical(got.report, want.report);
+    listing_query forced = q;
+    forced.simd = simd_mode::scalar;
+    const auto overridden = s.run(forced);
+    EXPECT_TRUE(overridden.cliques == want.cliques);
+    expect_report_identical(overridden.report, want.report);
+  }
+}
+
 TEST(ListingSession, SequentialRunsReuseOneWarmLease) {
   // The steady-state serving path allocates no scratch: bind-time warm-up
   // constructs the one bundle (the only miss), and every sequential query
