@@ -38,6 +38,14 @@ void cost_ledger::merge_parallel(const cost_ledger& other) {
   }
 }
 
+cost_ledger cost_ledger::from_parts(
+    phase_cost total, std::map<std::string, phase_cost, std::less<>> phases) {
+  cost_ledger l;
+  l.total_ = total;
+  l.phases_ = std::move(phases);
+  return l;
+}
+
 void cost_ledger::print(std::ostream& os) const {
   os << "total: rounds=" << total_.rounds << " messages=" << total_.messages
      << '\n';

@@ -15,6 +15,8 @@ namespace dcl {
 struct phase_cost {
   std::int64_t rounds = 0;
   std::int64_t messages = 0;
+
+  friend bool operator==(const phase_cost&, const phase_cost&) = default;
 };
 
 class cost_ledger {
@@ -37,6 +39,20 @@ class cost_ledger {
   /// Deterministically ordered (by label) per-phase breakdown.
   const std::map<std::string, phase_cost, std::less<>>& phases() const {
     return phases_;
+  }
+
+  /// Reconstructs a ledger from an explicit total plus per-phase breakdown,
+  /// exactly as serialized. After merge_parallel the total is NOT the sum of
+  /// the phases (rounds take max per merge), so deserialization cannot
+  /// replay charge() calls — it must restore both halves verbatim. The wire
+  /// codec (src/shard/serialize) is the intended caller.
+  static cost_ledger from_parts(
+      phase_cost total,
+      std::map<std::string, phase_cost, std::less<>> phases);
+
+  friend bool operator==(const cost_ledger& a, const cost_ledger& b) {
+    return a.total_.rounds == b.total_.rounds &&
+           a.total_.messages == b.total_.messages && a.phases_ == b.phases_;
   }
 
   void print(std::ostream& os) const;

@@ -165,6 +165,32 @@ void trace_log::absorb(const trace_recorder& rec, std::int32_t level,
   }
 }
 
+void trace_log::splice_scope(const trace_log& src, std::int32_t scope_idx) {
+  DCL_EXPECTS(scope_idx >= 0 && std::size_t(scope_idx) < src.scopes_.size(),
+              "splice_scope: scope index out of range");
+  const auto scope = std::int32_t(scopes_.size());
+  scopes_.push_back(src.scopes_[size_t(scope_idx)]);
+  // Re-intern phases on first use, in event order — the same first-seen
+  // order absorb() produces, so a log assembled scope by scope carries the
+  // identical phase table (and identical serialized bytes) as one built
+  // from the recorders directly.
+  for (trace_event e : src.events_) {
+    if (e.scope != scope_idx) continue;
+    const std::string& name = src.phases_[size_t(e.phase)];
+    const auto it = phase_ids_.find(name);
+    if (it != phase_ids_.end()) {
+      e.phase = it->second;
+    } else {
+      const auto id = std::int32_t(phases_.size());
+      phases_.push_back(name);
+      phase_ids_.emplace(name, id);
+      e.phase = id;
+    }
+    e.scope = scope;
+    events_.push_back(e);
+  }
+}
+
 std::string_view trace_log::phase_name(std::int32_t id) const {
   DCL_EXPECTS(id >= 0 && std::size_t(id) < phases_.size(),
               "phase id out of range");

@@ -207,6 +207,14 @@ class trace_log {
   void absorb(const trace_recorder& rec, std::int32_t level,
               std::int64_t branch, std::int64_t n, double phi);
 
+  /// Appends one scope of another log — scope metadata plus its events,
+  /// phases re-interned into this log's table. The shard coordinator stitches
+  /// per-worker traces back together with this: splicing every shard's scopes
+  /// in the solo driver's fold order (level ascending; exhaustive branch
+  /// before clusters; run-sequential scope last) reproduces the
+  /// single-process trace_log — and therefore its binary bytes — exactly.
+  void splice_scope(const trace_log& src, std::int32_t scope_idx);
+
   const std::vector<trace_event>& events() const { return events_; }
   const std::vector<trace_scope>& scopes() const { return scopes_; }
   const std::vector<std::string>& phases() const { return phases_; }

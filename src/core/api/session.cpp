@@ -217,6 +217,37 @@ query_result listing_session::run_congest(const listing_query& q,
   return res;
 }
 
+shard_run_result listing_session::run_shard(const listing_query& q,
+                                            const congest_shard_plan& plan) {
+  DCL_EXPECTS(opt_.engine == listing_engine::congest_sim,
+              "run_shard drives congest_sim; the local engine shards by "
+              "graph slicing (bind a shard::build_graph_slice and run())");
+  validate_query(q, opt_.engine);
+  DCL_EXPECTS(plan.shards >= 1 && plan.shard >= 0 &&
+                  plan.shard < plan.shards,
+              "congest_shard_plan: shard index out of range");
+  auto lease = leases_.acquire();
+  std::unique_lock<std::mutex> gate;
+  runtime::thread_pool& pool = claim_pool(gate, *lease);
+  listing_query eq = q;
+  eq.kernel = effective_kernel(q);
+  eq.simd = effective_simd(q);
+  shard_run_result res;
+  congest_shard_plan scoped_plan = plan;
+  scoped_plan.scoped = &res.scoped;
+  clique_collector out(q.p);
+  res.report =
+      q.p == 3
+          ? list_triangles_congest(*g_, eq, pool, lease->scratch, out,
+                                   &scoped_plan)
+          : list_kp_congest(*g_, eq, pool, lease->scratch, out,
+                            &scoped_plan);
+  const std::span<const vertex> raw = out.raw_view();
+  res.raw_tuples.assign(raw.begin(), raw.end());
+  res.emitted = out.emitted();
+  return res;
+}
+
 query_result listing_session::cliques_in_edges(const listing_query& q,
                                                const edge_list& edges) {
   if (q.mode == sink_mode::stream)

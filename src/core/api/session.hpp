@@ -98,6 +98,25 @@ struct query_result {
   listing_report report;   ///< fresh per run (empty ledger under local_kclist)
 };
 
+/// What one run_shard() returns — the worker half of multi-process sharded
+/// serving (src/shard/, DESIGN.md §14). Nothing here is finalized: the
+/// coordinator absorbs every shard's raw tuples (in shard-index order) into
+/// one collector and rebuilds the ledger from the scoped entries, so the
+/// folded result is bit-identical to a single-process run.
+struct shard_run_result {
+  /// Unfinalized collector contents: stride p, each tuple ascending,
+  /// duplicates preserved (they carry the solo duplicates accounting).
+  std::vector<vertex> raw_tuples;
+  std::int64_t emitted = 0;  ///< raw_tuples.size() / p
+  /// One entry per branch this shard listed, in driver fold order.
+  std::vector<shard_scoped_ledger> scoped;
+  /// report.ledger covers only owned branches; the structural fields
+  /// (levels, model_decomposition_rounds, used_fallback) are pure functions
+  /// of (graph, query) and identical on every shard — the coordinator
+  /// cross-checks them as a divergence tripwire.
+  listing_report report;
+};
+
 /// Batched sink for sink_mode::stream: receives flat tuples (stride p,
 /// each tuple ascending, at most stream_batch_tuples per call) in the
 /// deterministic merge order. The span is valid only during the call. A
@@ -137,6 +156,16 @@ class listing_session {
   /// deterministic merge order, batched per q.stream_batch_tuples.
   /// Requires q.mode == sink_mode::stream.
   query_result run(const listing_query& q, const stream_sink& sink);
+
+  /// One shard's share of a distributed congest_sim run (DESIGN.md §14):
+  /// executes the full deterministic control plane but lists only the
+  /// branches `plan` owns, returning raw tuples and scoped ledgers for the
+  /// coordinator's fold. q.mode is ignored — the coordinator applies the
+  /// sink mode after folding. congest_sim sessions only; the local engine
+  /// shards by graph slicing instead (each worker binds its slice and
+  /// serves plain run() calls — see shard::build_graph_slice).
+  shard_run_result run_shard(const listing_query& q,
+                             const congest_shard_plan& plan);
 
   /// Edge-scoped query: the cliques of the given explicit edge set (which
   /// may contain duplicates, self-loops, and vertex ids unrelated to the

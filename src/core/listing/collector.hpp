@@ -17,6 +17,7 @@
 #include <span>
 
 #include "graph/clique_enum.hpp"
+#include "support/check.hpp"
 
 namespace dcl {
 
@@ -44,6 +45,18 @@ class clique_collector {
   void absorb(const clique_collector& other);
 
   std::int64_t emitted() const { return emitted_; }
+
+  /// The raw unfinalized tuple buffer: stride = arity, each tuple
+  /// individually ascending, insertion order, duplicates still present.
+  /// This is the collector's wire representation — a shard worker ships
+  /// exactly this view and the coordinator replays it through
+  /// merge_buffer(flat, tuples_presorted=true), so the folded
+  /// emitted/duplicates accounting matches a single-process run bit for
+  /// bit. Invalid after finalize().
+  std::span<const vertex> raw_view() const {
+    DCL_EXPECTS(!finalized_, "raw_view after finalize()");
+    return set_.flat_view();
+  }
 
   /// Deduplicates and returns the canonical set; afterwards duplicates()
   /// reports how many emissions were redundant. Single-shot (shared with

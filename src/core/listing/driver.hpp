@@ -11,6 +11,8 @@
 // degenerate inputs (DESIGN.md §2.6 — it never fires on benchmark families,
 // and the report records if it did).
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -136,6 +138,46 @@ struct level_stats {
   std::int64_t deferred_clusters = 0;  ///< overloaded (p >= 4 only)
   std::int64_t bad_vertices = 0;       ///< Σ |S_C| (p >= 4 only)
   std::int64_t low_degree_targets = 0;
+
+  friend bool operator==(const level_stats&, const level_stats&) = default;
+};
+
+/// One parallel branch's ledger tagged with its position in the solo merge
+/// tree: (recursion level, branch id) exactly as trace scopes are tagged —
+/// branch >= 0 is a cluster index, kTraceBranchExhaustive the per-level
+/// exhaustive sweep, and level == -1 / kTraceBranchSequential the
+/// fallback-gather charges. The shard coordinator rebuilds the solo ledger
+/// from these: merge_parallel within a level and merge_sequential across
+/// levels are associative and commutative per phase, so folding every
+/// shard's scoped ledgers level by level reproduces the single-process
+/// ledger bit for bit (DESIGN.md §14).
+struct shard_scoped_ledger {
+  std::int32_t level = -1;
+  std::int64_t branch = kTraceBranchSequential;
+  cost_ledger ledger;
+};
+
+/// Work-ownership filter for multi-process sharded congest runs. Every
+/// worker replicates the deterministic control plane — decomposition,
+/// anatomy, E′ delivery and the overload test, residual-edge retirement —
+/// which is a pure function of the level graph, independent of listing
+/// output; only branches this plan owns are actually listed (and charged
+/// into exportable ledgers). `owner` must be a pure function of its
+/// arguments, identical across every worker of the run; the representative
+/// handed to it is the smallest vertex of the branch's cluster (or target
+/// set). A null owner or shards <= 1 owns everything (the solo path).
+struct congest_shard_plan {
+  int shard = 0;
+  int shards = 1;
+  std::function<int(std::int32_t level, std::int64_t branch, vertex rep)>
+      owner;
+  /// When set, the driver appends one entry per branch it listed, in fold
+  /// order — the worker's half of the coordinator's ledger rebuild.
+  std::vector<shard_scoped_ledger>* scoped = nullptr;
+
+  bool owns(std::int32_t level, std::int64_t branch, vertex rep) const {
+    return shards <= 1 || !owner || owner(level, branch, rep) == shard;
+  }
 };
 
 struct listing_report {
@@ -173,17 +215,26 @@ struct listing_report {
 /// listing_session serves concurrent run() calls by handing each one a
 /// private leased scratch (DESIGN.md §12). Output equals the sequential
 /// ground truth exactly (tested property).
+///
+/// `plan`, when given, restricts listing to the branches the plan owns
+/// (sharded execution, DESIGN.md §14): control-plane structure — levels,
+/// stats, residual retirement, model rounds, used_fallback — is computed
+/// identically on every shard, while cliques, ledger charges, and trace
+/// scopes come only from owned branches.
 listing_report list_triangles_congest(const graph& g, const listing_query& q,
                                       runtime::thread_pool& pool,
                                       runtime::query_scratch& scratch,
-                                      clique_collector& out);
+                                      clique_collector& out,
+                                      const congest_shard_plan* plan =
+                                          nullptr);
 
 /// Theorem 36 (unified driver for p >= 4; see DESIGN.md §2.4 on K4).
 /// Contract as list_triangles_congest.
 listing_report list_kp_congest(const graph& g, const listing_query& q,
                                runtime::thread_pool& pool,
                                runtime::query_scratch& scratch,
-                               clique_collector& out);
+                               clique_collector& out,
+                               const congest_shard_plan* plan = nullptr);
 
 /// Convenience overloads for tests/benches: run on a private pool of
 /// `sim_threads` workers, finalize, and return the canonical clique set.

@@ -1,6 +1,7 @@
 #pragma once
 // Internal helpers shared by the K3 and K_p recursion drivers.
 
+#include <algorithm>
 #include <chrono>
 
 #include "congest/cost.hpp"
@@ -28,7 +29,20 @@ struct cluster_outcome {
   std::int64_t bad_vertices = 0;  ///< |S_C| (p >= 4)
   bool considered = false;        ///< cluster entered the listing path
   bool deferred = false;          ///< overloaded, deliver cost dropped (p >= 4)
+  /// This run listed the cluster's cliques. Solo: listed == considered &&
+  /// !deferred. Sharded (congest_shard_plan): false for clusters another
+  /// shard owns — their structural outputs (stats, removed edges) still
+  /// fold, but ledger, trace, and cliques are dropped here and supplied by
+  /// the owning shard instead.
+  bool listed = false;
 };
+
+/// A parallel branch's ownership representative for congest_shard_plan:
+/// the smallest vertex of the cluster — a pure function of the anatomy, so
+/// every shard computes the same owner for the same branch.
+inline vertex cluster_rep(const cluster_anatomy& a) {
+  return *std::min_element(a.v_cluster.begin(), a.v_cluster.end());
+}
 
 /// Gathers the residual graph at a per-component leader (exact tree-
 /// congestion charge) and lists centrally. The unconditional-correctness

@@ -47,7 +47,8 @@ graph remove_edges(const graph& cur, const edge_list& removed) {
 listing_report list_triangles_congest(const graph& g, const listing_query& q,
                                       runtime::thread_pool& pool,
                                       runtime::query_scratch& scratch,
-                                      clique_collector& out) {
+                                      clique_collector& out,
+                                      const congest_shard_plan* plan) {
   DCL_EXPECTS(q.p == 3, "use list_kp_congest for p >= 4");
   DCL_EXPECTS(q.epsilon < 1.0,
               "epsilon must be below 1 (0 selects the default)");
@@ -63,6 +64,23 @@ listing_report list_triangles_congest(const graph& g, const listing_query& q,
                       : std::shared_ptr<trace_log>{};
   trace_recorder seq_rec;  // fallback gathers: the run-sequential scope
   trace_recorder* seq = tracing ? &seq_rec : nullptr;
+  // Sharded runs: the fallback gathers are one sequential branch; the plan
+  // assigns it to exactly one shard (rep vertex 0 by convention). Solo owns
+  // everything. The charges go through a capturable local ledger so the
+  // owning worker can export them as a (level -1, sequential) scoped entry.
+  const bool seq_owned =
+      plan == nullptr || plan->owns(-1, kTraceBranchSequential, 0);
+  const auto run_fallback = [&](const graph& c) {
+    const auto t0 = std::chrono::steady_clock::now();
+    if (seq_owned) {
+      cost_ledger fb;
+      detail::central_fallback(c, 3, out, fb, seq, q.kernel, q.simd);
+      if (plan != nullptr && plan->scoped != nullptr)
+        plan->scoped->push_back({-1, kTraceBranchSequential, fb});
+      rep.ledger.merge_sequential(fb);
+    }
+    rep.phase_seconds["fallback"] += detail::seconds_since(t0);
+  };
   const auto run_t0 = std::chrono::steady_clock::now();
   graph cur = g;
   bool done = false;
@@ -76,10 +94,7 @@ listing_report list_triangles_congest(const graph& g, const listing_query& q,
     ls.edges_before = cur.num_edges();
 
     if (cur.num_edges() <= q.base_case_edges) {
-      const auto t0 = std::chrono::steady_clock::now();
-      detail::central_fallback(cur, 3, out, rep.ledger, seq, q.kernel,
-                               q.simd);
-      rep.phase_seconds["fallback"] += detail::seconds_since(t0);
+      run_fallback(cur);
       rep.levels.push_back(ls);
       done = true;
       break;
@@ -111,6 +126,14 @@ listing_report list_triangles_congest(const graph& g, const listing_query& q,
           detail::cluster_outcome oc(3);
           const auto& a = anatomy[size_t(ci)];
           if (a.e_minus.empty()) return oc;
+          oc.considered = true;
+          // Sharded: a cluster another shard owns contributes only its
+          // structural outputs here (its E− retirement and level stats);
+          // the owner lists it and exports the ledger/trace/cliques.
+          if (plan != nullptr &&
+              !plan->owns(level, std::int64_t(ci), detail::cluster_rep(a)))
+            return oc;
+          oc.listed = true;
           // The worker slot's lease-parked transport keeps delivery scratch
           // and staging outboxes capacity-warm across this slot's clusters.
           network net_c(cur, oc.ledger,
@@ -120,24 +143,26 @@ listing_report list_triangles_congest(const graph& g, const listing_query& q,
               net_c, cur, a, q.lb, splitmix64(q.seed + std::uint64_t(ci)),
               oc.cliques, "cluster" + std::to_string(ci),
               &scratch.arena(worker), q.kernel, q.simd);
-          oc.considered = true;
           return oc;
         });
     for (std::size_t ci = 0; ci < anatomy.size(); ++ci) {
       const auto& oc = outcomes[ci];
       if (!oc.considered) continue;
       const auto& a = anatomy[ci];
-      rep.max_normalized_load =
-          std::max(rep.max_normalized_load, oc.stats.max_normalized_load);
-      level_ledger.merge_parallel(oc.ledger);
-      if (tracing)
-        tlog->absorb(oc.rec, level, std::int64_t(ci),
-                     std::int64_t(a.v_cluster.size()), a.certified_phi);
-      out.absorb(oc.cliques);
       removed.insert(removed.end(), a.e_minus.begin(), a.e_minus.end());
       ++ls.clusters_listed;
       ls.low_degree_targets +=
           std::int64_t(a.v_cluster.size() - a.v_minus.size());
+      if (!oc.listed) continue;
+      rep.max_normalized_load =
+          std::max(rep.max_normalized_load, oc.stats.max_normalized_load);
+      level_ledger.merge_parallel(oc.ledger);
+      if (plan != nullptr && plan->scoped != nullptr)
+        plan->scoped->push_back({level, std::int64_t(ci), oc.ledger});
+      if (tracing)
+        tlog->absorb(oc.rec, level, std::int64_t(ci),
+                     std::int64_t(a.v_cluster.size()), a.certified_phi);
+      out.absorb(oc.cliques);
     }
     rep.ledger.merge_sequential(level_ledger);
     rep.phase_seconds["clusters"] += detail::seconds_since(clu_t0);
@@ -151,10 +176,7 @@ listing_report list_triangles_congest(const graph& g, const listing_query& q,
     if (removed.empty()) {
       // No progress possible through the decomposition (degenerate input);
       // fall back to central listing of the residual graph.
-      const auto t0 = std::chrono::steady_clock::now();
-      detail::central_fallback(cur, 3, out, rep.ledger, seq, q.kernel,
-                               q.simd);
-      rep.phase_seconds["fallback"] += detail::seconds_since(t0);
+      run_fallback(cur);
       rep.used_fallback = true;
       done = true;
       break;
@@ -164,10 +186,7 @@ listing_report list_triangles_congest(const graph& g, const listing_query& q,
   }
   if (!done && cur.num_edges() > 0) {
     // Level budget exhausted: unconditional correctness via the fallback.
-    const auto t0 = std::chrono::steady_clock::now();
-    detail::central_fallback(cur, 3, out, rep.ledger, seq, q.kernel,
-                             q.simd);
-    rep.phase_seconds["fallback"] += detail::seconds_since(t0);
+    run_fallback(cur);
     rep.used_fallback = true;
   }
   if (tracing) {

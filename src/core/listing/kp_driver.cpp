@@ -135,7 +135,8 @@ delivery_result deliver_eprime(network& net_c, const graph& g,
 listing_report list_kp_congest(const graph& g, const listing_query& q,
                                runtime::thread_pool& pool,
                                runtime::query_scratch& scratch,
-                               clique_collector& out) {
+                               clique_collector& out,
+                               const congest_shard_plan* plan) {
   DCL_EXPECTS(q.p >= 4 && q.p <= kCongestMaxP,
               "list_kp_congest supports 4 <= p <= 6");
   DCL_EXPECTS(q.epsilon < 1.0,
@@ -155,6 +156,22 @@ listing_report list_kp_congest(const graph& g, const listing_query& q,
                       : std::shared_ptr<trace_log>{};
   trace_recorder seq_rec;  // fallback gathers: the run-sequential scope
   trace_recorder* seq = tracing ? &seq_rec : nullptr;
+  // Sharded runs: the fallback gathers form one sequential branch owned by
+  // exactly one shard (rep vertex 0); charges flow through a local ledger
+  // so the owner can export them as a scoped entry (see k3_driver).
+  const bool seq_owned =
+      plan == nullptr || plan->owns(-1, kTraceBranchSequential, 0);
+  const auto run_fallback = [&](const graph& c) {
+    const auto t0 = std::chrono::steady_clock::now();
+    if (seq_owned) {
+      cost_ledger fb;
+      detail::central_fallback(c, q.p, out, fb, seq, q.kernel, q.simd);
+      if (plan != nullptr && plan->scoped != nullptr)
+        plan->scoped->push_back({-1, kTraceBranchSequential, fb});
+      rep.ledger.merge_sequential(fb);
+    }
+    rep.phase_seconds["fallback"] += detail::seconds_since(t0);
+  };
   const auto run_t0 = std::chrono::steady_clock::now();
   graph cur = g;
   bool done = false;
@@ -167,10 +184,7 @@ listing_report list_kp_congest(const graph& g, const listing_query& q,
     level_stats ls;
     ls.edges_before = cur.num_edges();
     if (cur.num_edges() <= q.base_case_edges) {
-      const auto t0 = std::chrono::steady_clock::now();
-      detail::central_fallback(cur, q.p, out, rep.ledger, seq, q.kernel,
-                               q.simd);
-      rep.phase_seconds["fallback"] += detail::seconds_since(t0);
+      run_fallback(cur);
       rep.levels.push_back(ls);
       done = true;
       break;
@@ -213,7 +227,12 @@ listing_report list_kp_congest(const graph& g, const listing_query& q,
             std::int64_t(a.v_open.size() - a.v_minus.size());
       }
       std::sort(targets.begin(), targets.end());
-      if (!targets.empty()) {
+      // The exhaustive sweep is one parallel branch; its ownership
+      // representative is the smallest target. Non-owners still computed
+      // targets/is_low above (the retirement below is control plane).
+      if (!targets.empty() &&
+          (plan == nullptr ||
+           plan->owns(level, kTraceBranchExhaustive, targets.front()))) {
         clique_collector exh_out(q.p);
         // Runs sequentially before the cluster fan-out, so slot 0 is free:
         // the exhaustive listing's workspace stays warm across levels and
@@ -224,6 +243,9 @@ listing_report list_kp_congest(const graph& g, const listing_query& q,
         const auto found = exh_out.finalize();
         for (std::int64_t t = 0; t < found.size(); ++t) out.emit(found[t]);
         level_ledger.merge_parallel(exh_ledger);
+        if (plan != nullptr && plan->scoped != nullptr)
+          plan->scoped->push_back({level, kTraceBranchExhaustive,
+                                   exh_ledger});
         if (tracing)
           tlog->absorb(exh_rec, level, kTraceBranchExhaustive,
                        std::int64_t(cur.num_vertices()), 0.0);
@@ -251,11 +273,19 @@ listing_report list_kp_congest(const graph& g, const listing_query& q,
           const auto& a = anatomy[size_t(ci)];
           if (a.v_minus.size() < 2) return oc;
           oc.considered = true;
+          // Sharded: every shard still runs the cluster's control plane —
+          // E′ delivery (for S/S* and the overload test) and the removal
+          // rule are pure functions of the level graph — but only the
+          // owner lists and keeps the ledger/trace. A non-owner's deliver
+          // charges die with its dropped ledger.
+          const bool owned =
+              plan == nullptr ||
+              plan->owns(level, std::int64_t(ci), detail::cluster_rep(a));
           // The worker slot's lease-parked transport keeps delivery scratch
           // and staging outboxes capacity-warm across this slot's clusters.
           network net_c(cur, oc.ledger,
                         &scratch.arena(worker).get<transport>(),
-                        tracing ? &oc.rec : nullptr);
+                        (tracing && owned) ? &oc.rec : nullptr);
           const std::string cl = "cluster" + std::to_string(ci);
 
           const auto del = deliver_eprime(net_c, cur, a, n_budget,
@@ -275,13 +305,10 @@ listing_report list_kp_congest(const graph& g, const listing_query& q,
             return oc;
           }
 
-          oc.stats = list_kp_in_cluster(
-              net_c, cur, a, del.eprime, q.p, q.lb,
-              splitmix64(q.seed + std::uint64_t(ci)), oc.cliques, cl,
-              &scratch.arena(worker), q.kernel, q.simd);
-
           // Removal rule (DESIGN.md §2.4/2.5): E− edges inside V− with a
           // good endpoint are fully covered by this cluster's listing.
+          // Depends only on the anatomy and S_C, so non-owners retire the
+          // same edges without listing.
           std::vector<bool> is_bad(size_t(cur.num_vertices()), false);
           for (vertex v : del.s_bad) is_bad[size_t(v)] = true;
           for (const auto& e : a.e_minus) {
@@ -289,6 +316,13 @@ listing_report list_kp_congest(const graph& g, const listing_query& q,
             if (is_bad[size_t(e.u)] && is_bad[size_t(e.v)]) continue;
             oc.removed.push_back(e);
           }
+          if (!owned) return oc;
+          oc.listed = true;
+
+          oc.stats = list_kp_in_cluster(
+              net_c, cur, a, del.eprime, q.p, q.lb,
+              splitmix64(q.seed + std::uint64_t(ci)), oc.cliques, cl,
+              &scratch.arena(worker), q.kernel, q.simd);
           return oc;
         });
     for (std::size_t ci = 0; ci < anatomy.size(); ++ci) {
@@ -299,14 +333,17 @@ listing_report list_kp_congest(const graph& g, const listing_query& q,
         ++ls.deferred_clusters;
         continue;
       }
+      ++ls.clusters_listed;
+      removed.insert(removed.end(), oc.removed.begin(), oc.removed.end());
+      if (!oc.listed) continue;
       level_ledger.merge_parallel(oc.ledger);
+      if (plan != nullptr && plan->scoped != nullptr)
+        plan->scoped->push_back({level, std::int64_t(ci), oc.ledger});
       if (tracing)
         tlog->absorb(oc.rec, level, std::int64_t(ci),
                      std::int64_t(anatomy[ci].v_cluster.size()),
                      anatomy[ci].certified_phi);
       out.absorb(oc.cliques);
-      ++ls.clusters_listed;
-      removed.insert(removed.end(), oc.removed.begin(), oc.removed.end());
     }
     rep.ledger.merge_sequential(level_ledger);
     rep.phase_seconds["clusters"] += detail::seconds_since(clu_t0);
@@ -318,10 +355,7 @@ listing_report list_kp_congest(const graph& g, const listing_query& q,
     rep.levels.push_back(ls);
 
     if (removed.empty()) {
-      const auto t0 = std::chrono::steady_clock::now();
-      detail::central_fallback(cur, q.p, out, rep.ledger, seq, q.kernel,
-                               q.simd);
-      rep.phase_seconds["fallback"] += detail::seconds_since(t0);
+      run_fallback(cur);
       rep.used_fallback = true;
       done = true;
       break;
@@ -330,10 +364,7 @@ listing_report list_kp_congest(const graph& g, const listing_query& q,
     if (cur.num_edges() == 0) done = true;
   }
   if (!done && cur.num_edges() > 0) {
-    const auto t0 = std::chrono::steady_clock::now();
-    detail::central_fallback(cur, q.p, out, rep.ledger, seq, q.kernel,
-                             q.simd);
-    rep.phase_seconds["fallback"] += detail::seconds_since(t0);
+    run_fallback(cur);
     rep.used_fallback = true;
   }
   if (tracing) {

@@ -1,0 +1,82 @@
+#include "shard/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/check.hpp"
+#include "support/math_util.hpp"
+#include "support/prng.hpp"
+
+namespace dcl::shard {
+
+std::string_view partition_scheme_name(partition_scheme s) {
+  switch (s) {
+    case partition_scheme::block:
+      return "block";
+    case partition_scheme::hashed:
+      return "hashed";
+  }
+  return "unknown";
+}
+
+int shard_of_vertex(const partitioner_spec& spec, vertex v, vertex n,
+                    int shards) {
+  DCL_EXPECTS(shards >= 1, "shard_of_vertex: shards must be positive");
+  DCL_EXPECTS(v >= 0 && v < n, "shard_of_vertex: vertex out of range");
+  if (shards == 1) return 0;
+  switch (spec.scheme) {
+    case partition_scheme::block: {
+      const std::int64_t width =
+          ceil_div(std::int64_t(n), std::int64_t(shards));
+      return int(std::int64_t(v) / width);
+    }
+    case partition_scheme::hashed:
+      return int(splitmix64(spec.seed ^ std::uint64_t(std::uint32_t(v))) %
+                 std::uint64_t(shards));
+  }
+  DCL_EXPECTS(false, "shard_of_vertex: unknown partition scheme");
+  return 0;
+}
+
+graph_slice build_graph_slice(const graph& g, const partitioner_spec& spec,
+                              int shard, int shards) {
+  DCL_EXPECTS(shard >= 0 && shard < shards,
+              "build_graph_slice: shard index out of range");
+  const vertex n = g.num_vertices();
+  graph_slice s;
+  s.full_n = n;
+
+  // Membership: every owned vertex plus its whole neighborhood.
+  std::vector<bool> keep(std::size_t(n), false);
+  for (vertex v = 0; v < n; ++v) {
+    if (shard_of_vertex(spec, v, n, shards) != shard) continue;
+    keep[std::size_t(v)] = true;
+    for (vertex u : g.neighbors(v)) keep[std::size_t(u)] = true;
+  }
+  std::vector<vertex> to_local(std::size_t(n), -1);
+  for (vertex v = 0; v < n; ++v)
+    if (keep[std::size_t(v)]) {
+      to_local[std::size_t(v)] = vertex(s.to_original.size());
+      s.to_original.push_back(v);  // ascending by construction
+    }
+
+  edge_list local_edges;
+  for (const edge& e : g.edges()) {
+    if (!keep[std::size_t(e.u)] || !keep[std::size_t(e.v)]) continue;
+    local_edges.push_back(
+        {to_local[std::size_t(e.u)], to_local[std::size_t(e.v)]});
+  }
+  s.local = graph(vertex(s.to_original.size()), local_edges);
+  return s;
+}
+
+graph_slice identity_slice(const graph& g) {
+  graph_slice s;
+  s.full_n = g.num_vertices();
+  s.to_original.resize(std::size_t(g.num_vertices()));
+  std::iota(s.to_original.begin(), s.to_original.end(), vertex(0));
+  s.local = g;
+  return s;
+}
+
+}  // namespace dcl::shard

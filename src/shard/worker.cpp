@@ -1,0 +1,178 @@
+#include "shard/worker.hpp"
+
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "core/api/session.hpp"
+#include "shard/partition.hpp"
+#include "shard/serialize.hpp"
+
+namespace dcl::shard {
+
+namespace {
+
+struct worker_state {
+  shard_bind bind;
+  graph g;  ///< the bound slice (session aliases it; must outlive it)
+  std::unique_ptr<listing_session> session;
+  std::int64_t queries = 0;
+  std::int64_t errors = 0;
+};
+
+/// The congest branch-ownership rule, evaluated identically on every
+/// worker: a parallel branch belongs to the shard owning its representative
+/// vertex; the run-sequential fallback branch belongs to shard 0.
+congest_shard_plan make_plan(const worker_state& st) {
+  congest_shard_plan plan;
+  plan.shard = st.bind.shard;
+  plan.shards = st.bind.shards;
+  const partitioner_spec spec = st.bind.part;
+  const vertex n = st.bind.slice.full_n;
+  const int shards = st.bind.shards;
+  plan.owner = [spec, n, shards](std::int32_t /*level*/, std::int64_t branch,
+                                 vertex rep) {
+    if (branch == kTraceBranchSequential) return 0;
+    return shard_of_vertex(spec, rep, n, shards);
+  };
+  return plan;
+}
+
+shard_result serve_congest(worker_state& st, std::uint64_t qid,
+                           const listing_query& q) {
+  shard_run_result r = st.session->run_shard(q, make_plan(st));
+  shard_result res;
+  res.qid = qid;
+  res.p = q.p;
+  res.raw_tuples = std::move(r.raw_tuples);
+  res.emitted = r.emitted;
+  res.scoped = std::move(r.scoped);
+  res.model_decomposition_rounds = r.report.model_decomposition_rounds;
+  res.levels = std::move(r.report.levels);
+  res.used_fallback = r.report.used_fallback;
+  res.max_normalized_load = r.report.max_normalized_load;
+  if (r.report.trace) {
+    std::ostringstream os(std::ios::binary);
+    r.report.trace->write_binary(os);
+    const std::string blob = os.str();
+    res.trace_blob.assign(blob.begin(), blob.end());
+  }
+  return res;
+}
+
+shard_result serve_local(worker_state& st, std::uint64_t qid,
+                         const listing_query& q) {
+  // The local engine lists the whole slice, then keeps exactly the cliques
+  // whose smallest ORIGINAL vertex this shard owns: a K_p with min vertex v
+  // lies inside N[v], which the slice of v's owner contains by
+  // construction, so the kept sets across shards partition the solo set.
+  listing_query lq = q;
+  lq.mode = sink_mode::collect;
+  query_result r = st.session->run(lq);
+  shard_result res;
+  res.qid = qid;
+  res.p = q.p;
+  const auto& remap = st.bind.slice.to_original;
+  for (std::int64_t i = 0; i < r.cliques.size(); ++i) {
+    const std::span<const vertex> t = r.cliques[std::int64_t(i)];
+    // Monotone remap: local ascending tuples stay ascending in original
+    // ids, so t[0] maps to the clique's smallest original vertex.
+    const vertex min_orig = remap[std::size_t(t[0])];
+    if (shard_of_vertex(st.bind.part, min_orig, st.bind.slice.full_n,
+                        st.bind.shards) != st.bind.shard)
+      continue;
+    for (vertex x : t) res.raw_tuples.push_back(remap[std::size_t(x)]);
+  }
+  res.emitted = std::int64_t(res.raw_tuples.size()) / q.p;
+  return res;
+}
+
+}  // namespace
+
+void run_shard_worker(byte_channel& ch, const wire_options& wopt) {
+  frame_writer w(ch, wopt);
+  frame_reader r(ch);
+  std::optional<worker_state> st;
+  frame f;
+  while (r.next(f)) {
+    switch (f.type) {
+      case frame_type::bind: {
+        if (st) throw shard_error("shard worker: duplicate bind");
+        wire_cursor c(f.payload);
+        shard_bind bind = decode_bind(c);
+        st.emplace();
+        st->bind = std::move(bind);
+        st->g = std::move(st->bind.slice.local);
+        session_options opt;
+        opt.engine = st->bind.engine;
+        opt.threads = st->bind.threads;
+        opt.orientation = st->bind.orientation;
+        opt.grain = st->bind.grain;
+        opt.kernel = st->bind.kernel;
+        opt.simd = st->bind.simd;
+        st->session = std::make_unique<listing_session>(st->g, opt);
+        wire_buf b;
+        b.put(std::int32_t(st->bind.shard));
+        w.send(frame_type::bind_ok, b.view());
+        w.flush();
+        break;
+      }
+      case frame_type::query: {
+        if (!st) throw shard_error("shard worker: query before bind");
+        wire_cursor c(f.payload);
+        const auto qid = c.get<std::uint64_t>();
+        try {
+          const listing_query q = decode_query(c);
+          c.expect_exhausted("query");
+          shard_result res =
+              st->bind.engine == listing_engine::congest_sim
+                  ? serve_congest(*st, qid, q)
+                  : serve_local(*st, qid, q);
+          wire_buf b;
+          encode_result(b, res);
+          w.send(frame_type::result, b.view());
+          ++st->queries;
+        } catch (const std::exception& e) {
+          // Engine/validation failures answer this query and leave the
+          // worker serving; the coordinator rethrows as shard_error.
+          ++st->errors;
+          wire_buf b;
+          b.put(qid);
+          b.put_string(e.what());
+          w.send(frame_type::error, b.view());
+        }
+        w.flush();
+        break;
+      }
+      case frame_type::stats_req: {
+        shard_worker_stats s;
+        s.shard = st ? st->bind.shard : -1;
+        s.queries = st ? st->queries : 0;
+        s.errors = st ? st->errors : 0;
+        s.wire.frames_sent = w.stats().frames_sent;
+        s.wire.bytes_sent = w.stats().bytes_sent;
+        s.wire.flushes = w.stats().flushes;
+        s.wire.frames_received = r.stats().frames_received;
+        s.wire.bytes_received = r.stats().bytes_received;
+        wire_buf b;
+        encode_worker_stats(b, s);
+        w.send(frame_type::stats, b.view());
+        w.flush();
+        break;
+      }
+      case frame_type::shutdown: {
+        w.send(frame_type::bye, {});
+        w.flush();
+        return;  // clean shutdown
+      }
+      default:
+        throw shard_error("shard worker: unexpected frame type " +
+                          std::to_string(int(f.type)));
+    }
+  }
+  // Orderly EOF without shutdown: the coordinator went away — nothing to
+  // answer, exit quietly (the launcher reaps a zero status).
+}
+
+}  // namespace dcl::shard

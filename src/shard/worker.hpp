@@ -1,0 +1,20 @@
+#pragma once
+// The shard worker's serve loop (DESIGN.md §14). One worker process binds
+// one listing_session on the slice its bind frame carries, then answers
+// query frames until shutdown (clean: replies `bye` and returns) or EOF
+// (coordinator died: returns quietly). A query that throws inside the
+// engine is answered with an `error` frame — the worker survives and keeps
+// serving; only protocol-level failures (garbage frames, truncation) tear
+// the loop down.
+
+#include "shard/channel.hpp"
+#include "shard/wire.hpp"
+
+namespace dcl::shard {
+
+/// Runs the serve loop over `ch` until shutdown or EOF. Throws shard_error
+/// on protocol violations (the process wrapper turns that into a nonzero
+/// exit).
+void run_shard_worker(byte_channel& ch, const wire_options& wopt = {});
+
+}  // namespace dcl::shard

@@ -1,0 +1,750 @@
+// The multi-process shard runtime (DESIGN.md §14): partitioner and slice
+// contracts, payload codec round-trips with truncation/garbage rejection,
+// frame-layer preamble/version/EOF discipline and flush-delay aggregation,
+// and — the acceptance gate — the differential sweep: sharded runs over
+// forked worker processes, shards ∈ {1, 2, 4}, p = 3..6, both engines,
+// must produce clique sets AND full listing_report ledgers bit-identical
+// to a single-process session, including the serialized trace bytes.
+// Failure semantics ride along: a worker that answers `error` keeps
+// serving, a SIGKILLed worker degrades the coordinator with shard_error.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/api/session.hpp"
+#include "graph/generators.hpp"
+#include "shard/channel.hpp"
+#include "shard/coordinator.hpp"
+#include "shard/launch.hpp"
+#include "shard/partition.hpp"
+#include "shard/serialize.hpp"
+#include "shard/wire.hpp"
+#include "shard/worker.hpp"
+#include "support/check.hpp"
+
+namespace dcl {
+namespace {
+
+using shard::frame;
+using shard::frame_reader;
+using shard::frame_type;
+using shard::frame_writer;
+using shard::shard_error;
+using shard::wire_buf;
+using shard::wire_cursor;
+using shard::wire_options;
+
+void expect_report_identical(const listing_report& a,
+                             const listing_report& b) {
+  EXPECT_EQ(a.ledger, b.ledger);
+  ASSERT_EQ(a.ledger.phases().size(), b.ledger.phases().size());
+  auto ita = a.ledger.phases().begin();
+  for (auto itb = b.ledger.phases().begin(); itb != b.ledger.phases().end();
+       ++ita, ++itb) {
+    EXPECT_EQ(ita->first, itb->first);
+    EXPECT_EQ(ita->second.rounds, itb->second.rounds) << ita->first;
+    EXPECT_EQ(ita->second.messages, itb->second.messages) << ita->first;
+  }
+  EXPECT_EQ(a.model_decomposition_rounds, b.model_decomposition_rounds);
+  EXPECT_EQ(a.levels, b.levels);
+  EXPECT_EQ(a.emitted, b.emitted);
+  EXPECT_EQ(a.duplicates, b.duplicates);
+  EXPECT_EQ(a.used_fallback, b.used_fallback);
+  EXPECT_DOUBLE_EQ(a.max_normalized_load, b.max_normalized_load);
+}
+
+std::string trace_bytes(const trace_log& t) {
+  std::ostringstream os(std::ios::binary);
+  t.write_binary(os);
+  return os.str();
+}
+
+// --- partitioner + slices ---------------------------------------------------
+
+TEST(ShardPartition, SchemesCoverEveryVertexAndAreDeterministic) {
+  const vertex n = 257;
+  for (const auto scheme :
+       {shard::partition_scheme::block, shard::partition_scheme::hashed}) {
+    for (int shards : {1, 2, 3, 4, 7}) {
+      shard::partitioner_spec spec;
+      spec.scheme = scheme;
+      spec.seed = 99;
+      std::vector<int> owners;
+      for (vertex v = 0; v < n; ++v) {
+        const int s = shard_of_vertex(spec, v, n, shards);
+        ASSERT_GE(s, 0);
+        ASSERT_LT(s, shards);
+        owners.push_back(s);
+        EXPECT_EQ(s, shard_of_vertex(spec, v, n, shards));  // pure
+      }
+      if (shards > 1) {
+        // Both schemes spread a couple hundred vertices over every shard.
+        std::set<int> used(owners.begin(), owners.end());
+        EXPECT_EQ(int(used.size()), shards)
+            << shard::partition_scheme_name(scheme);
+      }
+    }
+  }
+}
+
+TEST(ShardPartition, BlockSchemeIsContiguousRanges) {
+  shard::partitioner_spec spec;  // block
+  // ceil(10/4) = 3: owners 0001112223 — nondecreasing, starts at 0.
+  int prev = 0;
+  for (vertex v = 0; v < 10; ++v) {
+    const int s = shard_of_vertex(spec, v, 10, 4);
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+  EXPECT_EQ(shard_of_vertex(spec, 0, 10, 4), 0);
+  EXPECT_EQ(shard_of_vertex(spec, 9, 10, 4), 3);
+}
+
+TEST(ShardPartition, SliceContainsClosedNeighborhoodsAscending) {
+  const graph g = gen::gnp(80, 0.1, 5);
+  shard::partitioner_spec spec;
+  spec.scheme = shard::partition_scheme::hashed;
+  spec.seed = 3;
+  const int shards = 3;
+  for (int s = 0; s < shards; ++s) {
+    const shard::graph_slice sl =
+        shard::build_graph_slice(g, spec, s, shards);
+    EXPECT_EQ(sl.full_n, g.num_vertices());
+    // Remap strictly ascending (the monotone property the canonical-order
+    // argument rests on).
+    for (std::size_t i = 1; i < sl.to_original.size(); ++i)
+      EXPECT_LT(sl.to_original[i - 1], sl.to_original[i]);
+    std::set<vertex> members(sl.to_original.begin(), sl.to_original.end());
+    for (vertex v = 0; v < g.num_vertices(); ++v) {
+      if (shard_of_vertex(spec, v, g.num_vertices(), shards) != s) continue;
+      EXPECT_TRUE(members.count(v));  // owned vertex present
+      for (vertex u : g.neighbors(v))
+        EXPECT_TRUE(members.count(u));  // whole open neighborhood too
+    }
+  }
+}
+
+// --- payload codecs ---------------------------------------------------------
+
+listing_query sample_query() {
+  listing_query q;
+  q.p = 5;
+  q.mode = sink_mode::count;
+  q.lb = lb_engine::unbalanced;
+  q.seed = 0xDEADBEEFCAFEF00Dull;
+  q.epsilon = 0.25;
+  q.beta = 3.5;
+  q.gamma = 7.0;
+  q.max_levels = 9;
+  q.base_case_edges = 17;
+  q.stream_batch_tuples = 123;
+  q.trace = true;
+  q.kernel = enumkernel::kernel_mode::bitmap;
+  q.simd = simd_mode::neon;
+  return q;
+}
+
+TEST(ShardCodec, QueryRoundTrip) {
+  const listing_query q = sample_query();
+  wire_buf b;
+  shard::encode_query(b, q);
+  wire_cursor c(b.view());
+  const listing_query d = shard::decode_query(c);
+  c.expect_exhausted("query");
+  EXPECT_EQ(d.p, q.p);
+  EXPECT_EQ(d.mode, q.mode);
+  EXPECT_EQ(d.lb, q.lb);
+  EXPECT_EQ(d.seed, q.seed);
+  EXPECT_DOUBLE_EQ(d.epsilon, q.epsilon);
+  EXPECT_DOUBLE_EQ(d.beta, q.beta);
+  EXPECT_DOUBLE_EQ(d.gamma, q.gamma);
+  EXPECT_EQ(d.max_levels, q.max_levels);
+  EXPECT_EQ(d.base_case_edges, q.base_case_edges);
+  EXPECT_EQ(d.stream_batch_tuples, q.stream_batch_tuples);
+  EXPECT_EQ(d.trace, q.trace);
+  EXPECT_EQ(d.kernel, q.kernel);
+  EXPECT_EQ(d.simd, q.simd);
+}
+
+TEST(ShardCodec, EveryTruncationPrefixOfAQueryIsRejected) {
+  wire_buf b;
+  shard::encode_query(b, sample_query());
+  const auto full = b.view();
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    wire_cursor c(full.subspan(0, cut));
+    EXPECT_THROW(shard::decode_query(c), shard_error) << "cut=" << cut;
+  }
+}
+
+TEST(ShardCodec, GarbageEnumByteIsRejectedNotMaterialized) {
+  wire_buf b;
+  shard::encode_query(b, sample_query());
+  std::vector<std::uint8_t> bytes(b.view().begin(), b.view().end());
+  bytes[4] = 200;  // the sink_mode byte, straight after the i32 arity
+  wire_cursor c(bytes);
+  EXPECT_THROW(shard::decode_query(c), shard_error);
+}
+
+TEST(ShardCodec, LedgerRoundTripPreservesTotalsSeparateFromPhases) {
+  // A parallel-merged ledger's total is NOT the sum of its phase entries
+  // (max-rounds semantics), so the codec must carry both independently.
+  cost_ledger a;
+  a.charge("alpha", 10, 100);
+  cost_ledger b;
+  b.charge("beta", 7, 50);
+  a.merge_parallel(b);  // total rounds = max(10,7) = 10, not 17
+  wire_buf buf;
+  shard::encode_ledger(buf, a);
+  wire_cursor c(buf.view());
+  const cost_ledger d = shard::decode_ledger(c);
+  EXPECT_EQ(d, a);
+  EXPECT_EQ(d.rounds(), a.rounds());
+  EXPECT_EQ(d.messages(), a.messages());
+}
+
+TEST(ShardCodec, LedgerDuplicatePhaseLabelRejected) {
+  cost_ledger l;
+  l.charge("x", 1, 2);
+  wire_buf buf;
+  shard::encode_ledger(buf, l);
+  // Append the same phase entry again and bump the count by hand.
+  std::vector<std::uint8_t> bytes(buf.view().begin(), buf.view().end());
+  const std::size_t phase_entry = bytes.size() - (8 + 1 + 8 + 8);
+  std::vector<std::uint8_t> dup(bytes.begin() + phase_entry, bytes.end());
+  bytes.insert(bytes.end(), dup.begin(), dup.end());
+  bytes[16] = 2;  // phase count lives after the two i64 totals
+  wire_cursor c(bytes);
+  EXPECT_THROW(shard::decode_ledger(c), shard_error);
+}
+
+TEST(ShardCodec, SliceRoundTripAndEndpointValidation) {
+  const graph g = gen::ring_of_cliques(4, 5);
+  shard::partitioner_spec spec;
+  const shard::graph_slice sl = shard::build_graph_slice(g, spec, 1, 3);
+  wire_buf b;
+  shard::encode_slice(b, sl);
+  wire_cursor c(b.view());
+  const shard::graph_slice d = shard::decode_slice(c);
+  EXPECT_EQ(d.full_n, sl.full_n);
+  EXPECT_EQ(d.to_original, sl.to_original);
+  EXPECT_EQ(d.local.num_vertices(), sl.local.num_vertices());
+  EXPECT_EQ(d.local.edges(), sl.local.edges());
+
+  // A remap that is not strictly ascending must be rejected.
+  shard::graph_slice bad = sl;
+  if (bad.to_original.size() >= 2)
+    std::swap(bad.to_original[0], bad.to_original[1]);
+  wire_buf bb;
+  shard::encode_slice(bb, bad);
+  wire_cursor cb(bb.view());
+  EXPECT_THROW(shard::decode_slice(cb), shard_error);
+}
+
+TEST(ShardCodec, ResultRoundTripAndConsistencyChecks) {
+  shard::shard_result r;
+  r.qid = 42;
+  r.p = 3;
+  r.raw_tuples = {0, 1, 2, 1, 2, 3};
+  r.emitted = 2;
+  shard_scoped_ledger sl;
+  sl.level = 0;
+  sl.branch = 4;
+  sl.ledger.charge("list", 3, 9);
+  r.scoped.push_back(sl);
+  r.model_decomposition_rounds = 11;
+  r.levels.push_back({10, 4, 2, 2, 0, 0, 1});
+  r.used_fallback = true;
+  r.max_normalized_load = 1.5;
+  r.trace_blob = {1, 2, 3};
+  wire_buf b;
+  shard::encode_result(b, r);
+  {
+    wire_cursor c(b.view());
+    const shard::shard_result d = shard::decode_result(c);
+    EXPECT_EQ(d.qid, r.qid);
+    EXPECT_EQ(d.raw_tuples, r.raw_tuples);
+    EXPECT_EQ(d.emitted, r.emitted);
+    ASSERT_EQ(d.scoped.size(), 1u);
+    EXPECT_EQ(d.scoped[0].level, sl.level);
+    EXPECT_EQ(d.scoped[0].branch, sl.branch);
+    EXPECT_EQ(d.scoped[0].ledger, sl.ledger);
+    EXPECT_EQ(d.levels, r.levels);
+    EXPECT_EQ(d.used_fallback, r.used_fallback);
+    EXPECT_EQ(d.trace_blob, r.trace_blob);
+  }
+  // Tuple buffer not a multiple of p → rejected.
+  shard::shard_result bad = r;
+  bad.raw_tuples.push_back(9);
+  wire_buf bb;
+  shard::encode_result(bb, bad);
+  wire_cursor cb(bb.view());
+  EXPECT_THROW(shard::decode_result(cb), shard_error);
+}
+
+TEST(ShardCodec, TraceBlobRoundTripsBitIdentically) {
+  const graph g = gen::gnp(40, 0.25, 9);
+  listing_session s(g);
+  listing_query q;
+  q.p = 3;
+  q.trace = true;
+  const query_result r = s.run(q);
+  ASSERT_NE(r.report.trace, nullptr);
+  wire_buf b;
+  shard::encode_trace(b, *r.report.trace);
+  wire_cursor c(b.view());
+  const trace_log d = shard::decode_trace(c);
+  EXPECT_EQ(d, *r.report.trace);
+  EXPECT_EQ(trace_bytes(d), trace_bytes(*r.report.trace));
+
+  // A truncated embedded blob is a shard_error, not a precondition_error.
+  wire_cursor ct(b.view().subspan(0, b.view().size() / 2));
+  EXPECT_THROW(shard::decode_trace(ct), shard_error);
+}
+
+// --- frame layer ------------------------------------------------------------
+
+TEST(ShardWire, FramesRoundTripThroughMemoryChannel) {
+  auto [a, b] = shard::make_memory_channel_pair();
+  frame_writer w(*a, {});
+  wire_buf payload;
+  payload.put(std::int32_t(7));
+  w.send(frame_type::bind, payload.view());
+  w.send(frame_type::shutdown, {});
+  w.flush();
+  frame_reader r(*b);
+  frame f;
+  ASSERT_TRUE(r.next(f));
+  EXPECT_EQ(f.type, frame_type::bind);
+  wire_cursor c(f.payload);
+  EXPECT_EQ(c.get<std::int32_t>(), 7);
+  ASSERT_TRUE(r.next(f));
+  EXPECT_EQ(f.type, frame_type::shutdown);
+  EXPECT_TRUE(f.payload.empty());
+  a.reset();  // writer gone → orderly EOF
+  EXPECT_FALSE(r.next(f));
+}
+
+TEST(ShardWire, SmallFramesAggregateIntoOneWrite) {
+  auto [a, b] = shard::make_memory_channel_pair();
+  wire_options opt;
+  opt.aggregate_bytes = 1 << 16;
+  opt.flush_delay = std::chrono::milliseconds(1000);
+  frame_writer w(*a, opt);
+  for (int i = 0; i < 50; ++i) {
+    wire_buf payload;
+    payload.put(std::int64_t(i));
+    w.send(frame_type::query, payload.view());
+  }
+  EXPECT_EQ(a->writes(), 0);  // everything still queued
+  EXPECT_GT(w.pending_bytes(), 0u);
+  w.flush();
+  EXPECT_EQ(a->writes(), 1);  // preamble + 50 frames, one buffer
+  frame_reader r(*b);
+  frame f;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(r.next(f));
+    wire_cursor c(f.payload);
+    EXPECT_EQ(c.get<std::int64_t>(), i);
+  }
+  EXPECT_EQ(r.stats().frames_received, 50);
+}
+
+TEST(ShardWire, BufferFullTriggersFlushWithoutExplicitCall) {
+  auto [a, b] = shard::make_memory_channel_pair();
+  wire_options opt;
+  opt.aggregate_bytes = 256;  // tiny MTU
+  opt.flush_delay = std::chrono::milliseconds(1000);
+  frame_writer w(*a, opt);
+  const std::vector<std::uint8_t> blob(300, 0xAB);
+  w.send(frame_type::query, blob);  // exceeds the target on its own
+  EXPECT_GE(a->writes(), 1);
+  EXPECT_EQ(w.pending_bytes(), 0u);
+}
+
+TEST(ShardWire, NonPositiveFlushDelayFlushesEverySend) {
+  auto [a, b] = shard::make_memory_channel_pair();
+  wire_options opt;
+  opt.flush_delay = std::chrono::milliseconds(0);
+  frame_writer w(*a, opt);
+  w.send(frame_type::stats_req, {});
+  w.send(frame_type::stats_req, {});
+  EXPECT_EQ(a->writes(), 2);
+}
+
+TEST(ShardWire, PollHonorsTheFlushDelayKnob) {
+  auto [a, b] = shard::make_memory_channel_pair();
+  wire_options opt;
+  opt.aggregate_bytes = 1 << 16;
+  opt.flush_delay = std::chrono::milliseconds(5);
+  frame_writer w(*a, opt);
+  w.send(frame_type::stats_req, {});
+  w.poll();  // too fresh — stays queued
+  EXPECT_EQ(a->writes(), 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  w.poll();
+  EXPECT_EQ(a->writes(), 1);
+  w.poll();  // nothing queued — no empty write
+  EXPECT_EQ(a->writes(), 1);
+}
+
+TEST(ShardWire, BadMagicAndBadVersionAreRejected) {
+  {
+    auto [a, b] = shard::make_memory_channel_pair();
+    const char junk[12] = {'N', 'O', 'T', 'A', 'M', 'A',
+                           'G', 'I', 'C', 1,   0,   0};
+    a->write_all(junk, sizeof junk);
+    frame_reader r(*b);
+    frame f;
+    EXPECT_THROW(r.next(f), shard_error);
+  }
+  {
+    auto [a, b] = shard::make_memory_channel_pair();
+    std::vector<std::uint8_t> pre(shard::kWireMagic,
+                                  shard::kWireMagic + 8);
+    const std::uint32_t v = shard::kWireVersion + 1;
+    pre.insert(pre.end(), reinterpret_cast<const std::uint8_t*>(&v),
+               reinterpret_cast<const std::uint8_t*>(&v) + 4);
+    a->write_all(pre.data(), pre.size());
+    frame_reader r(*b);
+    frame f;
+    EXPECT_THROW(r.next(f), shard_error);
+  }
+}
+
+TEST(ShardWire, OversizedLengthUnknownTypeAndTruncationAreRejected) {
+  auto make_preambled = [] {
+    auto pair = shard::make_memory_channel_pair();
+    std::vector<std::uint8_t> pre(shard::kWireMagic,
+                                  shard::kWireMagic + 8);
+    const std::uint32_t v = shard::kWireVersion;
+    pre.insert(pre.end(), reinterpret_cast<const std::uint8_t*>(&v),
+               reinterpret_cast<const std::uint8_t*>(&v) + 4);
+    pair.first->write_all(pre.data(), pre.size());
+    return pair;
+  };
+  {  // oversized payload length must fail before allocating
+    auto [a, b] = make_preambled();
+    const std::uint32_t len = shard::kMaxFramePayload + 1;
+    const std::uint16_t type = 3, reserved = 0;
+    a->write_all(&len, 4);
+    a->write_all(&type, 2);
+    a->write_all(&reserved, 2);
+    frame_reader r(*b);
+    frame f;
+    EXPECT_THROW(r.next(f), shard_error);
+  }
+  {  // unknown frame type
+    auto [a, b] = make_preambled();
+    const std::uint32_t len = 0;
+    const std::uint16_t type = 99, reserved = 0;
+    a->write_all(&len, 4);
+    a->write_all(&type, 2);
+    a->write_all(&reserved, 2);
+    frame_reader r(*b);
+    frame f;
+    EXPECT_THROW(r.next(f), shard_error);
+  }
+  {  // EOF mid-frame = truncation, not an orderly end
+    auto [a, b] = make_preambled();
+    const std::uint32_t len = 100;
+    const std::uint16_t type = 3, reserved = 0;
+    a->write_all(&len, 4);
+    a->write_all(&type, 2);
+    a->write_all(&reserved, 2);
+    a->write_all("partial", 7);
+    a.reset();
+    frame_reader r(*b);
+    frame f;
+    EXPECT_THROW(r.next(f), shard_error);
+  }
+  {  // clean EOF at a frame boundary is false, never a throw
+    auto [a, b] = make_preambled();
+    a.reset();
+    frame_reader r(*b);
+    frame f;
+    EXPECT_FALSE(r.next(f));
+  }
+}
+
+// --- the differential sweep (the PR's acceptance gate) ----------------------
+
+shard::shard_options sharded_options(listing_engine engine) {
+  shard::shard_options opt;
+  // Hashed spreads branch owners across shards even when cluster
+  // representatives cluster at low vertex ids (block would park most
+  // congest work on shard 0).
+  opt.partitioner.scheme = shard::partition_scheme::hashed;
+  opt.partitioner.seed = 17;
+  opt.worker_session.engine = engine;
+  return opt;
+}
+
+TEST(ShardDifferential, ShardedRunsBitIdenticalToSoloBothEngines) {
+  struct workload {
+    graph g;
+    int p;
+  };
+  const workload cases[] = {
+      {gen::gnp(60, 0.18, 3), 3},
+      {gen::ring_of_cliques(5, 7), 4},
+      {gen::gnp(50, 0.3, 31), 5},
+      {gen::ring_of_cliques(4, 8), 6},
+  };
+  for (const auto engine :
+       {listing_engine::congest_sim, listing_engine::local_kclist}) {
+    for (const auto& [g, p] : cases) {
+      listing_query q;
+      q.p = p;
+      session_options sopt;
+      sopt.engine = engine;
+      listing_session solo(g, sopt);
+      const query_result want = solo.run(q);
+      for (int shards : {1, 2, 4}) {
+        auto workers = shard::launch_fork_workers(shards);
+        shard::shard_options opt = sharded_options(engine);
+        shard::shard_coordinator coord(g, shard::take_links(workers), opt);
+        const query_result got = coord.run(q);
+        EXPECT_EQ(got.cliques, want.cliques)
+            << "engine=" << int(engine) << " p=" << p
+            << " shards=" << shards;
+        EXPECT_EQ(got.count, want.count);
+        if (engine == listing_engine::congest_sim)
+          expect_report_identical(got.report, want.report);
+        else
+          EXPECT_EQ(got.report.emitted, want.report.emitted);
+        coord.shutdown();
+        for (auto& w : workers) EXPECT_EQ(shard::wait_worker(w), 0);
+      }
+    }
+  }
+}
+
+TEST(ShardDifferential, CountAndStreamModesMatchSolo) {
+  const graph g = gen::gnp(60, 0.2, 11);
+  listing_query q;
+  q.p = 3;
+  listing_session solo(g, {});
+  const query_result want = solo.run(q);
+
+  auto workers = shard::launch_fork_workers(2);
+  shard::shard_coordinator coord(
+      g, shard::take_links(workers),
+      sharded_options(listing_engine::congest_sim));
+
+  listing_query qc = q;
+  qc.mode = sink_mode::count;
+  const query_result counted = coord.run(qc);
+  EXPECT_EQ(counted.count, want.count);
+  EXPECT_EQ(counted.cliques.size(), 0);
+  expect_report_identical(counted.report, want.report);
+
+  listing_query qs = q;
+  qs.mode = sink_mode::stream;
+  qs.stream_batch_tuples = 7;
+  clique_set restreamed(q.p);
+  const query_result streamed =
+      coord.run(qs, [&](std::span<const vertex> batch) {
+        EXPECT_EQ(batch.size() % std::size_t(q.p), 0u);
+        EXPECT_LE(batch.size(), std::size_t(q.p) * 7);
+        restreamed.add_flat(batch, /*tuples_presorted=*/true);
+      });
+  EXPECT_EQ(streamed.count, want.count);
+  EXPECT_EQ(restreamed, want.cliques);
+
+  coord.shutdown();
+  for (auto& w : workers) EXPECT_EQ(shard::wait_worker(w), 0);
+}
+
+TEST(ShardDifferential, MergedTraceBytesEqualSolo) {
+  const graph g = gen::ring_of_cliques(5, 7);
+  listing_query q;
+  q.p = 4;
+  q.trace = true;
+  listing_session solo(g, {});
+  const query_result want = solo.run(q);
+  ASSERT_NE(want.report.trace, nullptr);
+
+  auto workers = shard::launch_fork_workers(2);
+  shard::shard_coordinator coord(
+      g, shard::take_links(workers),
+      sharded_options(listing_engine::congest_sim));
+  const query_result got = coord.run(q);
+  ASSERT_NE(got.report.trace, nullptr);
+  EXPECT_EQ(*got.report.trace, *want.report.trace);
+  EXPECT_EQ(trace_bytes(*got.report.trace),
+            trace_bytes(*want.report.trace));
+  EXPECT_EQ(got.report.trace_stats, want.report.trace_stats);
+  coord.shutdown();
+  for (auto& w : workers) EXPECT_EQ(shard::wait_worker(w), 0);
+}
+
+TEST(ShardDifferential, RepeatedQueriesOnOneFleetStayIdentical) {
+  const graph g = gen::gnp(50, 0.25, 23);
+  listing_session solo(g, {});
+  auto workers = shard::launch_fork_workers(2);
+  shard::shard_coordinator coord(
+      g, shard::take_links(workers),
+      sharded_options(listing_engine::congest_sim));
+  for (int p = 3; p <= 5; ++p) {
+    listing_query q;
+    q.p = p;
+    const query_result want = solo.run(q);
+    const query_result got = coord.run(q);
+    EXPECT_EQ(got.cliques, want.cliques) << "p=" << p;
+    expect_report_identical(got.report, want.report);
+  }
+  const auto stats = coord.worker_stats();
+  ASSERT_EQ(stats.size(), 2u);
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.queries, 3);
+    EXPECT_EQ(s.errors, 0);
+    EXPECT_GT(s.wire.frames_sent, 0);
+    EXPECT_GT(s.wire.bytes_received, 0);
+  }
+  coord.shutdown();
+  for (auto& w : workers) EXPECT_EQ(shard::wait_worker(w), 0);
+}
+
+// --- failure semantics ------------------------------------------------------
+
+TEST(ShardFailure, WorkerErrorFrameFailsTheQueryNotTheWorker) {
+  // Drive a worker directly over the raw wire: a query that decodes fine
+  // but fails engine validation must come back as an `error` frame, and
+  // the very next query must still be served.
+  const graph g = gen::gnp(30, 0.2, 5);
+  auto workers = shard::launch_fork_workers(1);
+  frame_writer w(*workers[0].link, {});
+  frame_reader r(*workers[0].link);
+
+  shard::shard_bind bind;
+  bind.shard = 0;
+  bind.shards = 1;
+  bind.slice = shard::identity_slice(g);
+  wire_buf bb;
+  shard::encode_bind(bb, bind);
+  w.send(frame_type::bind, bb.view());
+  w.flush();
+  frame f;
+  ASSERT_TRUE(r.next(f));
+  ASSERT_EQ(f.type, frame_type::bind_ok);
+
+  listing_query bad;
+  bad.p = 3;
+  bad.epsilon = 0.999999;  // decodes fine; validate_query then rejects the
+  bad.max_levels = 0;      // max_levels at the engine boundary
+  wire_buf qb;
+  qb.put(std::uint64_t(1));
+  shard::encode_query(qb, bad);
+  w.send(frame_type::query, qb.view());
+  w.flush();
+  ASSERT_TRUE(r.next(f));
+  EXPECT_EQ(f.type, frame_type::error);
+  wire_cursor c(f.payload);
+  EXPECT_EQ(c.get<std::uint64_t>(), 1u);
+  EXPECT_FALSE(c.get_string().empty());
+
+  listing_query good;
+  good.p = 3;
+  wire_buf gb;
+  gb.put(std::uint64_t(2));
+  shard::encode_query(gb, good);
+  w.send(frame_type::query, gb.view());
+  w.flush();
+  ASSERT_TRUE(r.next(f));
+  EXPECT_EQ(f.type, frame_type::result);
+  wire_cursor rc(f.payload);
+  const shard::shard_result res = shard::decode_result(rc);
+  EXPECT_EQ(res.qid, 2u);
+  EXPECT_GT(res.emitted, 0);
+
+  w.send(frame_type::shutdown, {});
+  w.flush();
+  ASSERT_TRUE(r.next(f));
+  EXPECT_EQ(f.type, frame_type::bye);
+  EXPECT_EQ(shard::wait_worker(workers[0]), 0);
+}
+
+TEST(ShardFailure, CoordinatorSurfacesWorkerErrorsAsShardError) {
+  const graph g = gen::gnp(40, 0.2, 7);
+  auto workers = shard::launch_fork_workers(2);
+  shard::shard_coordinator coord(
+      g, shard::take_links(workers),
+      sharded_options(listing_engine::congest_sim));
+  // Local validation rejects before anything hits the wire...
+  listing_query bad;
+  bad.p = 99;
+  EXPECT_THROW(coord.run(bad), precondition_error);
+  // ...and the fleet is untouched: a good query still folds clean.
+  listing_query good;
+  good.p = 3;
+  EXPECT_GT(coord.run(good).count, 0);
+  coord.shutdown();
+  for (auto& w : workers) EXPECT_EQ(shard::wait_worker(w), 0);
+}
+
+TEST(ShardFailure, KilledWorkerDegradesTheCoordinator) {
+  const graph g = gen::gnp(40, 0.2, 13);
+  auto workers = shard::launch_fork_workers(2);
+  std::vector<std::unique_ptr<shard::byte_channel>> links;
+  for (auto& w : workers) links.push_back(std::move(w.link));
+  shard::shard_coordinator coord(
+      g, std::move(links), sharded_options(listing_engine::congest_sim));
+  shard::kill_worker(workers[1]);  // SIGKILL mid-fleet
+  listing_query q;
+  q.p = 3;
+  EXPECT_THROW(coord.run(q), shard_error);
+  // Degraded for good: later queries refuse up front.
+  EXPECT_THROW(coord.run(q), shard_error);
+  coord.shutdown();
+  EXPECT_EQ(shard::wait_worker(workers[0]), 0);
+}
+
+TEST(ShardFailure, StreamModeRequiresTheSinkOverload) {
+  const graph g = gen::gnp(20, 0.2, 3);
+  auto workers = shard::launch_fork_workers(1);
+  shard::shard_coordinator coord(
+      g, shard::take_links(workers),
+      sharded_options(listing_engine::congest_sim));
+  listing_query q;
+  q.p = 3;
+  q.mode = sink_mode::stream;
+  EXPECT_THROW(coord.run(q), precondition_error);
+  listing_query qc;
+  qc.p = 3;
+  EXPECT_THROW(coord.run(qc, [](std::span<const vertex>) {}),
+               precondition_error);
+  coord.shutdown();
+  for (auto& w : workers) EXPECT_EQ(shard::wait_worker(w), 0);
+}
+
+// --- exec-based launch (tools/shard_worker) ---------------------------------
+
+#ifdef DCL_SHARD_WORKER_EXE
+TEST(ShardExec, ExecWorkersServeTheSameDifferentialContract) {
+  const graph g = gen::gnp(50, 0.2, 19);
+  listing_session solo(g, {});
+  listing_query q;
+  q.p = 3;
+  const query_result want = solo.run(q);
+  auto workers = shard::launch_exec_workers(DCL_SHARD_WORKER_EXE, 2);
+  shard::shard_coordinator coord(
+      g, shard::take_links(workers),
+      sharded_options(listing_engine::congest_sim));
+  const query_result got = coord.run(q);
+  EXPECT_EQ(got.cliques, want.cliques);
+  expect_report_identical(got.report, want.report);
+  coord.shutdown();
+  for (auto& w : workers) EXPECT_EQ(shard::wait_worker(w), 0);
+}
+#endif
+
+}  // namespace
+}  // namespace dcl

@@ -206,9 +206,9 @@ TEST(Simd, IntersectionIdenticalAndDisjointRanges) {
 }
 
 TEST(Simd, IntersectionMatchesAcrossBlockBoundaries) {
-  // Adversarial for the 8x8 block kernel: matches sitting exactly on lane
-  // 0 / lane 7 of a block, and runs where one side's block max equals the
-  // other's (the advance-both tie case).
+  // Adversarial for the block kernels (8x8 on AVX2, 4x4 on NEON): matches
+  // sitting exactly on the first / last lane of a block, and runs where
+  // one side's block max equals the other's (the advance-both tie case).
   for (const simd_ops* ops : runnable_tables()) {
     SCOPED_TRACE(ops->name);
     std::vector<std::int32_t> a, b;
@@ -217,6 +217,15 @@ TEST(Simd, IntersectionMatchesAcrossBlockBoundaries) {
     check_intersection(ops, a, b);
     b.clear();
     for (std::int32_t i = 0; i < 64; ++i) b.push_back(i * 3 + (i % 8 == 7));
+    check_intersection(ops, a, b);
+    // The same last-lane perturbation at 4-lane granularity, plus a
+    // lane-0-only match pattern — the NEON block width's boundary cases
+    // (harmless extra coverage for the other tiers).
+    b.clear();
+    for (std::int32_t i = 0; i < 64; ++i) b.push_back(i * 3 + (i % 4 == 3));
+    check_intersection(ops, a, b);
+    b.clear();
+    for (std::int32_t i = 0; i < 64; ++i) b.push_back(i * 3 + (i % 4 != 0));
     check_intersection(ops, a, b);
     // Skewed: a single short block galloping through a long range.
     std::vector<std::int32_t> s = {5, 800, 801, 802, 900, 1000, 1600, 1601,

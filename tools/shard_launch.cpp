@@ -1,0 +1,132 @@
+// shard_launch — stand up a forked worker fleet on this machine, run one
+// sharded listing, and self-check the fold against a single-process run
+// (DESIGN.md §14). The smallest end-to-end demo of the shard runtime:
+//
+//   shard_launch [--shards N] [--p P] [--n V] [--prob X] [--seed S]
+//                [--engine congest|local] [--partition block|hashed]
+//                [--trace]
+//
+// Exits 0 when the sharded cliques (and, under congest, the full ledger)
+// are bit-identical to the solo session; 1 on mismatch or worker failure.
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "core/api/session.hpp"
+#include "graph/generators.hpp"
+#include "shard/coordinator.hpp"
+#include "shard/launch.hpp"
+
+namespace {
+
+using namespace dcl;
+
+int usage() {
+  std::cerr << "usage: shard_launch [--shards N] [--p P] [--n V] [--prob X]\n"
+               "                    [--seed S] [--engine congest|local]\n"
+               "                    [--partition block|hashed] [--trace]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int shards = 2;
+  int p = 3;
+  vertex n = 400;
+  double prob = 0.08;
+  std::uint64_t seed = 7;
+  listing_engine engine = listing_engine::congest_sim;
+  shard::partition_scheme scheme = shard::partition_scheme::block;
+  bool trace = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--shards") {
+      shards = std::atoi(next());
+    } else if (a == "--p") {
+      p = std::atoi(next());
+    } else if (a == "--n") {
+      n = std::atoi(next());
+    } else if (a == "--prob") {
+      prob = std::atof(next());
+    } else if (a == "--seed") {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--engine") {
+      const std::string_view e = next();
+      if (e == "congest")
+        engine = listing_engine::congest_sim;
+      else if (e == "local")
+        engine = listing_engine::local_kclist;
+      else
+        return usage();
+    } else if (a == "--partition") {
+      const std::string_view s = next();
+      if (s == "block")
+        scheme = shard::partition_scheme::block;
+      else if (s == "hashed")
+        scheme = shard::partition_scheme::hashed;
+      else
+        return usage();
+    } else if (a == "--trace") {
+      trace = true;
+    } else {
+      return usage();
+    }
+  }
+  if (shards < 1 || p < 3 || n < 1) return usage();
+
+  const graph g = gen::gnp(n, prob, seed);
+  listing_query q;
+  q.p = p;
+  q.trace = trace && engine == listing_engine::congest_sim;
+
+  // Solo first (forked children must not inherit worker threads; the solo
+  // session below uses threads = 1 and spawns none).
+  session_options sopt;
+  sopt.engine = engine;
+  listing_session solo(g, sopt);
+  const query_result want = solo.run(q);
+
+  auto workers = shard::launch_fork_workers(shards);
+  shard::shard_options opt;
+  opt.partitioner.scheme = scheme;
+  opt.partitioner.seed = seed;
+  opt.worker_session = sopt;
+  int rc = 0;
+  try {
+    shard::shard_coordinator coord(g, shard::take_links(workers), opt);
+    const query_result got = coord.run(q);
+    const bool cliques_ok = got.cliques == want.cliques;
+    const bool ledger_ok = got.report.ledger == want.report.ledger;
+    std::cout << "shards=" << shards << " p=" << p << " n=" << n
+              << " engine="
+              << (engine == listing_engine::congest_sim ? "congest" : "local")
+              << " cliques=" << got.count
+              << " rounds=" << got.report.ledger.rounds()
+              << " messages=" << got.report.ledger.messages() << "\n"
+              << "solo-identical: cliques=" << (cliques_ok ? "yes" : "NO")
+              << " ledger=" << (ledger_ok ? "yes" : "NO") << "\n";
+    for (const auto& s : coord.worker_stats())
+      std::cout << "  shard " << s.shard << ": queries=" << s.queries
+                << " frames_sent=" << s.wire.frames_sent
+                << " bytes_sent=" << s.wire.bytes_sent
+                << " flushes=" << s.wire.flushes << "\n";
+    coord.shutdown();
+    if (!cliques_ok || !ledger_ok) rc = 1;
+  } catch (const std::exception& e) {
+    std::cerr << "shard_launch: " << e.what() << "\n";
+    rc = 1;
+  }
+  for (auto& w : workers)
+    if (shard::wait_worker(w) != 0) rc = 1;
+  return rc;
+}

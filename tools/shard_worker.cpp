@@ -1,0 +1,33 @@
+// Standalone shard worker: serves dcl::shard::run_shard_worker over an
+// inherited socket descriptor. Launched by shard::launch_exec_workers (or
+// any coordinator that passes a connected stream fd):
+//
+//   shard_worker --fd N
+//
+// Exits 0 on clean shutdown (or coordinator EOF), 1 on a protocol error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+
+#include "shard/channel.hpp"
+#include "shard/worker.hpp"
+
+int main(int argc, char** argv) {
+  int fd = -1;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--fd") == 0) fd = std::atoi(argv[i + 1]);
+  if (fd < 0) {
+    std::fprintf(stderr, "usage: shard_worker --fd N\n");
+    return 64;
+  }
+  try {
+    dcl::shard::fd_channel ch(fd);
+    dcl::shard::run_shard_worker(ch);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "shard_worker: %s\n", e.what());
+    return 1;
+  }
+}
